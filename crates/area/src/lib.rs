@@ -1,0 +1,33 @@
+//! # comet-area
+//!
+//! Analytic storage and chip-area models for the RowHammer trackers evaluated
+//! in the CoMeT paper (Table 1 and Table 4).
+//!
+//! The paper measures area with CACTI 7 and a Synopsys Design Compiler
+//! synthesis at 65 nm. Neither tool is available here, so this crate uses a
+//! calibrated analytic model: a per-bit area density for scratchpad SRAM and a
+//! (larger) per-bit density for content-addressable memory, fitted to the
+//! CoMeT/Graphene/Hydra numbers the paper reports. Storage (KiB) values are
+//! exact — they follow directly from each mechanism's configuration — while
+//! area (mm²) values are approximations whose *ratios* (e.g. CoMeT requiring
+//! 5.4×/74.2× less area than Graphene at NRH = 1K/125) are the quantities the
+//! reproduction tracks.
+//!
+//! ## Example
+//!
+//! ```rust
+//! use comet_area::{comet_report, graphene_report};
+//! let comet = comet_report(1000);
+//! let graphene = graphene_report(1000);
+//! assert!(graphene.area_mm2 / comet.area_mm2 > 3.0);
+//! ```
+
+pub mod memory;
+pub mod report;
+pub mod tables;
+pub mod trackers;
+
+pub use memory::{cam_area_mm2, sram_area_mm2, MemoryKind};
+pub use report::{AreaComponent, AreaReport};
+pub use tables::{table1_rows, table4_rows, Table1Row, Table4Row};
+pub use trackers::{blockhammer_report, comet_report, graphene_report, hydra_report, para_report, rega_report};

@@ -1,0 +1,185 @@
+//! Per-mechanism storage and area reports for a dual-rank DDR4 channel.
+
+use crate::memory::{bits_to_kib, cam_area_mm2, sram_area_mm2};
+use crate::report::{AreaComponent, AreaReport};
+use comet_core::CometConfig;
+use comet_dram::{DramGeometry, TimingParams};
+use comet_mitigations::{BlockHammerConfig, GrapheneConfig, HydraConfig, Rega};
+
+/// Area of CoMeT's comparator / hash logic, from the paper's Design Compiler
+/// synthesis at 65 nm: "< 0.005 mm²" (§7.3).
+pub const COMET_LOGIC_MM2: f64 = 0.005;
+
+fn geometry() -> DramGeometry {
+    DramGeometry::paper_default()
+}
+
+fn timing() -> TimingParams {
+    TimingParams::ddr4_2400()
+}
+
+/// CoMeT's storage and area at RowHammer threshold `nrh` (Table 4).
+pub fn comet_report(nrh: u64) -> AreaReport {
+    let g = geometry();
+    let config = CometConfig::for_threshold(nrh, &timing());
+    let banks = g.banks_per_channel() as u64;
+    let ct_bits = config.ct_storage_bits_per_bank() * banks;
+    let rat_bits = config.rat_storage_bits_per_bank(g.row_bits()) * banks;
+    let history_bits = config.history_length as u64 * banks;
+    let components = vec![
+        AreaComponent {
+            name: "CT (SRAM)".to_string(),
+            storage_kib: bits_to_kib(ct_bits),
+            area_mm2: sram_area_mm2(ct_bits),
+        },
+        AreaComponent {
+            name: "RAT (CAM)".to_string(),
+            storage_kib: bits_to_kib(rat_bits + history_bits),
+            area_mm2: cam_area_mm2(rat_bits) + sram_area_mm2(history_bits),
+        },
+        AreaComponent {
+            name: "Logic Circuitry".to_string(),
+            storage_kib: 0.0,
+            area_mm2: COMET_LOGIC_MM2,
+        },
+    ];
+    AreaReport::from_components("CoMeT", nrh, components, 0.0, 0.0)
+}
+
+/// Graphene's storage and area at `nrh` (Tables 1 and 4). Graphene's tagged
+/// counters are implemented as CAM.
+pub fn graphene_report(nrh: u64) -> AreaReport {
+    let g = geometry();
+    let config = GrapheneConfig::for_threshold(nrh, &timing(), &g);
+    let bits = config.storage_bits_per_bank() * g.banks_per_channel() as u64;
+    let components = vec![AreaComponent {
+        name: "Misra-Gries table (CAM)".to_string(),
+        storage_kib: bits_to_kib(bits),
+        area_mm2: cam_area_mm2(bits),
+    }];
+    AreaReport::from_components("Graphene", nrh, components, 0.0, 0.0)
+}
+
+/// Hydra's storage and area at `nrh` (Table 4). The group count table is SRAM;
+/// the row count cache needs a tag search and is modeled as CAM. Hydra also
+/// stores per-row counters in DRAM (≈ 4 MiB for 8-bit counters, reported as
+/// `dram_storage_kib`).
+pub fn hydra_report(nrh: u64) -> AreaReport {
+    let g = geometry();
+    let config = HydraConfig::for_threshold(nrh, &timing(), &g);
+    let banks = g.banks_per_channel() as u64;
+    let groups_per_bank = g.rows_per_bank.div_ceil(config.rows_per_group) as u64;
+    let gct_bits = groups_per_bank * banks * config.counter_bits() as u64;
+    let rcc_bits = config.rcc_entries as u64 * (config.tag_bits + config.counter_bits()) as u64;
+    let rct_kib = (g.rows_per_bank as u64 * banks * config.counter_bits() as u64) as f64 / 8.0 / 1024.0;
+    let components = vec![
+        AreaComponent {
+            name: "Group Count Table (SRAM)".to_string(),
+            storage_kib: bits_to_kib(gct_bits),
+            area_mm2: sram_area_mm2(gct_bits),
+        },
+        AreaComponent {
+            name: "Row Count Cache (CAM)".to_string(),
+            storage_kib: bits_to_kib(rcc_bits),
+            area_mm2: cam_area_mm2(rcc_bits),
+        },
+    ];
+    AreaReport::from_components("Hydra", nrh, components, rct_kib, 0.0)
+}
+
+/// PARA has no tracker state at all.
+pub fn para_report(nrh: u64) -> AreaReport {
+    AreaReport::from_components("PARA", nrh, vec![], 0.0, 0.0)
+}
+
+/// REGA keeps no controller-side state but occupies ≈ 2 % of the DRAM chip.
+pub fn rega_report(nrh: u64) -> AreaReport {
+    AreaReport::from_components("REGA", nrh, vec![], 0.0, Rega::dram_area_overhead_fraction())
+}
+
+/// BlockHammer's dual counting Bloom filters (SRAM) per bank.
+pub fn blockhammer_report(nrh: u64) -> AreaReport {
+    let g = geometry();
+    let config = BlockHammerConfig::for_threshold(nrh, &timing());
+    let bits = config.storage_bits_per_bank() * g.banks_per_channel() as u64;
+    let components = vec![AreaComponent {
+        name: "Counting Bloom filters (SRAM)".to_string(),
+        storage_kib: bits_to_kib(bits),
+        area_mm2: sram_area_mm2(bits),
+    }];
+    AreaReport::from_components("BlockHammer", nrh, components, 0.0, 0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comet_storage_matches_table4_within_tolerance() {
+        // Table 4: 76.5 KiB at NRH = 1K, 51.0 KiB at NRH = 125.
+        let at_1k = comet_report(1000);
+        let at_125 = comet_report(125);
+        assert!((at_1k.storage_kib - 76.5).abs() < 5.0, "1K: {}", at_1k.storage_kib);
+        assert!((at_125.storage_kib - 51.0).abs() < 5.0, "125: {}", at_125.storage_kib);
+        assert!(at_125.storage_kib < at_1k.storage_kib);
+    }
+
+    #[test]
+    fn comet_area_matches_table4_within_tolerance() {
+        // Table 4: 0.09 mm² at NRH = 1K, 0.07 mm² at NRH = 125.
+        let at_1k = comet_report(1000);
+        let at_125 = comet_report(125);
+        assert!((at_1k.area_mm2 - 0.09).abs() < 0.02, "1K: {}", at_1k.area_mm2);
+        assert!((at_125.area_mm2 - 0.07).abs() < 0.02, "125: {}", at_125.area_mm2);
+    }
+
+    #[test]
+    fn graphene_storage_grows_sharply_at_low_thresholds() {
+        // Table 1 shape: 207 KiB at 1K growing to ~1.5 MiB at 125 (≈ 7×).
+        let at_1k = graphene_report(1000);
+        let at_125 = graphene_report(125);
+        assert!(at_1k.storage_kib > 100.0 && at_1k.storage_kib < 450.0, "1K: {}", at_1k.storage_kib);
+        let growth = at_125.storage_kib / at_1k.storage_kib;
+        assert!(growth > 5.0 && growth < 10.0, "growth = {growth}");
+    }
+
+    #[test]
+    fn comet_vs_graphene_area_ratios_match_paper_shape() {
+        // Paper: CoMeT needs 5.4× less area at NRH = 1K and 74.2× less at NRH = 125.
+        let r1k = graphene_report(1000).area_mm2 / comet_report(1000).area_mm2;
+        let r125 = graphene_report(125).area_mm2 / comet_report(125).area_mm2;
+        assert!(r1k > 3.0, "ratio at 1K = {r1k}");
+        assert!(r125 > 20.0, "ratio at 125 = {r125}");
+        assert!(r125 > 5.0 * r1k, "the advantage must grow sharply at lower NRH");
+    }
+
+    #[test]
+    fn comet_and_hydra_have_similar_processor_area() {
+        // Paper: CoMeT's area is 1.09× Hydra's at NRH = 1K and ~1 % less at 125.
+        for nrh in [1000, 125] {
+            let ratio = comet_report(nrh).area_mm2 / hydra_report(nrh).area_mm2;
+            assert!((0.5..2.0).contains(&ratio), "NRH {nrh}: ratio {ratio}");
+        }
+    }
+
+    #[test]
+    fn hydra_reports_dram_side_storage() {
+        let r = hydra_report(1000);
+        // ≈ 4 MiB of per-row counters in DRAM.
+        assert!(r.dram_storage_kib > 2000.0, "{}", r.dram_storage_kib);
+        assert_eq!(comet_report(1000).dram_storage_kib, 0.0);
+    }
+
+    #[test]
+    fn stateless_mechanisms_have_zero_processor_area() {
+        assert_eq!(para_report(125).area_mm2, 0.0);
+        assert_eq!(rega_report(125).area_mm2, 0.0);
+        assert!(rega_report(125).dram_area_fraction > 0.0);
+    }
+
+    #[test]
+    fn blockhammer_area_is_modest() {
+        let r = blockhammer_report(125);
+        assert!(r.storage_kib > 10.0 && r.storage_kib < 200.0);
+    }
+}

@@ -1,0 +1,50 @@
+//! Benchmarks of the memory controller + CPU model inner loop: how fast the
+//! simulator itself runs for representative workloads and mechanisms. These are
+//! the loops every figure experiment spends its time in.
+
+use comet_sim::{MechanismKind, Runner, SimConfig};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn small_config() -> SimConfig {
+    let mut config = SimConfig::quick(64);
+    config.warmup_cycles = 5_000;
+    config.sim_cycles = 120_000;
+    config
+}
+
+fn bench_simulator_loop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator");
+    group.sample_size(10);
+    for (label, workload) in [("high_intensity", "bfs_ny"), ("medium_intensity", "473.astar")] {
+        group.bench_function(format!("baseline_{label}"), |b| {
+            let runner = Runner::new(small_config());
+            b.iter(|| black_box(runner.run_single_core(workload, MechanismKind::Baseline, 1000).unwrap()));
+        });
+        group.bench_function(format!("comet_{label}"), |b| {
+            let runner = Runner::new(small_config());
+            b.iter(|| black_box(runner.run_single_core(workload, MechanismKind::Comet, 125).unwrap()));
+        });
+    }
+    group.bench_function("hydra_high_intensity", |b| {
+        let runner = Runner::new(small_config());
+        b.iter(|| black_box(runner.run_single_core("bfs_ny", MechanismKind::Hydra, 125).unwrap()));
+    });
+    group.finish();
+}
+
+fn bench_multicore_loop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator_multicore");
+    group.sample_size(10);
+    group.bench_function("comet_4core_soplex", |b| {
+        let runner = Runner::new(small_config());
+        b.iter(|| black_box(runner.run_homogeneous("450.soplex", 4, MechanismKind::Comet, 125).unwrap()));
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_simulator_loop, bench_multicore_loop
+}
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Micro-benchmarks of the DRAM substrate: command issue through the bank /
+//! rank / channel state machines and physical-address mapping.
+
+use comet_dram::{
+    AddressMapper, AddressScheme, CommandKind, DramAddr, DramChannel, DramConfig, DramGeometry,
+};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_address_mapping(c: &mut Criterion) {
+    let mapper = AddressMapper::new(DramGeometry::paper_default(), AddressScheme::RoRaBgBaCoCh);
+    let mut group = c.benchmark_group("address_mapping");
+    group.bench_function("map", |b| {
+        let mut a = 0u64;
+        b.iter(|| {
+            a = a.wrapping_add(64 * 104_729);
+            black_box(mapper.map(a))
+        });
+    });
+    group.bench_function("round_trip", |b| {
+        let mut a = 0u64;
+        b.iter(|| {
+            a = a.wrapping_add(64 * 7919);
+            let addr = mapper.map(a % (32 << 30));
+            black_box(mapper.unmap(&addr))
+        });
+    });
+    group.finish();
+}
+
+fn bench_channel_command_issue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("channel");
+    group.bench_function("act_rd_pre_cycle", |b| {
+        let mut channel = DramChannel::new(DramConfig::ddr4_paper_default());
+        let mut now = 0u64;
+        let mut row = 0usize;
+        b.iter(|| {
+            row = (row + 1) % 131_072;
+            let a = DramAddr { channel: 0, rank: 0, bank_group: row % 4, bank: (row / 4) % 4, row, column: 0 };
+            let t0 = channel.earliest_issue(CommandKind::Act, &a, now);
+            channel.issue(CommandKind::Act, &a, t0).unwrap();
+            let t1 = channel.earliest_issue(CommandKind::Rd, &a, t0);
+            channel.issue(CommandKind::Rd, &a, t1).unwrap();
+            let t2 = channel.earliest_issue(CommandKind::Pre, &a, t1);
+            channel.issue(CommandKind::Pre, &a, t2).unwrap();
+            now = t2;
+            black_box(now)
+        });
+    });
+    group.bench_function("earliest_issue_query", |b| {
+        let channel = DramChannel::new(DramConfig::ddr4_paper_default());
+        let a = DramAddr { channel: 0, rank: 0, bank_group: 1, bank: 2, row: 77, column: 3 };
+        b.iter(|| black_box(channel.earliest_issue(CommandKind::Act, &a, 1000)));
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_address_mapping, bench_channel_command_issue
+}
+criterion_main!(benches);

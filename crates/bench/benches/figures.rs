@@ -1,0 +1,49 @@
+//! Figure-shaped end-to-end benchmarks: small (smoke-scope) versions of the
+//! experiments that regenerate the paper's tables and figures, so `cargo bench`
+//! exercises the complete harness. The full-size versions are produced by the
+//! `experiments` binary (see README / DESIGN.md).
+
+use comet_sim::experiments::{self, ExperimentScope};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_analytic_tables(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tables");
+    group.bench_function("table1_graphene_storage", |b| {
+        b.iter(|| black_box(comet_area::table1_rows()));
+    });
+    group.bench_function("table4_area_reports", |b| {
+        b.iter(|| black_box(comet_area::table4_rows()));
+    });
+    group.finish();
+}
+
+fn bench_fig17_false_positive_rate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig17");
+    group.sample_size(10);
+    group.bench_function("fpr_sweep_10k_acts", |b| {
+        b.iter(|| black_box(experiments::fig17_false_positive_rate(10_000, 125, 42)));
+    });
+    group.finish();
+}
+
+fn bench_fig10_smoke(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10_smoke");
+    group.sample_size(10);
+    group.bench_function("comet_singlecore_smoke", |b| {
+        b.iter(|| {
+            black_box(experiments::singlecore::singlecore_for(
+                ExperimentScope::Smoke,
+                comet_sim::MechanismKind::Comet,
+                &[1000],
+            ))
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_analytic_tables, bench_fig17_false_positive_rate, bench_fig10_smoke
+}
+criterion_main!(benches);

@@ -1,0 +1,125 @@
+//! Micro-benchmarks of the RowHammer tracker data structures: CoMeT's Counter
+//! Table / RAT and the baselines' trackers. These measure the per-activation
+//! bookkeeping cost that the paper's §7.3 latency analysis shows must stay
+//! under tRRD (2.5 ns on real hardware; here we only compare mechanisms).
+
+use comet_core::{Comet, CometConfig, CountMinSketch, CounterTable, RecentAggressorTable};
+use comet_dram::{DramAddr, DramGeometry, TimingParams};
+use comet_mitigations::{
+    BlockHammer, BlockHammerConfig, CountingBloomFilter, Graphene, GrapheneConfig, Hydra, HydraConfig,
+    RowHammerMitigation,
+};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn addr(row: usize) -> DramAddr {
+    DramAddr { channel: 0, rank: 0, bank_group: 0, bank: 0, row, column: 0 }
+}
+
+fn bench_cms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cms");
+    group.bench_function("increment_4x512", |b| {
+        let mut cms = CountMinSketch::new(4, 512, 0, Some(250));
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(7919);
+            black_box(cms.increment(i % 131_072, 1))
+        });
+    });
+    group.bench_function("estimate_4x512", |b| {
+        let mut cms = CountMinSketch::new(4, 512, 0, Some(250));
+        for i in 0..10_000u64 {
+            cms.increment(i % 4096, 1);
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(13);
+            black_box(cms.estimate(i % 4096))
+        });
+    });
+    group.bench_function("counter_table_record", |b| {
+        let mut ct = CounterTable::new(4, 512, 31, 0);
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(104_729);
+            black_box(ct.record_activation(i % 131_072, 1))
+        });
+    });
+    group.finish();
+}
+
+fn bench_rat_and_cbf(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rat_cbf");
+    group.bench_function("rat_lookup_128", |b| {
+        let mut rat = RecentAggressorTable::new(128, 1);
+        for row in 0..128 {
+            rat.allocate(row);
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(3);
+            black_box(rat.lookup(i % 256))
+        });
+    });
+    group.bench_function("cbf_insert_1024x4", |b| {
+        let mut cbf = CountingBloomFilter::new(1024, 4, 7);
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(7919);
+            cbf.insert(i % 131_072, 1);
+            black_box(&cbf);
+        });
+    });
+    group.finish();
+}
+
+fn bench_mechanism_activation_path(c: &mut Criterion) {
+    let geometry = DramGeometry::paper_default();
+    let timing = TimingParams::ddr4_2400();
+    let mut group = c.benchmark_group("on_activation");
+
+    let mut comet = Comet::new(CometConfig::for_threshold(125, &timing), geometry.clone());
+    group.bench_function("comet", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = i.wrapping_add(7919);
+            black_box(comet.on_activation(&addr(i % 131_072), i as u64, 1))
+        });
+    });
+
+    let mut graphene = Graphene::new(GrapheneConfig::for_threshold(125, &timing, &geometry), geometry.clone());
+    group.bench_function("graphene", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = i.wrapping_add(7919);
+            black_box(graphene.on_activation(&addr(i % 131_072), i as u64, 1))
+        });
+    });
+
+    let mut hydra = Hydra::new(HydraConfig::for_threshold(125, &timing, &geometry), geometry.clone());
+    group.bench_function("hydra", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = i.wrapping_add(7919);
+            black_box(hydra.on_activation(&addr(i % 131_072), i as u64, 1))
+        });
+    });
+
+    let mut blockhammer =
+        BlockHammer::new(BlockHammerConfig::for_threshold(125, &timing), geometry.clone(), 1);
+    group.bench_function("blockhammer", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = i.wrapping_add(7919);
+            black_box(blockhammer.on_activation(&addr(i % 131_072), i as u64, 1))
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_cms, bench_rat_and_cbf, bench_mechanism_activation_path
+}
+criterion_main!(benches);

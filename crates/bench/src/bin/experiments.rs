@@ -1,0 +1,400 @@
+//! Regenerates every table and figure of the CoMeT paper's evaluation.
+//!
+//! Usage:
+//!
+//! ```text
+//! experiments [--scope smoke|quick|full] [--out DIR] <target> [<target> ...]
+//! experiments all
+//! ```
+//!
+//! Targets: `table1 table2 table3 table4 fig3 fig4 fig6 fig7 fig8 fig9 fig10
+//! fig11 fig12 fig13 fig14 fig15 fig16 fig17 fig18 highnrh ablation all`.
+//!
+//! Each target prints a human-readable table and writes the raw series as JSON
+//! under the output directory (default `results/`).
+
+use comet_bench::parse_scope;
+use comet_sim::experiments::{self, ExperimentScope};
+use comet_sim::SimConfig;
+use serde::Serialize;
+use std::fs;
+use std::path::PathBuf;
+
+struct Args {
+    scope: ExperimentScope,
+    out: PathBuf,
+    targets: Vec<String>,
+}
+
+fn parse_args() -> Args {
+    let mut scope = ExperimentScope::Quick;
+    let mut out = PathBuf::from("results");
+    let mut targets = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scope" => {
+                let value = args.next().unwrap_or_default();
+                scope = parse_scope(&value).unwrap_or_else(|| {
+                    eprintln!("unknown scope '{value}', using quick");
+                    ExperimentScope::Quick
+                });
+            }
+            "--out" => {
+                out = PathBuf::from(args.next().unwrap_or_else(|| "results".to_string()));
+            }
+            "help" | "--help" | "-h" => {
+                println!("targets: table1 table2 table3 table4 fig3 fig4 fig6 fig7 fig8 fig9");
+                println!("         fig10 fig11 fig12 fig13 fig14 fig15 fig16 fig17 fig18");
+                println!("         highnrh ablation all");
+                std::process::exit(0);
+            }
+            other => targets.push(other.to_string()),
+        }
+    }
+    if targets.is_empty() {
+        targets.push("all".to_string());
+    }
+    Args { scope, out, targets }
+}
+
+fn save_json<T: Serialize>(out: &PathBuf, name: &str, value: &T) {
+    if fs::create_dir_all(out).is_err() {
+        return;
+    }
+    let path = out.join(format!("{name}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(json) => {
+            if let Err(e) = fs::write(&path, json) {
+                eprintln!("warning: could not write {}: {e}", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: could not serialize {name}: {e}"),
+    }
+}
+
+fn header(title: &str) {
+    println!("\n================================================================");
+    println!("{title}");
+    println!("================================================================");
+}
+
+fn table1(out: &PathBuf) {
+    header("Table 1: storage overhead of Graphene (KB) vs RowHammer threshold");
+    let rows = comet_area::table1_rows();
+    println!("{:>8} {:>14}", "NRH", "Storage (KB)");
+    for row in &rows {
+        println!("{:>8} {:>14.2}", row.nrh, row.graphene_storage_kib);
+    }
+    save_json(out, "table1", &rows);
+}
+
+fn table2(out: &PathBuf) {
+    header("Table 2: simulated system configuration");
+    let config = SimConfig::paper_full();
+    println!("Processor     : 1 or 8 cores, 3.6 GHz, 4-wide issue, 128-entry instruction window");
+    println!(
+        "DRAM          : DDR4, 1 channel, {} ranks, {} bank groups x {} banks, {} rows/bank",
+        config.dram.geometry.ranks_per_channel,
+        config.dram.geometry.bank_groups_per_rank,
+        config.dram.geometry.banks_per_bank_group,
+        config.dram.geometry.rows_per_bank
+    );
+    println!("Memory Ctrl   : 64-entry read/write queues, FR-FCFS with a column cap of 16");
+    println!(
+        "Timing        : tRC={} tRAS={} tRP={} tRCD={} tREFI={} tREFW={} (cycles @ {} ns)",
+        config.dram.timing.t_rc,
+        config.dram.timing.t_ras,
+        config.dram.timing.t_rp,
+        config.dram.timing.t_rcd,
+        config.dram.timing.t_refi,
+        config.dram.timing.t_refw,
+        config.dram.timing.t_ck_ns
+    );
+    save_json(out, "table2", &config.dram);
+}
+
+fn table3(out: &PathBuf) {
+    header("Table 3: evaluated workloads and their characteristics");
+    let workloads = comet_trace::all_workloads();
+    println!("{:<18} {:>10} {:>12} {:>10}", "Workload", "RBMPKI", "BW (MB/s)", "Class");
+    for w in &workloads {
+        println!(
+            "{:<18} {:>10.2} {:>12.0} {:>10?}",
+            w.name,
+            w.rbmpki,
+            w.bandwidth_mbps,
+            w.intensity()
+        );
+    }
+    save_json(out, "table3", &workloads);
+}
+
+fn table4(out: &PathBuf) {
+    header("Table 4: dual-rank storage and area of CoMeT vs Graphene and Hydra");
+    let rows = comet_area::table4_rows();
+    println!("{:>6} {:<12} {:>14} {:>10}", "NRH", "Mechanism", "Storage (KB)", "mm^2");
+    for row in &rows {
+        println!(
+            "{:>6} {:<12} {:>14.1} {:>10.3}",
+            row.nrh, row.report.mechanism, row.report.storage_kib, row.report.area_mm2
+        );
+        for c in &row.report.components {
+            println!("       - {:<24} {:>8.1} KB {:>8.3} mm^2", c.name, c.storage_kib, c.area_mm2);
+        }
+    }
+    save_json(out, "table4", &rows);
+}
+
+fn fig3(scope: ExperimentScope, out: &PathBuf) {
+    header("Figure 3: Hydra normalized IPC distribution vs RowHammer threshold");
+    let result = experiments::comparison::fig3_hydra_motivation(scope);
+    print_comparison(&result);
+    save_json(out, "fig3", &result);
+}
+
+fn fig4(scope: ExperimentScope, out: &PathBuf) {
+    header("Figure 4: performance / energy / area trade-off at NRH = 125");
+    let points = experiments::radar_fig4(scope);
+    println!(
+        "{:<12} {:>12} {:>12} {:>14} {:>12}",
+        "Mechanism", "Perf ovh", "Energy ovh", "CPU area mm^2", "DRAM area %"
+    );
+    for p in &points {
+        println!(
+            "{:<12} {:>11.2}% {:>11.2}% {:>14.3} {:>11.2}%",
+            p.mechanism,
+            100.0 * p.performance_overhead,
+            100.0 * p.energy_overhead,
+            p.cpu_area_mm2,
+            100.0 * p.dram_area_fraction
+        );
+    }
+    save_json(out, "fig4", &points);
+}
+
+fn print_sweep(points: &[experiments::SweepPoint]) {
+    println!(
+        "{:<32} {:>6} {:>16} {:>18}",
+        "Configuration", "NRH", "Norm. IPC (geo)", "Norm. energy (geo)"
+    );
+    for p in points {
+        println!(
+            "{:<32} {:>6} {:>16.4} {:>18.4}",
+            p.configuration, p.nrh, p.normalized_ipc_geomean, p.normalized_energy_geomean
+        );
+    }
+}
+
+fn fig6(scope: ExperimentScope, out: &PathBuf) {
+    header("Figure 6: Counter Table design sweep (NHash x NCounters)");
+    for nrh in [1000u64, 125] {
+        println!("\n-- NRH = {nrh} --");
+        let points = experiments::fig6_ct_sweep(scope, nrh);
+        print_sweep(&points);
+        save_json(out, &format!("fig6_nrh{nrh}"), &points);
+    }
+}
+
+fn fig7(scope: ExperimentScope, out: &PathBuf) {
+    header("Figure 7: Recent Aggressor Table size sweep");
+    let points = experiments::fig7_rat_sweep(scope);
+    print_sweep(&points);
+    save_json(out, "fig7", &points);
+}
+
+fn fig8(scope: ExperimentScope, out: &PathBuf) {
+    header("Figure 8: early preventive refresh (EPRT x history length) sweep, 8-core, NRH = 125");
+    let points = experiments::fig8_eprt_sweep(scope);
+    print_sweep(&points);
+    save_json(out, "fig8", &points);
+}
+
+fn fig9(scope: ExperimentScope, out: &PathBuf) {
+    header("Figure 9: counter reset period (k) sweep");
+    let points = experiments::fig9_k_sweep(scope);
+    print_sweep(&points);
+    save_json(out, "fig9", &points);
+}
+
+fn fig10_11(scope: ExperimentScope, out: &PathBuf) {
+    header("Figures 10 & 11: CoMeT single-core normalized IPC and DRAM energy");
+    let result = experiments::fig10_fig11_singlecore(scope);
+    println!("{:>6} {:>18} {:>20}", "NRH", "IPC geomean", "Energy geomean");
+    for ((nrh, ipc), (_, energy)) in result.ipc_geomean.iter().zip(&result.energy_geomean) {
+        println!("{:>6} {:>18.4} {:>20.4}", nrh, ipc, energy);
+    }
+    println!("\nPer-workload normalized IPC (worst 10 at the lowest threshold):");
+    let lowest = result.points.iter().map(|p| p.nrh).min().unwrap_or(125);
+    let mut worst: Vec<_> = result.points.iter().filter(|p| p.nrh == lowest).collect();
+    worst.sort_by(|a, b| a.normalized_ipc.total_cmp(&b.normalized_ipc));
+    for p in worst.iter().take(10) {
+        println!("  {:<18} {:>8.4}", p.workload, p.normalized_ipc);
+    }
+    save_json(out, "fig10_fig11", &result);
+}
+
+fn print_comparison(result: &experiments::ComparisonResult) {
+    println!(
+        "{:<12} {:>6} {:>10} {:>10} {:>10} {:>10} {:>12}",
+        "Mechanism", "NRH", "geomean", "min", "median", "max", "energy geo"
+    );
+    for cell in &result.cells {
+        println!(
+            "{:<12} {:>6} {:>10.4} {:>10.4} {:>10.4} {:>10.4} {:>12.4}",
+            cell.mechanism,
+            cell.nrh,
+            cell.ipc.geomean,
+            cell.ipc.min,
+            cell.ipc.median,
+            cell.ipc.max,
+            cell.energy.geomean
+        );
+    }
+}
+
+fn fig12_14(scope: ExperimentScope, out: &PathBuf) {
+    header("Figures 12 & 14: single-core comparison against state-of-the-art mitigations");
+    let result = experiments::fig12_fig14_comparison(scope);
+    print_comparison(&result);
+    save_json(out, "fig12_fig14", &result);
+}
+
+fn fig13_15(scope: ExperimentScope, out: &PathBuf) {
+    header("Figures 13 & 15: 8-core weighted speedup and DRAM energy comparison");
+    let result = experiments::fig13_fig15_multicore(scope);
+    println!(
+        "{:<12} {:>6} {:>14} {:>14} {:>14}",
+        "Mechanism", "NRH", "WS geomean", "WS min", "Energy geo"
+    );
+    for cell in &result.cells {
+        println!(
+            "{:<12} {:>6} {:>14.4} {:>14.4} {:>14.4}",
+            cell.mechanism, cell.nrh, cell.weighted_speedup.geomean, cell.weighted_speedup.min, cell.energy.geomean
+        );
+    }
+    save_json(out, "fig13_fig15", &result);
+}
+
+fn fig16(scope: ExperimentScope, out: &PathBuf) {
+    header("Figure 16: benign performance under RowHammer attacks");
+    let result = experiments::fig16_adversarial(scope);
+    println!("(a) traditional attack, NRH = 500");
+    for cell in &result.traditional {
+        println!(
+            "  {:<12} {:<34} geomean {:>8.4} min {:>8.4}",
+            cell.mechanism, cell.attack, cell.benign_ipc.geomean, cell.benign_ipc.min
+        );
+    }
+    println!("(b) targeted attacks, NRH = 125");
+    for cell in &result.targeted {
+        println!(
+            "  {:<12} {:<34} geomean {:>8.4} min {:>8.4}",
+            cell.mechanism, cell.attack, cell.benign_ipc.geomean, cell.benign_ipc.min
+        );
+    }
+    save_json(out, "fig16", &result);
+}
+
+fn fig17(out: &PathBuf) {
+    header("Figure 17: tracker false positive rate, CoMeT vs BlockHammer");
+    let points = experiments::fig17_false_positive_rate(10_000, 125, 0xF17);
+    println!("{:>12} {:>12} {:>16}", "Unique rows", "CoMeT FPR", "BlockHammer FPR");
+    for p in &points {
+        println!("{:>12} {:>12.4} {:>16.4}", p.unique_rows, p.comet_fpr, p.blockhammer_fpr);
+    }
+    save_json(out, "fig17", &points);
+}
+
+fn fig18(scope: ExperimentScope, out: &PathBuf) {
+    header("Figure 18: CoMeT vs BlockHammer normalized IPC");
+    let result = experiments::comparison::fig18_blockhammer(scope);
+    print_comparison(&result);
+    save_json(out, "fig18", &result);
+}
+
+fn highnrh(scope: ExperimentScope, out: &PathBuf) {
+    header("Section 8.4: CoMeT at high RowHammer thresholds (2000, 4000)");
+    let result = experiments::singlecore::high_threshold_singlecore(scope);
+    for (nrh, geomean) in &result.ipc_geomean {
+        println!("NRH = {nrh}: normalized IPC geomean = {geomean:.5}");
+    }
+    save_json(out, "highnrh", &result);
+}
+
+fn ablation(scope: ExperimentScope, out: &PathBuf) {
+    header("Ablation: RAT and early preventive refresh contributions at NRH = 125");
+    let points = experiments::sweeps::ablation(scope, 125);
+    print_sweep(&points);
+    save_json(out, "ablation", &points);
+}
+
+fn main() {
+    let args = parse_args();
+    let scope = args.scope;
+    println!(
+        "CoMeT reproduction experiments — scope: {:?}, workloads: {}, output: {}",
+        scope,
+        scope.workloads().len(),
+        args.out.display()
+    );
+
+    let run_all = args.targets.iter().any(|t| t == "all");
+    let wants = |name: &str| run_all || args.targets.iter().any(|t| t == name);
+
+    if wants("table1") {
+        table1(&args.out);
+    }
+    if wants("table2") {
+        table2(&args.out);
+    }
+    if wants("table3") {
+        table3(&args.out);
+    }
+    if wants("table4") {
+        table4(&args.out);
+    }
+    if wants("fig17") {
+        fig17(&args.out);
+    }
+    if wants("fig3") {
+        fig3(scope, &args.out);
+    }
+    if wants("fig4") {
+        fig4(scope, &args.out);
+    }
+    if wants("fig6") {
+        fig6(scope, &args.out);
+    }
+    if wants("fig7") {
+        fig7(scope, &args.out);
+    }
+    if wants("fig8") {
+        fig8(scope, &args.out);
+    }
+    if wants("fig9") {
+        fig9(scope, &args.out);
+    }
+    if wants("fig10") || wants("fig11") {
+        fig10_11(scope, &args.out);
+    }
+    if wants("fig12") || wants("fig14") {
+        fig12_14(scope, &args.out);
+    }
+    if wants("fig13") || wants("fig15") {
+        fig13_15(scope, &args.out);
+    }
+    if wants("fig16") {
+        fig16(scope, &args.out);
+    }
+    if wants("fig18") {
+        fig18(scope, &args.out);
+    }
+    if wants("highnrh") {
+        highnrh(scope, &args.out);
+    }
+    if wants("ablation") {
+        ablation(scope, &args.out);
+    }
+    println!("\nDone. JSON series written to {}", args.out.display());
+}

@@ -1,0 +1,47 @@
+//! # comet-bench
+//!
+//! Benchmarks and the `experiments` binary for the CoMeT reproduction.
+//!
+//! * `cargo run -p comet-bench --release --bin experiments -- all` regenerates
+//!   every table and figure of the paper's evaluation (see DESIGN.md for the
+//!   experiment index and `experiments -- help` for the individual targets).
+//! * `cargo bench -p comet-bench` runs the Criterion micro-benchmarks of the
+//!   tracker data structures, the DRAM substrate, the memory controller, and
+//!   small figure-shaped end-to-end runs.
+//!
+//! This library crate only hosts shared helpers for the binary and benches.
+
+use comet_sim::experiments::ExperimentScope;
+
+/// Parses the `--scope` argument used by the experiments binary and benches.
+pub fn parse_scope(value: &str) -> Option<ExperimentScope> {
+    match value {
+        "smoke" => Some(ExperimentScope::Smoke),
+        "quick" => Some(ExperimentScope::Quick),
+        "full" => Some(ExperimentScope::Full),
+        _ => None,
+    }
+}
+
+/// Formats a float with a fixed number of decimals for table output.
+pub fn fmt(value: f64, decimals: usize) -> String {
+    format!("{value:.decimals$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scope_parsing() {
+        assert_eq!(parse_scope("smoke"), Some(ExperimentScope::Smoke));
+        assert_eq!(parse_scope("quick"), Some(ExperimentScope::Quick));
+        assert_eq!(parse_scope("full"), Some(ExperimentScope::Full));
+        assert_eq!(parse_scope("nope"), None);
+    }
+
+    #[test]
+    fn fmt_rounds() {
+        assert_eq!(fmt(0.12345, 3), "0.123");
+    }
+}

@@ -1,0 +1,44 @@
+//! # comet
+//!
+//! Umbrella crate of the CoMeT reproduction: re-exports the public API of every
+//! sub-crate so applications can depend on a single crate.
+//!
+//! * [`core`] — the CoMeT mechanism itself (Count-Min Sketch, Counter Table,
+//!   Recent Aggressor Table, early preventive refresh).
+//! * [`dram`] — the DDR4-style DRAM substrate (geometry, timing, energy).
+//! * [`mitigations`] — the baseline mechanisms (Graphene, Hydra, PARA, REGA,
+//!   BlockHammer) and the `RowHammerMitigation` trait.
+//! * [`trace`] — the Table 3 workload catalog, synthetic trace generators, and
+//!   attack traces.
+//! * [`sim`] — the memory controller, CPU model, and experiment harness.
+//! * [`area`] — the analytic storage/area models behind Tables 1 and 4.
+//!
+//! ## Quickstart
+//!
+//! ```rust
+//! use comet::sim::{MechanismKind, Runner, SimConfig};
+//!
+//! let runner = Runner::new(SimConfig::quick_test());
+//! let baseline = runner.run_single_core("429.mcf", MechanismKind::Baseline, 1000).unwrap();
+//! let protected = runner.run_single_core("429.mcf", MechanismKind::Comet, 1000).unwrap();
+//! let slowdown = 1.0 - protected.normalized_ipc(&baseline);
+//! assert!(slowdown < 0.10, "CoMeT should cost almost nothing at NRH = 1000");
+//! ```
+
+pub use comet_area as area;
+pub use comet_core as core;
+pub use comet_dram as dram;
+pub use comet_mitigations as mitigations;
+pub use comet_sim as sim;
+pub use comet_trace as trace;
+
+/// Version of the reproduction (mirrors the workspace version).
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn version_is_exposed() {
+        assert!(!super::VERSION.is_empty());
+    }
+}

@@ -1,0 +1,143 @@
+//! The RAT miss history vector driving early preventive refreshes (§4.2).
+
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// A sliding window over the most recent RAT misses, classifying each as a
+/// *capacity miss* (an evicted aggressor row came back) or a *compulsory miss*
+/// (a new aggressor reached `NPR` for the first time).
+///
+/// When the fraction of capacity misses in the window exceeds the early
+/// preventive refresh threshold (EPRT), CoMeT refreshes the whole rank and
+/// resets all counters, because the RAT is too small to hold the working set
+/// of aggressor rows and saturated sketch counters would otherwise keep
+/// triggering unnecessary refreshes.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RatMissHistory {
+    bits: VecDeque<bool>,
+    length: usize,
+    capacity_misses: usize,
+}
+
+impl RatMissHistory {
+    /// Creates a history window of `length` RAT misses.
+    pub fn new(length: usize) -> Self {
+        RatMissHistory { bits: VecDeque::with_capacity(length), length, capacity_misses: 0 }
+    }
+
+    /// Window length in misses.
+    pub fn length(&self) -> usize {
+        self.length
+    }
+
+    /// Records a RAT miss; `capacity_miss` is true when the missing row's sketch
+    /// counters were already saturated (i.e. the row was evicted earlier).
+    pub fn record(&mut self, capacity_miss: bool) {
+        if self.length == 0 {
+            return;
+        }
+        if self.bits.len() == self.length {
+            if self.bits.pop_front() == Some(true) {
+                self.capacity_misses -= 1;
+            }
+        }
+        self.bits.push_back(capacity_miss);
+        if capacity_miss {
+            self.capacity_misses += 1;
+        }
+    }
+
+    /// Number of capacity misses currently in the window.
+    pub fn capacity_misses(&self) -> usize {
+        self.capacity_misses
+    }
+
+    /// Number of misses recorded in the window so far (≤ length).
+    pub fn recorded(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Whether the capacity-miss count exceeds `eprt_percent`% of the window length.
+    ///
+    /// `eprt_percent = 0` reproduces the paper's "0 %" configuration where any
+    /// capacity miss triggers an early preventive refresh.
+    pub fn exceeds_threshold(&self, eprt_percent: u32) -> bool {
+        let threshold = (self.length as u64 * eprt_percent as u64) / 100;
+        self.capacity_misses as u64 > threshold
+    }
+
+    /// Clears the window (after an early preventive refresh or periodic reset).
+    pub fn clear(&mut self) {
+        self.bits.clear();
+        self.capacity_misses = 0;
+    }
+
+    /// Storage in bits (one bit per tracked miss).
+    pub fn storage_bits(&self) -> u64 {
+        self.length as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_capacity_misses_in_window() {
+        let mut h = RatMissHistory::new(4);
+        h.record(true);
+        h.record(false);
+        h.record(true);
+        assert_eq!(h.capacity_misses(), 2);
+        assert_eq!(h.recorded(), 3);
+    }
+
+    #[test]
+    fn old_misses_age_out() {
+        let mut h = RatMissHistory::new(2);
+        h.record(true);
+        h.record(true);
+        h.record(false);
+        h.record(false);
+        assert_eq!(h.capacity_misses(), 0);
+        assert_eq!(h.recorded(), 2);
+    }
+
+    #[test]
+    fn threshold_percentages() {
+        let mut h = RatMissHistory::new(100);
+        for _ in 0..26 {
+            h.record(true);
+        }
+        for _ in 0..74 {
+            h.record(false);
+        }
+        assert!(h.exceeds_threshold(25));
+        assert!(!h.exceeds_threshold(26));
+        assert!(!h.exceeds_threshold(50));
+    }
+
+    #[test]
+    fn zero_percent_triggers_on_any_capacity_miss() {
+        let mut h = RatMissHistory::new(256);
+        assert!(!h.exceeds_threshold(0));
+        h.record(false);
+        assert!(!h.exceeds_threshold(0));
+        h.record(true);
+        assert!(h.exceeds_threshold(0));
+    }
+
+    #[test]
+    fn clear_resets_window() {
+        let mut h = RatMissHistory::new(8);
+        h.record(true);
+        h.clear();
+        assert_eq!(h.capacity_misses(), 0);
+        assert_eq!(h.recorded(), 0);
+    }
+
+    #[test]
+    fn paper_default_storage_is_256_bits() {
+        assert_eq!(RatMissHistory::new(256).storage_bits(), 256);
+    }
+}

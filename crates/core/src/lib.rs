@@ -1,0 +1,64 @@
+//! # comet-core
+//!
+//! CoMeT: Count-Min-Sketch-based DRAM row activation tracking to mitigate
+//! RowHammer at low cost (Bostancı et al., HPCA 2024).
+//!
+//! CoMeT tracks DRAM row activations with two cooperating structures per bank:
+//!
+//! * the **Counter Table** ([`CounterTable`]) — a [Count-Min Sketch](CountMinSketch)
+//!   with conservative updates whose hash-based, tag-less counters track *all*
+//!   rows of the bank at a small storage cost and never underestimate a row's
+//!   activation count, and
+//! * the **Recent Aggressor Table** ([`RecentAggressorTable`]) — a small set of
+//!   tagged per-row counters allocated only to rows that already triggered a
+//!   preventive refresh, so that their saturated sketch counters do not cause
+//!   repeated unnecessary refreshes.
+//!
+//! A row whose estimated activation count reaches the preventive refresh
+//! threshold `NPR = NRH / (k + 1)` has its two neighbouring (victim) rows
+//! preventively refreshed. When the Recent Aggressor Table thrashes, CoMeT
+//! falls back to an *early preventive refresh* of the whole rank, which lets it
+//! safely reset all counters (§4.2 of the paper). All counters are also reset
+//! periodically every `tREFW / k` (§4.3).
+//!
+//! The [`Comet`] type implements the
+//! [`RowHammerMitigation`](comet_mitigations::RowHammerMitigation) trait and
+//! plugs into the memory controller of `comet-sim` exactly like the baseline
+//! mechanisms.
+//!
+//! ## Example
+//!
+//! ```rust
+//! use comet_core::{Comet, CometConfig};
+//! use comet_mitigations::RowHammerMitigation;
+//! use comet_dram::{DramAddr, DramGeometry, TimingParams};
+//!
+//! let geometry = DramGeometry::paper_default();
+//! let timing = TimingParams::ddr4_2400();
+//! let config = CometConfig::for_threshold(125, &timing);
+//! let mut comet = Comet::new(config, geometry);
+//!
+//! let aggressor = DramAddr { channel: 0, rank: 0, bank_group: 0, bank: 0, row: 1000, column: 0 };
+//! let mut refreshed = false;
+//! for cycle in 0..200u64 {
+//!     let response = comet.on_activation(&aggressor, cycle * 55, 1);
+//!     refreshed |= !response.refresh_victims.is_empty();
+//! }
+//! assert!(refreshed, "a hammered row's victims must be preventively refreshed");
+//! ```
+
+pub mod cms;
+pub mod comet;
+pub mod config;
+pub mod counter_table;
+pub mod hash;
+pub mod history;
+pub mod rat;
+
+pub use cms::CountMinSketch;
+pub use comet::Comet;
+pub use config::CometConfig;
+pub use counter_table::CounterTable;
+pub use hash::HashFamily;
+pub use history::RatMissHistory;
+pub use rat::RecentAggressorTable;

@@ -1,0 +1,209 @@
+//! The Recent Aggressor Table (RAT): tagged per-row counters for recent aggressors.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A small, fully associative table of per-row counters allocated only to rows
+/// that recently triggered a preventive refresh (§4 of the paper).
+///
+/// After a row's victims are refreshed, its Count-Min-Sketch counters stay
+/// saturated at `NPR` (they are shared and cannot be lowered safely). The RAT
+/// gives exactly these rows a private counter starting from zero so they are
+/// not refreshed again on every subsequent activation. When the table is full,
+/// a random entry is evicted; evicted rows simply fall back to their saturated
+/// sketch counters, which is safe (over-estimation) but may cause unnecessary
+/// refreshes — the early-preventive-refresh mechanism watches for that.
+#[derive(Debug, Clone)]
+pub struct RecentAggressorTable {
+    entries: Vec<RatEntry>,
+    capacity: usize,
+    rng: SmallRng,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct RatEntry {
+    row: u64,
+    count: u64,
+}
+
+/// Outcome of a RAT allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RatAllocation {
+    /// The row already had an entry; its counter was reset to zero.
+    Reset,
+    /// A free slot was used.
+    Inserted,
+    /// A random victim was evicted to make room.
+    Evicted {
+        /// The row that lost its entry.
+        victim_row: u64,
+    },
+}
+
+impl RecentAggressorTable {
+    /// Creates a RAT with room for `capacity` aggressor rows.
+    pub fn new(capacity: usize, seed: u64) -> Self {
+        RecentAggressorTable {
+            entries: Vec::with_capacity(capacity.min(1024)),
+            capacity,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Maximum number of entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of valid entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table currently holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether the table is at capacity.
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+
+    /// Looks up `row`, returning its private activation count if present.
+    pub fn lookup(&self, row: u64) -> Option<u64> {
+        self.entries.iter().find(|e| e.row == row).map(|e| e.count)
+    }
+
+    /// Increments `row`'s counter by `weight`, returning the new value, or
+    /// `None` if the row has no entry.
+    pub fn increment(&mut self, row: u64, weight: u64) -> Option<u64> {
+        self.entries.iter_mut().find(|e| e.row == row).map(|e| {
+            e.count += weight;
+            e.count
+        })
+    }
+
+    /// Resets `row`'s counter to zero if present (after its victims were refreshed).
+    pub fn reset_entry(&mut self, row: u64) -> bool {
+        match self.entries.iter_mut().find(|e| e.row == row) {
+            Some(e) => {
+                e.count = 0;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Allocates an entry (count = 0) for `row`, evicting a random victim if full.
+    pub fn allocate(&mut self, row: u64) -> RatAllocation {
+        if self.reset_entry(row) {
+            return RatAllocation::Reset;
+        }
+        if self.capacity == 0 {
+            // Degenerate configuration (ablation): nothing can ever be stored.
+            return RatAllocation::Evicted { victim_row: row };
+        }
+        if self.entries.len() < self.capacity {
+            self.entries.push(RatEntry { row, count: 0 });
+            return RatAllocation::Inserted;
+        }
+        let victim_index = self.rng.gen_range(0..self.entries.len());
+        let victim_row = self.entries[victim_index].row;
+        self.entries[victim_index] = RatEntry { row, count: 0 };
+        RatAllocation::Evicted { victim_row }
+    }
+
+    /// Clears every entry (periodic reset / early preventive refresh).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Storage in bits: each entry holds a row tag and a counter wide enough for `npr`.
+    pub fn storage_bits(&self, tag_bits: u32, npr: u64) -> u64 {
+        let counter_bits = 64 - npr.leading_zeros().min(63);
+        self.capacity as u64 * (tag_bits as u64 + counter_bits as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_miss_then_hit() {
+        let mut rat = RecentAggressorTable::new(4, 1);
+        assert_eq!(rat.lookup(10), None);
+        assert_eq!(rat.allocate(10), RatAllocation::Inserted);
+        assert_eq!(rat.lookup(10), Some(0));
+        assert_eq!(rat.increment(10, 1), Some(1));
+        assert_eq!(rat.increment(10, 2), Some(3));
+        assert_eq!(rat.lookup(10), Some(3));
+    }
+
+    #[test]
+    fn allocate_existing_resets_counter() {
+        let mut rat = RecentAggressorTable::new(4, 1);
+        rat.allocate(10);
+        rat.increment(10, 5);
+        assert_eq!(rat.allocate(10), RatAllocation::Reset);
+        assert_eq!(rat.lookup(10), Some(0));
+        assert_eq!(rat.len(), 1);
+    }
+
+    #[test]
+    fn eviction_when_full_is_random_but_valid() {
+        let mut rat = RecentAggressorTable::new(8, 99);
+        for row in 0..8 {
+            assert_eq!(rat.allocate(row), RatAllocation::Inserted);
+        }
+        assert!(rat.is_full());
+        match rat.allocate(100) {
+            RatAllocation::Evicted { victim_row } => assert!(victim_row < 8),
+            other => panic!("expected eviction, got {other:?}"),
+        }
+        assert_eq!(rat.len(), 8);
+        assert_eq!(rat.lookup(100), Some(0));
+    }
+
+    #[test]
+    fn increment_missing_row_returns_none() {
+        let mut rat = RecentAggressorTable::new(4, 1);
+        assert_eq!(rat.increment(77, 1), None);
+    }
+
+    #[test]
+    fn clear_empties_table() {
+        let mut rat = RecentAggressorTable::new(4, 1);
+        rat.allocate(1);
+        rat.allocate(2);
+        rat.clear();
+        assert!(rat.is_empty());
+        assert_eq!(rat.lookup(1), None);
+    }
+
+    #[test]
+    fn zero_capacity_always_evicts() {
+        let mut rat = RecentAggressorTable::new(0, 1);
+        assert!(matches!(rat.allocate(5), RatAllocation::Evicted { .. }));
+        assert_eq!(rat.lookup(5), None);
+    }
+
+    #[test]
+    fn storage_matches_paper_scale() {
+        // 128 entries × (17-bit tag + 8-bit counter) ≈ 400 bytes per bank;
+        // 32 banks ≈ 12.5 KiB — the RAT (CAM) row of Table 4.
+        let rat = RecentAggressorTable::new(128, 0);
+        let bits = rat.storage_bits(17, 250);
+        assert_eq!(bits, 128 * (17 + 8));
+    }
+
+    #[test]
+    fn deterministic_evictions_for_same_seed() {
+        let mut a = RecentAggressorTable::new(4, 7);
+        let mut b = RecentAggressorTable::new(4, 7);
+        for row in 0..100 {
+            assert_eq!(a.allocate(row), b.allocate(row));
+        }
+    }
+}

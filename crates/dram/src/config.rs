@@ -1,0 +1,98 @@
+//! Bundled DRAM configuration: geometry + timing + energy parameters.
+
+use crate::energy::EnergyModel;
+use crate::geometry::DramGeometry;
+use crate::timing::TimingParams;
+use serde::{Deserialize, Serialize};
+
+/// Complete description of the simulated DRAM devices.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DramConfig {
+    /// Organization (channels, ranks, banks, rows, columns).
+    pub geometry: DramGeometry,
+    /// JEDEC timing parameters.
+    pub timing: TimingParams,
+    /// IDD-based energy parameters.
+    pub energy: EnergyModel,
+}
+
+impl DramConfig {
+    /// The DDR4 configuration simulated in the CoMeT paper (Table 2):
+    /// 1 channel, 2 ranks, 4 bank groups × 4 banks, 128 K rows per bank,
+    /// DDR4-2400 timing with a 64 ms refresh window.
+    pub fn ddr4_paper_default() -> Self {
+        DramConfig {
+            geometry: DramGeometry::paper_default(),
+            timing: TimingParams::ddr4_2400(),
+            energy: EnergyModel::ddr4_4gb_x8(),
+        }
+    }
+
+    /// A small configuration for fast unit tests.
+    pub fn tiny() -> Self {
+        DramConfig {
+            geometry: DramGeometry::tiny(),
+            timing: TimingParams::ddr4_2400(),
+            energy: EnergyModel::ddr4_4gb_x8(),
+        }
+    }
+
+    /// The paper configuration with the refresh window (and interval) divided by
+    /// `divisor` — used by the quick experiment presets so short simulations
+    /// cover multiple tracker reset periods. See
+    /// [`TimingParams::with_refresh_window_divisor`].
+    pub fn ddr4_scaled_refresh(divisor: u64) -> Self {
+        let mut c = Self::ddr4_paper_default();
+        c.timing = c.timing.with_refresh_window_divisor(divisor);
+        c
+    }
+
+    /// Validates the configuration, returning human-readable problems (empty = OK).
+    pub fn validate(&self) -> Vec<String> {
+        let mut problems = self.timing.consistency_violations();
+        if self.geometry.channels == 0 || self.geometry.ranks_per_channel == 0 {
+            problems.push("geometry must have at least one channel and rank".to_string());
+        }
+        if self.geometry.rows_per_bank < 2 {
+            problems.push("geometry must have at least two rows per bank".to_string());
+        }
+        problems
+    }
+}
+
+impl Default for DramConfig {
+    fn default() -> Self {
+        Self::ddr4_paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_is_valid() {
+        assert!(DramConfig::ddr4_paper_default().validate().is_empty());
+    }
+
+    #[test]
+    fn tiny_is_valid() {
+        assert!(DramConfig::tiny().validate().is_empty());
+    }
+
+    #[test]
+    fn scaled_refresh_divides_window() {
+        let base = DramConfig::ddr4_paper_default();
+        let scaled = DramConfig::ddr4_scaled_refresh(8);
+        assert_eq!(scaled.timing.t_refw, base.timing.t_refw / 8);
+        assert!(scaled.validate().is_empty());
+    }
+
+    #[test]
+    fn clone_and_equality_behave() {
+        let c = DramConfig::ddr4_paper_default();
+        let d = c.clone();
+        assert_eq!(c, d);
+        assert_ne!(c, DramConfig::tiny());
+    }
+}

@@ -1,0 +1,87 @@
+//! Error type for DRAM command-protocol violations.
+
+use crate::command::CommandKind;
+use crate::timing::Cycle;
+use std::fmt;
+
+/// Errors returned when the memory controller violates the DRAM protocol.
+///
+/// The simulator treats these as hard bugs: a correctly written scheduler first
+/// queries [`crate::DramChannel::earliest_issue`] and never issues a command
+/// early or against an illegal bank state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DramError {
+    /// The command was issued before the earliest legal cycle.
+    TimingViolation {
+        /// Offending command.
+        cmd: CommandKind,
+        /// Cycle at which the command was issued.
+        now: Cycle,
+        /// Earliest cycle at which it would have been legal.
+        earliest: Cycle,
+    },
+    /// The command is illegal in the bank's current state
+    /// (e.g. `RD` to a closed bank, `ACT` to an already-open bank).
+    IllegalState {
+        /// Offending command.
+        cmd: CommandKind,
+        /// Human-readable description of the bank/rank state.
+        state: String,
+    },
+    /// The DRAM address does not exist in the configured geometry.
+    AddressOutOfRange {
+        /// Description of the out-of-range field.
+        field: &'static str,
+        /// Value that was supplied.
+        value: u64,
+        /// Maximum legal value (exclusive).
+        limit: u64,
+    },
+}
+
+impl fmt::Display for DramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DramError::TimingViolation { cmd, now, earliest } => write!(
+                f,
+                "timing violation: {cmd:?} issued at cycle {now} but earliest legal cycle is {earliest}"
+            ),
+            DramError::IllegalState { cmd, state } => {
+                write!(f, "illegal command {cmd:?} for state {state}")
+            }
+            DramError::AddressOutOfRange { field, value, limit } => {
+                write!(f, "address field {field} = {value} out of range (limit {limit})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DramError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = DramError::TimingViolation { cmd: CommandKind::Act, now: 5, earliest: 10 };
+        let s = e.to_string();
+        assert!(s.contains("timing violation"));
+        assert!(s.contains("Act"));
+        assert!(s.contains('5'));
+        assert!(s.contains("10"));
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn assert_error<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_error::<DramError>();
+    }
+
+    #[test]
+    fn address_error_display() {
+        let e = DramError::AddressOutOfRange { field: "row", value: 200_000, limit: 131_072 };
+        assert!(e.to_string().contains("row"));
+        assert!(e.to_string().contains("131072"));
+    }
+}

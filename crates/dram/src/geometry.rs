@@ -1,0 +1,151 @@
+//! DRAM organization: channels, ranks, bank groups, banks, rows, and columns.
+
+use serde::{Deserialize, Serialize};
+
+/// Hierarchical organization of a DRAM-based main memory.
+///
+/// The default values mirror Table 2 of the CoMeT paper: a single DDR4 channel
+/// with 2 ranks, 4 bank groups of 4 banks each (16 banks per rank, 32 banks per
+/// channel) and 128 K rows per bank.
+///
+/// ```rust
+/// use comet_dram::DramGeometry;
+/// let g = DramGeometry::paper_default();
+/// assert_eq!(g.banks_per_rank(), 16);
+/// assert_eq!(g.banks_per_channel(), 32);
+/// assert_eq!(g.rows_per_bank, 128 * 1024);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DramGeometry {
+    /// Number of independent memory channels.
+    pub channels: usize,
+    /// Ranks sharing each channel.
+    pub ranks_per_channel: usize,
+    /// Bank groups per rank (DDR4: 4).
+    pub bank_groups_per_rank: usize,
+    /// Banks per bank group (DDR4: 4).
+    pub banks_per_bank_group: usize,
+    /// Rows per bank.
+    pub rows_per_bank: usize,
+    /// Cacheline-sized columns per row (a 8 KiB row holds 128 64-byte lines).
+    pub columns_per_row: usize,
+    /// Bytes transferred per column access (one cache line).
+    pub bytes_per_column: usize,
+    /// Number of DRAM devices (chips) operating in lock-step per rank.
+    pub devices_per_rank: usize,
+}
+
+impl DramGeometry {
+    /// Geometry used throughout the CoMeT paper's evaluation (Table 2).
+    pub fn paper_default() -> Self {
+        DramGeometry {
+            channels: 1,
+            ranks_per_channel: 2,
+            bank_groups_per_rank: 4,
+            banks_per_bank_group: 4,
+            rows_per_bank: 128 * 1024,
+            columns_per_row: 128,
+            bytes_per_column: 64,
+            devices_per_rank: 8,
+        }
+    }
+
+    /// A deliberately tiny geometry for unit tests and doc examples, small
+    /// enough that exhaustive row sweeps stay fast.
+    pub fn tiny() -> Self {
+        DramGeometry {
+            channels: 1,
+            ranks_per_channel: 1,
+            bank_groups_per_rank: 2,
+            banks_per_bank_group: 2,
+            rows_per_bank: 1024,
+            columns_per_row: 32,
+            bytes_per_column: 64,
+            devices_per_rank: 8,
+        }
+    }
+
+    /// Banks in one rank.
+    pub fn banks_per_rank(&self) -> usize {
+        self.bank_groups_per_rank * self.banks_per_bank_group
+    }
+
+    /// Banks in one channel.
+    pub fn banks_per_channel(&self) -> usize {
+        self.banks_per_rank() * self.ranks_per_channel
+    }
+
+    /// Total banks across all channels.
+    pub fn total_banks(&self) -> usize {
+        self.banks_per_channel() * self.channels
+    }
+
+    /// Total rows across the whole memory system.
+    pub fn total_rows(&self) -> u64 {
+        self.total_banks() as u64 * self.rows_per_bank as u64
+    }
+
+    /// Capacity of one row in bytes.
+    pub fn row_bytes(&self) -> usize {
+        self.columns_per_row * self.bytes_per_column
+    }
+
+    /// Capacity of the whole memory system in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.total_rows() * self.row_bytes() as u64
+    }
+
+    /// Number of row-address bits needed to address a row within a bank.
+    pub fn row_bits(&self) -> u32 {
+        usize::BITS - (self.rows_per_bank - 1).leading_zeros()
+    }
+}
+
+impl Default for DramGeometry {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_matches_table2() {
+        let g = DramGeometry::paper_default();
+        assert_eq!(g.channels, 1);
+        assert_eq!(g.ranks_per_channel, 2);
+        assert_eq!(g.banks_per_rank(), 16);
+        assert_eq!(g.banks_per_channel(), 32);
+        assert_eq!(g.rows_per_bank, 131_072);
+    }
+
+    #[test]
+    fn capacity_is_consistent() {
+        let g = DramGeometry::paper_default();
+        // 32 banks * 128K rows * 8KiB rows = 32 GiB channel.
+        assert_eq!(g.row_bytes(), 8192);
+        assert_eq!(g.capacity_bytes(), 32 * 1024 * 1024 * 1024);
+    }
+
+    #[test]
+    fn row_bits_counts_address_width() {
+        let g = DramGeometry::paper_default();
+        assert_eq!(g.row_bits(), 17);
+        let t = DramGeometry::tiny();
+        assert_eq!(t.row_bits(), 10);
+    }
+
+    #[test]
+    fn tiny_geometry_is_small() {
+        let t = DramGeometry::tiny();
+        assert!(t.total_rows() < 10_000);
+        assert_eq!(t.total_banks(), 4);
+    }
+
+    #[test]
+    fn default_is_paper_default() {
+        assert_eq!(DramGeometry::default(), DramGeometry::paper_default());
+    }
+}

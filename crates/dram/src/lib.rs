@@ -1,0 +1,63 @@
+//! # comet-dram
+//!
+//! DDR4/DDR5-style DRAM substrate for the CoMeT RowHammer-mitigation reproduction.
+//!
+//! This crate models the pieces of a DRAM-based main memory that matter for
+//! evaluating RowHammer mitigation mechanisms:
+//!
+//! * the hierarchical organization (channel → rank → bank group → bank → row),
+//! * the command-level state machines of banks and ranks together with the JEDEC
+//!   timing constraints that govern when `ACT`, `PRE`, `RD`, `WR`, and `REF`
+//!   commands may be issued,
+//! * periodic refresh bookkeeping (`tREFI` / `tREFW`),
+//! * an IDD-based DRAM energy model in the spirit of DRAMPower, and
+//! * physical-address ⇄ DRAM-address mapping.
+//!
+//! The crate is a *substrate*: it knows nothing about RowHammer mitigations.
+//! The memory controller in `comet-sim` drives it and the mitigation mechanisms
+//! in `comet-core` / `comet-mitigations` observe the activation stream.
+//!
+//! ## Example
+//!
+//! ```rust
+//! use comet_dram::{DramConfig, DramChannel, CommandKind, DramAddr};
+//!
+//! let config = DramConfig::ddr4_paper_default();
+//! let mut channel = DramChannel::new(config.clone());
+//! let addr = DramAddr { channel: 0, rank: 0, bank_group: 1, bank: 2, row: 42, column: 3 };
+//!
+//! // Activate a row, read from it, and precharge the bank.
+//! let t0 = channel.earliest_issue(CommandKind::Act, &addr, 0);
+//! channel.issue(CommandKind::Act, &addr, t0).unwrap();
+//! let t1 = channel.earliest_issue(CommandKind::Rd, &addr, t0);
+//! channel.issue(CommandKind::Rd, &addr, t1).unwrap();
+//! let t2 = channel.earliest_issue(CommandKind::Pre, &addr, t1);
+//! channel.issue(CommandKind::Pre, &addr, t2).unwrap();
+//! assert!(t2 >= t0 + config.timing.t_ras);
+//! ```
+
+pub mod addr;
+pub mod bank;
+pub mod channel;
+pub mod command;
+pub mod config;
+pub mod energy;
+pub mod error;
+pub mod geometry;
+pub mod rank;
+pub mod refresh;
+pub mod rowpress;
+pub mod timing;
+
+pub use addr::{AddressMapper, AddressScheme, DramAddr, GlobalRowId, PhysAddr};
+pub use bank::{Bank, BankState};
+pub use channel::{ChannelStats, DramChannel};
+pub use command::{Command, CommandKind};
+pub use config::DramConfig;
+pub use energy::{EnergyBreakdown, EnergyCounters, EnergyModel};
+pub use error::DramError;
+pub use geometry::DramGeometry;
+pub use rank::Rank;
+pub use refresh::RefreshScheduler;
+pub use rowpress::RowOpenTracker;
+pub use timing::{Cycle, TimingParams};

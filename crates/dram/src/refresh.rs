@@ -1,0 +1,154 @@
+//! Periodic-refresh bookkeeping (`tREFI` / `tREFW`).
+
+use crate::timing::{Cycle, TimingParams};
+use serde::{Deserialize, Serialize};
+
+/// Tracks when each rank owes a periodic refresh command.
+///
+/// The memory controller consults [`refresh_due`](Self::refresh_due) every
+/// scheduling step and issues a `REF` command when a rank's refresh deadline
+/// arrives. JEDEC allows postponing up to 8 refresh commands; the scheduler in
+/// `comet-sim` uses a simpler "issue when due, force when 8 behind" policy that
+/// this type supports via [`pending`](Self::pending).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RefreshScheduler {
+    t_refi: Cycle,
+    /// Next refresh deadline per rank.
+    next_due: Vec<Cycle>,
+    /// Refreshes issued per rank.
+    issued: Vec<u64>,
+    /// Maximum refreshes that may be postponed before one becomes mandatory.
+    max_postponed: u64,
+}
+
+impl RefreshScheduler {
+    /// Creates a scheduler for `ranks` ranks with the refresh interval from `timing`.
+    pub fn new(ranks: usize, timing: &TimingParams) -> Self {
+        RefreshScheduler {
+            t_refi: timing.t_refi,
+            next_due: vec![timing.t_refi; ranks],
+            issued: vec![0; ranks],
+            max_postponed: 8,
+        }
+    }
+
+    /// Number of ranks managed.
+    pub fn rank_count(&self) -> usize {
+        self.next_due.len()
+    }
+
+    /// Refreshes issued to `rank` so far.
+    pub fn issued(&self, rank: usize) -> u64 {
+        self.issued[rank]
+    }
+
+    /// Returns `true` when `rank` has a refresh due at or before `now`.
+    pub fn refresh_due(&self, rank: usize, now: Cycle) -> bool {
+        now >= self.next_due[rank]
+    }
+
+    /// Number of refresh commands `rank` is currently behind by at `now`.
+    pub fn pending(&self, rank: usize, now: Cycle) -> u64 {
+        if now < self.next_due[rank] {
+            0
+        } else {
+            1 + (now - self.next_due[rank]) / self.t_refi
+        }
+    }
+
+    /// Returns `true` when `rank` has postponed so many refreshes that the next
+    /// one must be issued before any other command.
+    pub fn refresh_urgent(&self, rank: usize, now: Cycle) -> bool {
+        self.pending(rank, now) >= self.max_postponed
+    }
+
+    /// Records that a REF command was issued to `rank`, advancing its deadline.
+    pub fn note_refresh_issued(&mut self, rank: usize) {
+        self.issued[rank] += 1;
+        self.next_due[rank] += self.t_refi;
+    }
+
+    /// Cycle at which the next refresh for `rank` becomes due.
+    pub fn next_due(&self, rank: usize) -> Cycle {
+        self.next_due[rank]
+    }
+
+    /// Earliest refresh deadline across all ranks (useful for idle-time skipping).
+    pub fn earliest_due(&self) -> Cycle {
+        self.next_due.iter().copied().min().unwrap_or(Cycle::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sched() -> RefreshScheduler {
+        RefreshScheduler::new(2, &TimingParams::ddr4_2400())
+    }
+
+    #[test]
+    fn no_refresh_due_initially() {
+        let s = sched();
+        assert!(!s.refresh_due(0, 0));
+        assert!(!s.refresh_due(1, 0));
+        assert_eq!(s.pending(0, 0), 0);
+    }
+
+    #[test]
+    fn refresh_becomes_due_after_trefi() {
+        let t = TimingParams::ddr4_2400();
+        let s = sched();
+        assert!(s.refresh_due(0, t.t_refi));
+        assert_eq!(s.pending(0, t.t_refi), 1);
+    }
+
+    #[test]
+    fn issuing_advances_deadline() {
+        let t = TimingParams::ddr4_2400();
+        let mut s = sched();
+        assert!(s.refresh_due(0, t.t_refi));
+        s.note_refresh_issued(0);
+        assert!(!s.refresh_due(0, t.t_refi));
+        assert!(s.refresh_due(0, 2 * t.t_refi));
+        assert_eq!(s.issued(0), 1);
+        assert_eq!(s.issued(1), 0);
+    }
+
+    #[test]
+    fn pending_accumulates_when_postponed() {
+        let t = TimingParams::ddr4_2400();
+        let s = sched();
+        assert_eq!(s.pending(0, 4 * t.t_refi), 4);
+        assert!(!s.refresh_urgent(0, 4 * t.t_refi));
+        assert!(s.refresh_urgent(0, 8 * t.t_refi));
+    }
+
+    #[test]
+    fn full_window_requires_expected_refresh_count() {
+        let t = TimingParams::ddr4_2400();
+        let mut s = sched();
+        let mut now = 0;
+        let mut count = 0;
+        while now < t.t_refw {
+            now += t.t_refi;
+            if s.refresh_due(0, now) {
+                s.note_refresh_issued(0);
+                count += 1;
+            }
+        }
+        let expected = t.refs_per_window();
+        assert!((count as i64 - expected as i64).abs() <= 1, "count={count} expected={expected}");
+    }
+
+    #[test]
+    fn earliest_due_tracks_minimum() {
+        let t = TimingParams::ddr4_2400();
+        let mut s = sched();
+        assert_eq!(s.earliest_due(), t.t_refi);
+        s.note_refresh_issued(0);
+        assert_eq!(s.earliest_due(), t.t_refi);
+        s.note_refresh_issued(1);
+        assert_eq!(s.earliest_due(), 2 * t.t_refi);
+    }
+}

@@ -1,0 +1,310 @@
+//! Graphene: Misra-Gries-based aggressor tracking (Park et al., MICRO 2020).
+
+use crate::stats::MitigationStats;
+use crate::traits::{MitigationResponse, RowHammerMitigation};
+use comet_dram::{Cycle, DramAddr, DramGeometry, TimingParams};
+use std::collections::HashMap;
+
+/// Configuration of the Graphene tracker.
+///
+/// Graphene runs the Misra-Gries frequent-item algorithm per bank with
+/// `entries_per_bank` tagged counters and a spillover counter. A row whose
+/// counter reaches a multiple of `prevention_threshold` has its neighbours
+/// preventively refreshed. The table is reset every `reset_period` cycles.
+///
+/// `for_threshold` sizes the table the way the Graphene paper does: with a
+/// table reset period of `tREFW / reset_divisor`, at most
+/// `W = max ACTs per bank per reset period` activations can occur, so
+/// `W / prevention_threshold + 1` entries suffice to guarantee that any row
+/// activated `prevention_threshold` times is present in the table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GrapheneConfig {
+    /// RowHammer threshold the mechanism must defend against.
+    pub nrh: u64,
+    /// Counter value at which victims are preventively refreshed.
+    pub prevention_threshold: u64,
+    /// Misra-Gries entries per bank.
+    pub entries_per_bank: usize,
+    /// Tracker state is cleared every this many cycles.
+    pub reset_period: Cycle,
+    /// Row-tag width in bits (for storage accounting).
+    pub tag_bits: u32,
+}
+
+impl GrapheneConfig {
+    /// Sizes Graphene for `nrh` under `timing`, as described in the Graphene
+    /// paper and used by the CoMeT paper's comparison (§6): reset period
+    /// `tREFW/2`, prevention threshold `NRH/4`, and enough entries to cover the
+    /// worst-case activation count of one bank in a reset period.
+    pub fn for_threshold(nrh: u64, timing: &TimingParams, geometry: &DramGeometry) -> Self {
+        let reset_divisor = 2;
+        let reset_period = timing.t_refw / reset_divisor;
+        let prevention_threshold = (nrh / 4).max(1);
+        let max_acts = reset_period / timing.t_rc;
+        let entries_per_bank = (max_acts / prevention_threshold + 1) as usize;
+        GrapheneConfig {
+            nrh,
+            prevention_threshold,
+            entries_per_bank,
+            reset_period,
+            tag_bits: geometry.row_bits(),
+        }
+    }
+
+    /// Counter width needed to count up to the prevention threshold.
+    pub fn counter_bits(&self) -> u32 {
+        64 - self.prevention_threshold.leading_zeros()
+    }
+
+    /// Storage in bits for one bank's table (tags + counters + spillover counter).
+    pub fn storage_bits_per_bank(&self) -> u64 {
+        let entry_bits = (self.tag_bits + self.counter_bits()) as u64;
+        self.entries_per_bank as u64 * entry_bits + self.counter_bits() as u64
+    }
+}
+
+/// Per-bank Misra-Gries table.
+#[derive(Debug, Clone, Default)]
+struct MisraGriesTable {
+    /// Row → activation-count estimate.
+    counters: HashMap<usize, u64>,
+    /// Spillover counter: lower bound for rows not in the table.
+    spillover: u64,
+}
+
+impl MisraGriesTable {
+    /// Performs one Misra-Gries update and returns the row's updated estimate.
+    fn update(&mut self, row: usize, weight: u64, capacity: usize) -> u64 {
+        if let Some(c) = self.counters.get_mut(&row) {
+            *c += weight;
+            return *c;
+        }
+        if self.counters.len() < capacity {
+            let value = self.spillover + weight;
+            self.counters.insert(row, value);
+            return value;
+        }
+        // Table full: if some entry equals the spillover count, replace it
+        // (classic Misra-Gries with spillover); otherwise increment spillover.
+        if let Some((&victim, _)) = self.counters.iter().find(|(_, &c)| c <= self.spillover) {
+            self.counters.remove(&victim);
+            let value = self.spillover + weight;
+            self.counters.insert(row, value);
+            value
+        } else {
+            self.spillover += weight;
+            self.spillover
+        }
+    }
+
+    fn clear(&mut self) {
+        self.counters.clear();
+        self.spillover = 0;
+    }
+}
+
+/// The Graphene mechanism: one Misra-Gries table per bank.
+#[derive(Debug, Clone)]
+pub struct Graphene {
+    config: GrapheneConfig,
+    geometry: DramGeometry,
+    tables: Vec<MisraGriesTable>,
+    /// Last multiple of the prevention threshold at which each (bank, row) was refreshed.
+    refreshed_at: Vec<HashMap<usize, u64>>,
+    next_reset: Cycle,
+    stats: MitigationStats,
+}
+
+impl Graphene {
+    /// Creates Graphene protecting one channel of `geometry`.
+    pub fn new(config: GrapheneConfig, geometry: DramGeometry) -> Self {
+        let banks = geometry.banks_per_channel();
+        Graphene {
+            next_reset: config.reset_period,
+            config,
+            geometry,
+            tables: vec![MisraGriesTable::default(); banks],
+            refreshed_at: vec![HashMap::new(); banks],
+            stats: MitigationStats::default(),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &GrapheneConfig {
+        &self.config
+    }
+
+    fn maybe_reset(&mut self, now: Cycle) {
+        if now >= self.next_reset {
+            for t in &mut self.tables {
+                t.clear();
+            }
+            for m in &mut self.refreshed_at {
+                m.clear();
+            }
+            self.stats.periodic_resets += 1;
+            while self.next_reset <= now {
+                self.next_reset += self.config.reset_period;
+            }
+        }
+    }
+}
+
+impl RowHammerMitigation for Graphene {
+    fn name(&self) -> &str {
+        "Graphene"
+    }
+
+    fn on_activation(&mut self, addr: &DramAddr, now: Cycle, weight: u64) -> MitigationResponse {
+        self.maybe_reset(now);
+        self.stats.activations_observed += weight;
+        let bank = addr.channel * self.geometry.banks_per_channel() + addr.flat_bank(&self.geometry);
+        let estimate = self.tables[bank].update(addr.row, weight, self.config.entries_per_bank);
+        let threshold = self.config.prevention_threshold;
+        let level = estimate / threshold;
+        if level == 0 {
+            return MitigationResponse::none();
+        }
+        let last = self.refreshed_at[bank].entry(addr.row).or_insert(0);
+        if level > *last {
+            *last = level;
+            self.stats.aggressors_identified += 1;
+            let victims = addr.victim_rows(&self.geometry);
+            self.stats.preventive_refreshes += victims.len() as u64;
+            MitigationResponse::refresh(victims)
+        } else {
+            MitigationResponse::none()
+        }
+    }
+
+    fn on_tick(&mut self, now: Cycle) {
+        self.maybe_reset(now);
+    }
+
+    fn stats(&self) -> MitigationStats {
+        self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = MitigationStats::default();
+    }
+
+    fn storage_bits(&self) -> u64 {
+        self.config.storage_bits_per_bank() * self.geometry.banks_per_channel() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup(nrh: u64) -> Graphene {
+        let geometry = DramGeometry::paper_default();
+        let timing = TimingParams::ddr4_2400();
+        let config = GrapheneConfig::for_threshold(nrh, &timing, &geometry);
+        Graphene::new(config, geometry)
+    }
+
+    fn addr(row: usize) -> DramAddr {
+        DramAddr { channel: 0, rank: 0, bank_group: 0, bank: 0, row, column: 0 }
+    }
+
+    #[test]
+    fn config_scales_entries_with_threshold() {
+        let geometry = DramGeometry::paper_default();
+        let timing = TimingParams::ddr4_2400();
+        let c1k = GrapheneConfig::for_threshold(1000, &timing, &geometry);
+        let c125 = GrapheneConfig::for_threshold(125, &timing, &geometry);
+        assert!(c125.entries_per_bank > 6 * c1k.entries_per_bank);
+        assert!(c125.storage_bits_per_bank() > 5 * c1k.storage_bits_per_bank());
+    }
+
+    #[test]
+    fn hammered_row_triggers_refresh_at_threshold() {
+        let mut g = setup(1000);
+        let threshold = g.config().prevention_threshold;
+        let mut refreshes = 0;
+        for i in 0..threshold {
+            let r = g.on_activation(&addr(100), i, 1);
+            if !r.refresh_victims.is_empty() {
+                refreshes += 1;
+                assert_eq!(i + 1, threshold, "refresh must fire exactly at the threshold");
+            }
+        }
+        assert_eq!(refreshes, 1);
+    }
+
+    #[test]
+    fn repeated_hammering_triggers_repeated_refreshes() {
+        let mut g = setup(1000);
+        let threshold = g.config().prevention_threshold;
+        let mut refreshes = 0;
+        for i in 0..(4 * threshold) {
+            if !g.on_activation(&addr(100), i, 1).refresh_victims.is_empty() {
+                refreshes += 1;
+            }
+        }
+        assert_eq!(refreshes, 4);
+    }
+
+    #[test]
+    fn aggressor_never_reaches_nrh_without_refresh() {
+        // Security property: a row activated NRH times must have been refreshed at
+        // least once well before reaching NRH.
+        let mut g = setup(500);
+        let mut first_refresh_at = None;
+        for i in 0..500u64 {
+            if !g.on_activation(&addr(7), i, 1).refresh_victims.is_empty() && first_refresh_at.is_none() {
+                first_refresh_at = Some(i + 1);
+            }
+        }
+        let first = first_refresh_at.expect("row must be refreshed before NRH activations");
+        assert!(first <= 500 / 2, "first refresh at {first} is too late");
+    }
+
+    #[test]
+    fn distinct_rows_below_threshold_do_not_trigger() {
+        let mut g = setup(1000);
+        for row in 0..2000usize {
+            let r = g.on_activation(&addr(row), row as u64, 1);
+            assert!(r.is_nop(), "row {row} unexpectedly triggered a refresh");
+        }
+    }
+
+    #[test]
+    fn periodic_reset_clears_counts() {
+        let mut g = setup(1000);
+        let threshold = g.config().prevention_threshold;
+        let period = g.config().reset_period;
+        // Hammer just below the threshold, let the table reset, and hammer again:
+        // no refresh should occur because the count never crosses the threshold
+        // within one reset period.
+        for i in 0..threshold - 1 {
+            assert!(g.on_activation(&addr(3), i, 1).is_nop());
+        }
+        for i in 0..threshold - 1 {
+            assert!(g.on_activation(&addr(3), period + i, 1).is_nop());
+        }
+        assert!(g.stats().periodic_resets >= 1);
+    }
+
+    #[test]
+    fn storage_matches_per_bank_math() {
+        let g = setup(1000);
+        let per_bank = g.config().storage_bits_per_bank();
+        assert_eq!(g.storage_bits(), per_bank * 32);
+    }
+
+    #[test]
+    fn banks_are_tracked_independently() {
+        let mut g = setup(1000);
+        let threshold = g.config().prevention_threshold;
+        let a = DramAddr { channel: 0, rank: 0, bank_group: 0, bank: 0, row: 9, column: 0 };
+        let b = DramAddr { channel: 0, rank: 0, bank_group: 1, bank: 2, row: 9, column: 0 };
+        for i in 0..threshold - 1 {
+            assert!(g.on_activation(&a, i, 1).is_nop());
+        }
+        // The same row index in another bank has its own counter.
+        assert!(g.on_activation(&b, threshold, 1).is_nop());
+    }
+}

@@ -1,0 +1,71 @@
+//! Statistics every mitigation mechanism reports.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters accumulated by a RowHammer mitigation mechanism during a simulation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MitigationStats {
+    /// Row activations observed.
+    pub activations_observed: u64,
+    /// Victim rows preventively refreshed (each costs one ACT + PRE).
+    pub preventive_refreshes: u64,
+    /// Times a row was identified as an aggressor (reached the preventive threshold).
+    pub aggressors_identified: u64,
+    /// Rank-level early preventive refreshes performed.
+    pub early_rank_refreshes: u64,
+    /// Metadata reads issued to DRAM (Hydra's row count table).
+    pub counter_reads: u64,
+    /// Metadata writes issued to DRAM.
+    pub counter_writes: u64,
+    /// Activations delayed by throttling (BlockHammer).
+    pub throttled_activations: u64,
+    /// Total cycles of throttling delay imposed.
+    pub throttle_cycles: u64,
+    /// Periodic tracker resets performed.
+    pub periodic_resets: u64,
+}
+
+impl MitigationStats {
+    /// Preventive refreshes per observed activation — the headline overhead driver.
+    pub fn preventive_refresh_rate(&self) -> f64 {
+        if self.activations_observed == 0 {
+            0.0
+        } else {
+            self.preventive_refreshes as f64 / self.activations_observed as f64
+        }
+    }
+
+    /// DRAM metadata accesses per observed activation.
+    pub fn counter_traffic_rate(&self) -> f64 {
+        if self.activations_observed == 0 {
+            0.0
+        } else {
+            (self.counter_reads + self.counter_writes) as f64 / self.activations_observed as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_are_zero_without_activations() {
+        let s = MitigationStats::default();
+        assert_eq!(s.preventive_refresh_rate(), 0.0);
+        assert_eq!(s.counter_traffic_rate(), 0.0);
+    }
+
+    #[test]
+    fn rates_divide_by_activations() {
+        let s = MitigationStats {
+            activations_observed: 100,
+            preventive_refreshes: 10,
+            counter_reads: 4,
+            counter_writes: 6,
+            ..Default::default()
+        };
+        assert!((s.preventive_refresh_rate() - 0.1).abs() < 1e-12);
+        assert!((s.counter_traffic_rate() - 0.1).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,136 @@
+//! The interface between the memory controller and a RowHammer mitigation mechanism.
+
+use crate::stats::MitigationStats;
+use comet_dram::{Cycle, DramAddr};
+
+/// Actions a mitigation mechanism asks the memory controller to carry out in
+/// response to a row activation.
+///
+/// A response may combine several actions (e.g. Hydra may both fetch a counter
+/// from DRAM and request a preventive refresh). The controller interprets the
+/// fields as follows:
+///
+/// * `refresh_victims` — rows to preventively refresh (one ACT + PRE each),
+///   prioritized over pending demand requests (paper §7.2.2);
+/// * `refresh_rank` — perform an *early preventive refresh*: issue
+///   `tREFW / tREFI` back-to-back REF commands to the rank of the activated
+///   row and then call
+///   [`RowHammerMitigation::on_rank_refreshed`] so the mechanism can reset its
+///   counters (paper §4.2);
+/// * `counter_reads` / `counter_writes` — number of DRAM accesses the
+///   mechanism performs for its own metadata (Hydra's row-count table); the
+///   controller injects that many high-priority requests and charges their
+///   latency to the triggering activation;
+/// * `throttle_cycles` — the activation may only be re-issued after this many
+///   cycles (BlockHammer-style throttling); `0` means no throttling.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MitigationResponse {
+    /// Victim rows to preventively refresh.
+    pub refresh_victims: Vec<DramAddr>,
+    /// Refresh every row of the activated row's rank and reset the tracker.
+    pub refresh_rank: bool,
+    /// Metadata reads the mechanism performs in DRAM.
+    pub counter_reads: u32,
+    /// Metadata writes the mechanism performs in DRAM.
+    pub counter_writes: u32,
+    /// Delay before the activation may proceed (0 = proceed immediately).
+    pub throttle_cycles: Cycle,
+}
+
+impl MitigationResponse {
+    /// A response requiring no controller action.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// A response that preventively refreshes `victims`.
+    pub fn refresh(victims: Vec<DramAddr>) -> Self {
+        MitigationResponse { refresh_victims: victims, ..Default::default() }
+    }
+
+    /// Whether the response requires any controller action at all.
+    pub fn is_nop(&self) -> bool {
+        self.refresh_victims.is_empty()
+            && !self.refresh_rank
+            && self.counter_reads == 0
+            && self.counter_writes == 0
+            && self.throttle_cycles == 0
+    }
+}
+
+/// A RowHammer mitigation mechanism living in the memory controller.
+///
+/// The controller calls [`on_activation`](Self::on_activation) for every ACT
+/// command it issues and executes the returned [`MitigationResponse`].
+/// Implementations must be deterministic given their construction-time seed so
+/// experiments are reproducible.
+pub trait RowHammerMitigation {
+    /// Short, stable mechanism name used in experiment reports (e.g. `"CoMeT"`).
+    fn name(&self) -> &str;
+
+    /// Notifies the mechanism that row `addr` was activated at cycle `now`.
+    ///
+    /// `weight` is the number of equivalent activations to charge (1 for a
+    /// plain activation; more when RowPress-adjusted accounting is enabled).
+    fn on_activation(&mut self, addr: &DramAddr, now: Cycle, weight: u64) -> MitigationResponse;
+
+    /// Notifies the mechanism that a periodic REF command was issued to `rank`.
+    fn on_periodic_refresh(&mut self, _rank: usize, _now: Cycle) {}
+
+    /// Gives the mechanism an opportunity to perform time-based work
+    /// (e.g. CoMeT's periodic counter reset). Called at least once per `tREFI`.
+    fn on_tick(&mut self, _now: Cycle) {}
+
+    /// Notifies the mechanism that the controller finished refreshing every row
+    /// of `rank` (in response to `refresh_rank`), so saturated state can be reset.
+    fn on_rank_refreshed(&mut self, _rank: usize, _now: Cycle) {}
+
+    /// Extra cycles of bank busy time added to *every* activation by the
+    /// mechanism (REGA's refresh-generating activations). `0` for most mechanisms.
+    fn act_latency_penalty(&self) -> Cycle {
+        0
+    }
+
+    /// Statistics accumulated since construction (or the last [`Self::reset_stats`]).
+    fn stats(&self) -> MitigationStats;
+
+    /// Clears the statistics (e.g. after the warmup phase of a simulation).
+    fn reset_stats(&mut self);
+
+    /// Processor-side storage the mechanism requires, in bits, for the whole
+    /// channel it protects. Used for cross-checking the analytic area model.
+    fn storage_bits(&self) -> u64;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_response_is_nop() {
+        assert!(MitigationResponse::none().is_nop());
+        assert!(MitigationResponse::default().is_nop());
+    }
+
+    #[test]
+    fn refresh_response_is_not_nop() {
+        let addr = DramAddr { channel: 0, rank: 0, bank_group: 0, bank: 0, row: 5, column: 0 };
+        let r = MitigationResponse::refresh(vec![addr]);
+        assert!(!r.is_nop());
+        assert_eq!(r.refresh_victims.len(), 1);
+    }
+
+    #[test]
+    fn throttle_only_response_is_not_nop() {
+        let r = MitigationResponse { throttle_cycles: 10, ..Default::default() };
+        assert!(!r.is_nop());
+    }
+
+    #[test]
+    fn counter_traffic_response_is_not_nop() {
+        let r = MitigationResponse { counter_reads: 1, ..Default::default() };
+        assert!(!r.is_nop());
+        let w = MitigationResponse { counter_writes: 1, ..Default::default() };
+        assert!(!w.is_nop());
+    }
+}

@@ -1,0 +1,122 @@
+//! Figure 16: performance of benign workloads running concurrently with
+//! RowHammer attacks (a traditional attack and mechanism-targeted attacks).
+
+use super::ExperimentScope;
+use crate::metrics::{normalized_distribution, DistributionSummary};
+use crate::runner::{MechanismKind, Runner};
+use comet_trace::AttackKind;
+use serde::{Deserialize, Serialize};
+
+/// Benign-core performance under attack for one mechanism.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AdversarialCell {
+    /// Mechanism name.
+    pub mechanism: String,
+    /// Attack description.
+    pub attack: String,
+    /// Normalized benign-core IPC distribution across workloads.
+    pub benign_ipc: DistributionSummary,
+}
+
+/// The Figure 16 dataset.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AdversarialResult {
+    /// Part (a): traditional RowHammer attack at NRH = 500.
+    pub traditional: Vec<AdversarialCell>,
+    /// Part (b): attacks targeting CoMeT's RAT and Hydra's group counters at NRH = 125.
+    pub targeted: Vec<AdversarialCell>,
+}
+
+fn attack_label(kind: AttackKind) -> String {
+    match kind {
+        AttackKind::Traditional { rows_per_bank } => format!("traditional({rows_per_bank} rows/bank)"),
+        AttackKind::CometTargeted { rows_per_bank } => format!("comet-targeted({rows_per_bank} rows/bank)"),
+        AttackKind::HydraTargeted { groups_per_bank, .. } => {
+            format!("hydra-targeted({groups_per_bank} groups/bank)")
+        }
+    }
+}
+
+fn run_attack_cell(
+    runner: &Runner,
+    workloads: &[String],
+    mechanism: MechanismKind,
+    attack: AttackKind,
+    nrh: u64,
+) -> AdversarialCell {
+    let mut values = Vec::new();
+    for workload in workloads {
+        // The baseline is the same benign workload plus the same attacker on an
+        // unprotected system, so the normalization isolates the mitigation's cost
+        // (matching the paper, which normalizes to the no-mitigation system).
+        let baseline = runner
+            .run_with_attacker(workload, attack, MechanismKind::Baseline, nrh)
+            .expect("catalog workload");
+        let run = runner.run_with_attacker(workload, attack, mechanism, nrh).expect("catalog workload");
+        let benign_norm = if baseline.per_core_ipc[0] > 0.0 {
+            run.per_core_ipc[0] / baseline.per_core_ipc[0]
+        } else {
+            1.0
+        };
+        values.push(benign_norm);
+    }
+    AdversarialCell {
+        mechanism: mechanism.name().to_string(),
+        attack: attack_label(attack),
+        benign_ipc: normalized_distribution(&values),
+    }
+}
+
+/// Figure 16: (a) benign workloads + a traditional attack under every mechanism
+/// at NRH = 500; (b) benign workloads + mechanism-targeted attacks for CoMeT and
+/// Hydra at NRH = 125.
+pub fn fig16_adversarial(scope: ExperimentScope) -> AdversarialResult {
+    let runner = Runner::new(scope.sim_config());
+    // Attack studies focus on medium/high intensity benign workloads.
+    let workloads: Vec<String> = scope.workloads().into_iter().take(scope.mix_count().max(4)).collect();
+
+    let traditional_attack = AttackKind::Traditional { rows_per_bank: 8 };
+    let mechanisms: Vec<MechanismKind> = match scope {
+        ExperimentScope::Smoke => vec![MechanismKind::Comet, MechanismKind::Hydra],
+        _ => MechanismKind::comparison_set(),
+    };
+    let traditional = mechanisms
+        .iter()
+        .map(|&m| run_attack_cell(&runner, &workloads, m, traditional_attack, 500))
+        .collect();
+
+    let targeted = vec![
+        run_attack_cell(
+            &runner,
+            &workloads,
+            MechanismKind::Comet,
+            AttackKind::CometTargeted { rows_per_bank: 512 },
+            125,
+        ),
+        run_attack_cell(
+            &runner,
+            &workloads,
+            MechanismKind::Hydra,
+            AttackKind::HydraTargeted { groups_per_bank: 64, rows_per_group: 128 },
+            125,
+        ),
+    ];
+
+    AdversarialResult { traditional, targeted }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_adversarial_produces_cells() {
+        let result = fig16_adversarial(ExperimentScope::Smoke);
+        assert_eq!(result.traditional.len(), 2);
+        assert_eq!(result.targeted.len(), 2);
+        for cell in result.traditional.iter().chain(&result.targeted) {
+            assert!(cell.benign_ipc.geomean > 0.1, "{cell:?}");
+            assert!(cell.benign_ipc.geomean <= 1.2, "{cell:?}");
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! Figures 12 and 14 (single-core comparison against the state of the art),
+//! Figure 3 (Hydra's overhead), Figure 4 (the trade-off radar plot), and
+//! Figure 18 (CoMeT vs BlockHammer).
+
+use super::ExperimentScope;
+use crate::metrics::{normalized_distribution, DistributionSummary};
+use crate::runner::{MechanismKind, Runner};
+use serde::{Deserialize, Serialize};
+
+/// Distribution of normalized IPC and energy for one mechanism at one threshold.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ComparisonCell {
+    /// Mechanism name.
+    pub mechanism: String,
+    /// RowHammer threshold.
+    pub nrh: u64,
+    /// Normalized IPC distribution across workloads.
+    pub ipc: DistributionSummary,
+    /// Normalized DRAM energy distribution across workloads.
+    pub energy: DistributionSummary,
+    /// Per-workload normalized IPC (workload, value).
+    pub per_workload_ipc: Vec<(String, f64)>,
+}
+
+/// The Figure 12/14 dataset: one cell per (mechanism, threshold).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ComparisonResult {
+    /// All cells.
+    pub cells: Vec<ComparisonCell>,
+}
+
+impl ComparisonResult {
+    /// Looks up the cell for `mechanism` at `nrh`.
+    pub fn cell(&self, mechanism: &str, nrh: u64) -> Option<&ComparisonCell> {
+        self.cells.iter().find(|c| c.mechanism == mechanism && c.nrh == nrh)
+    }
+}
+
+/// Runs the comparison for an arbitrary mechanism set (Figure 12/14 uses
+/// [`MechanismKind::comparison_set`], Figure 18 uses CoMeT vs BlockHammer,
+/// Figure 3 uses Hydra alone).
+pub fn comparison_for(
+    scope: ExperimentScope,
+    mechanisms: &[MechanismKind],
+    thresholds: &[u64],
+) -> ComparisonResult {
+    let runner = Runner::new(scope.sim_config());
+    let workloads = scope.workloads();
+    let mut cells = Vec::new();
+    for &nrh in thresholds {
+        // Baselines are shared across mechanisms for a threshold.
+        let baselines: Vec<_> = workloads
+            .iter()
+            .map(|w| runner.run_single_core(w, MechanismKind::Baseline, nrh).expect("catalog workload"))
+            .collect();
+        for &mechanism in mechanisms {
+            let mut norm_ipc = Vec::new();
+            let mut norm_energy = Vec::new();
+            let mut per_workload = Vec::new();
+            for (workload, baseline) in workloads.iter().zip(&baselines) {
+                let run = runner.run_single_core(workload, mechanism, nrh).expect("catalog workload");
+                let ipc = run.normalized_ipc(baseline);
+                norm_ipc.push(ipc);
+                norm_energy.push(run.normalized_energy(baseline));
+                per_workload.push((workload.clone(), ipc));
+            }
+            cells.push(ComparisonCell {
+                mechanism: mechanism.name().to_string(),
+                nrh,
+                ipc: normalized_distribution(&norm_ipc),
+                energy: normalized_distribution(&norm_energy),
+                per_workload_ipc: per_workload,
+            });
+        }
+    }
+    ComparisonResult { cells }
+}
+
+/// Figures 12 and 14: Graphene, CoMeT, Hydra, REGA, and PARA across thresholds.
+pub fn fig12_fig14_comparison(scope: ExperimentScope) -> ComparisonResult {
+    comparison_for(scope, &MechanismKind::comparison_set(), &scope.thresholds())
+}
+
+/// Figure 3: Hydra's normalized IPC distribution across thresholds.
+pub fn fig3_hydra_motivation(scope: ExperimentScope) -> ComparisonResult {
+    comparison_for(scope, &[MechanismKind::Hydra], &scope.thresholds())
+}
+
+/// Figure 18: CoMeT versus BlockHammer.
+pub fn fig18_blockhammer(scope: ExperimentScope) -> ComparisonResult {
+    comparison_for(scope, &[MechanismKind::Comet, MechanismKind::BlockHammer], &scope.thresholds())
+}
+
+/// One mechanism's position in the Figure 4 radar plot at NRH = 125.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RadarPoint {
+    /// Mechanism name.
+    pub mechanism: String,
+    /// Average performance overhead (1 − geomean normalized IPC).
+    pub performance_overhead: f64,
+    /// Average DRAM energy overhead (geomean normalized energy − 1).
+    pub energy_overhead: f64,
+    /// Processor-side chip area in mm².
+    pub cpu_area_mm2: f64,
+    /// DRAM area overhead fraction.
+    pub dram_area_fraction: f64,
+}
+
+/// Figure 4: the four-axis trade-off at NRH = 125 for all five mechanisms and CoMeT.
+pub fn radar_fig4(scope: ExperimentScope) -> Vec<RadarPoint> {
+    let nrh = 125;
+    let comparison = comparison_for(scope, &MechanismKind::comparison_set(), &[nrh]);
+    MechanismKind::comparison_set()
+        .iter()
+        .map(|&kind| {
+            let cell = comparison.cell(kind.name(), nrh).expect("cell exists");
+            let area = match kind {
+                MechanismKind::Comet => comet_area::comet_report(nrh),
+                MechanismKind::Graphene => comet_area::graphene_report(nrh),
+                MechanismKind::Hydra => comet_area::hydra_report(nrh),
+                MechanismKind::Rega => comet_area::rega_report(nrh),
+                MechanismKind::Para => comet_area::para_report(nrh),
+                _ => comet_area::para_report(nrh),
+            };
+            RadarPoint {
+                mechanism: kind.name().to_string(),
+                performance_overhead: 1.0 - cell.ipc.geomean,
+                energy_overhead: cell.energy.geomean - 1.0,
+                cpu_area_mm2: area.area_mm2,
+                dram_area_fraction: area.dram_area_fraction,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_comparison_orders_mechanisms_sensibly_at_low_threshold() {
+        let result = comparison_for(
+            ExperimentScope::Smoke,
+            &[MechanismKind::Comet, MechanismKind::Para],
+            &[125],
+        );
+        let comet = result.cell("CoMeT", 125).unwrap();
+        let para = result.cell("PARA", 125).unwrap();
+        // PARA's 24 % refresh probability at NRH=125 must cost more than CoMeT.
+        assert!(
+            comet.ipc.geomean >= para.ipc.geomean,
+            "CoMeT {} should outperform PARA {}",
+            comet.ipc.geomean,
+            para.ipc.geomean
+        );
+        assert!(comet.ipc.geomean > 0.7);
+    }
+}

@@ -1,0 +1,107 @@
+//! Experiment harness: one module per group of tables/figures from the paper.
+//!
+//! Every experiment function returns a serializable data structure holding the
+//! rows/series of the corresponding table or figure; the `experiments` binary
+//! in `comet-bench` prints them as text tables and JSON. See DESIGN.md for the
+//! experiment index and EXPERIMENTS.md for paper-vs-measured numbers.
+
+pub mod adversarial;
+pub mod comparison;
+pub mod fpr;
+pub mod multicore;
+pub mod singlecore;
+pub mod sweeps;
+
+pub use adversarial::{fig16_adversarial, AdversarialResult};
+pub use comparison::{fig12_fig14_comparison, radar_fig4, ComparisonResult, RadarPoint};
+pub use fpr::{fig17_false_positive_rate, FprPoint};
+pub use multicore::{fig13_fig15_multicore, MulticoreResult};
+pub use singlecore::{fig10_fig11_singlecore, SingleCoreResult};
+pub use sweeps::{fig6_ct_sweep, fig7_rat_sweep, fig8_eprt_sweep, fig9_k_sweep, SweepPoint};
+
+use serde::{Deserialize, Serialize};
+
+/// Scope of an experiment run: which workloads and how much simulated time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ExperimentScope {
+    /// Tiny runs for CI / unit tests (a handful of workloads, sub-millisecond windows).
+    Smoke,
+    /// The default: a stratified workload subset and a scaled tracker window.
+    Quick,
+    /// Every workload of Table 3 with the full 64 ms refresh window.
+    Full,
+}
+
+impl ExperimentScope {
+    /// The single-core workload names this scope simulates.
+    pub fn workloads(&self) -> Vec<String> {
+        match self {
+            ExperimentScope::Smoke => vec![
+                "bfs_ny".to_string(),
+                "429.mcf".to_string(),
+                "462.libquantum".to_string(),
+                "473.astar".to_string(),
+                "541.leela".to_string(),
+            ],
+            ExperimentScope::Quick => {
+                comet_trace::catalog::representative_subset().iter().map(|w| w.name.clone()).collect()
+            }
+            ExperimentScope::Full => {
+                comet_trace::catalog::all_workloads().iter().map(|w| w.name.clone()).collect()
+            }
+        }
+    }
+
+    /// The RowHammer thresholds swept by this scope.
+    pub fn thresholds(&self) -> Vec<u64> {
+        match self {
+            ExperimentScope::Smoke => vec![1000, 125],
+            _ => vec![1000, 500, 250, 125],
+        }
+    }
+
+    /// The simulation configuration for this scope.
+    pub fn sim_config(&self) -> crate::SimConfig {
+        match self {
+            ExperimentScope::Smoke => crate::SimConfig::quick_test(),
+            ExperimentScope::Quick => crate::SimConfig::quick(8),
+            ExperimentScope::Full => crate::SimConfig::paper_full(),
+        }
+    }
+
+    /// Number of 8-core mixes evaluated by this scope.
+    pub fn mix_count(&self) -> usize {
+        match self {
+            ExperimentScope::Smoke => 2,
+            ExperimentScope::Quick => 10,
+            ExperimentScope::Full => 56,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scopes_grow_in_size() {
+        assert!(ExperimentScope::Smoke.workloads().len() < ExperimentScope::Quick.workloads().len());
+        assert!(ExperimentScope::Quick.workloads().len() < ExperimentScope::Full.workloads().len());
+        assert_eq!(ExperimentScope::Full.workloads().len(), 61);
+    }
+
+    #[test]
+    fn smoke_scope_uses_two_thresholds() {
+        assert_eq!(ExperimentScope::Smoke.thresholds(), vec![1000, 125]);
+        assert_eq!(ExperimentScope::Full.thresholds().len(), 4);
+    }
+
+    #[test]
+    fn every_scope_workload_is_in_the_catalog() {
+        for scope in [ExperimentScope::Smoke, ExperimentScope::Quick, ExperimentScope::Full] {
+            for name in scope.workloads() {
+                assert!(comet_trace::catalog::workload(&name).is_some(), "{name} missing");
+            }
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! Figures 13 and 15: 8-core weighted speedup and DRAM energy comparison.
+
+use super::ExperimentScope;
+use crate::metrics::{normalized_distribution, DistributionSummary};
+use crate::runner::{MechanismKind, Runner};
+use serde::{Deserialize, Serialize};
+
+/// Distribution of normalized weighted speedup / energy for one mechanism at one threshold.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MulticoreCell {
+    /// Mechanism name.
+    pub mechanism: String,
+    /// RowHammer threshold.
+    pub nrh: u64,
+    /// Normalized weighted speedup distribution across mixes.
+    pub weighted_speedup: DistributionSummary,
+    /// Normalized DRAM energy distribution across mixes.
+    pub energy: DistributionSummary,
+}
+
+/// The Figure 13/15 dataset.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MulticoreResult {
+    /// Names of the mixes evaluated.
+    pub mixes: Vec<String>,
+    /// One cell per (mechanism, threshold).
+    pub cells: Vec<MulticoreCell>,
+}
+
+impl MulticoreResult {
+    /// Looks up the cell for `mechanism` at `nrh`.
+    pub fn cell(&self, mechanism: &str, nrh: u64) -> Option<&MulticoreCell> {
+        self.cells.iter().find(|c| c.mechanism == mechanism && c.nrh == nrh)
+    }
+}
+
+/// Runs the multicore comparison for the given mechanisms and thresholds.
+///
+/// The paper evaluates homogeneous 8-core mixes; for those, normalizing the
+/// weighted speedup to the baseline system is equivalent to normalizing the
+/// summed IPC (the alone-IPC terms cancel), which is what this function computes.
+pub fn multicore_for(
+    scope: ExperimentScope,
+    mechanisms: &[MechanismKind],
+    thresholds: &[u64],
+    cores: usize,
+) -> MulticoreResult {
+    let runner = Runner::new(scope.sim_config());
+    // Pick the most memory-intensive workloads for the mixes: they are where
+    // multi-core contention (and tracker pressure) is visible.
+    let mixes: Vec<String> = comet_trace::mix::paper_eight_core_mixes()
+        .into_iter()
+        .take(scope.mix_count())
+        .map(|m| m.cores[0].name.clone())
+        .collect();
+
+    let mut cells = Vec::new();
+    for &nrh in thresholds {
+        let baselines: Vec<_> = mixes
+            .iter()
+            .map(|w| runner.run_homogeneous(w, cores, MechanismKind::Baseline, nrh).expect("catalog workload"))
+            .collect();
+        for &mechanism in mechanisms {
+            let mut norm_ws = Vec::new();
+            let mut norm_energy = Vec::new();
+            for (workload, baseline) in mixes.iter().zip(&baselines) {
+                let run = runner.run_homogeneous(workload, cores, mechanism, nrh).expect("catalog workload");
+                norm_ws.push(run.normalized_ipc(baseline));
+                norm_energy.push(run.normalized_energy(baseline));
+            }
+            cells.push(MulticoreCell {
+                mechanism: mechanism.name().to_string(),
+                nrh,
+                weighted_speedup: normalized_distribution(&norm_ws),
+                energy: normalized_distribution(&norm_energy),
+            });
+        }
+    }
+    MulticoreResult { mixes: mixes.iter().map(|m| format!("{m}-x{cores}")).collect(), cells }
+}
+
+/// Figures 13 and 15: the five-mechanism comparison on 8-core mixes.
+pub fn fig13_fig15_multicore(scope: ExperimentScope) -> MulticoreResult {
+    multicore_for(scope, &MechanismKind::comparison_set(), &scope.thresholds(), 8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_multicore_runs_two_mixes() {
+        // Use 4 cores and one threshold to keep the smoke test fast.
+        let result = multicore_for(ExperimentScope::Smoke, &[MechanismKind::Comet], &[1000], 4);
+        assert_eq!(result.mixes.len(), 2);
+        let cell = result.cell("CoMeT", 1000).unwrap();
+        assert!(cell.weighted_speedup.geomean > 0.7);
+        assert!(cell.weighted_speedup.geomean <= 1.02);
+    }
+}

@@ -1,0 +1,119 @@
+//! Figures 10 and 11: CoMeT's single-core performance and DRAM energy,
+//! normalized to a system without any RowHammer mitigation. Also covers the
+//! high-threshold evaluation of §8.4 (NRH = 2000 and 4000).
+
+use super::ExperimentScope;
+use crate::metrics::{geometric_mean, normalized_distribution, DistributionSummary};
+use crate::runner::{MechanismKind, Runner};
+use serde::{Deserialize, Serialize};
+
+/// One workload's normalized IPC and energy at one RowHammer threshold.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SingleCorePoint {
+    /// Workload name.
+    pub workload: String,
+    /// RowHammer threshold.
+    pub nrh: u64,
+    /// IPC normalized to the unprotected baseline.
+    pub normalized_ipc: f64,
+    /// DRAM energy normalized to the unprotected baseline.
+    pub normalized_energy: f64,
+    /// Preventive refreshes per kilo-activation.
+    pub preventive_refreshes_per_kilo_act: f64,
+}
+
+/// The full Figure 10/11 dataset plus per-threshold summaries.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SingleCoreResult {
+    /// The mechanism evaluated (CoMeT for Figures 10/11).
+    pub mechanism: String,
+    /// Per-workload, per-threshold points.
+    pub points: Vec<SingleCorePoint>,
+    /// Per-threshold geometric-mean normalized IPC.
+    pub ipc_geomean: Vec<(u64, f64)>,
+    /// Per-threshold geometric-mean normalized energy.
+    pub energy_geomean: Vec<(u64, f64)>,
+    /// Per-threshold normalized-IPC distribution summary.
+    pub ipc_distribution: Vec<(u64, DistributionSummary)>,
+}
+
+/// Runs the Figure 10/11 experiment for `mechanism` over `thresholds`.
+pub fn singlecore_for(
+    scope: ExperimentScope,
+    mechanism: MechanismKind,
+    thresholds: &[u64],
+) -> SingleCoreResult {
+    let runner = Runner::new(scope.sim_config());
+    let workloads = scope.workloads();
+    let mut points = Vec::new();
+    let mut ipc_geomean = Vec::new();
+    let mut energy_geomean = Vec::new();
+    let mut ipc_distribution = Vec::new();
+
+    for &nrh in thresholds {
+        let mut norm_ipcs = Vec::new();
+        let mut norm_energies = Vec::new();
+        for workload in &workloads {
+            let baseline = runner
+                .run_single_core(workload, MechanismKind::Baseline, nrh)
+                .expect("catalog workload");
+            let protected = runner.run_single_core(workload, mechanism, nrh).expect("catalog workload");
+            let normalized_ipc = protected.normalized_ipc(&baseline);
+            let normalized_energy = protected.normalized_energy(&baseline);
+            norm_ipcs.push(normalized_ipc);
+            norm_energies.push(normalized_energy);
+            let per_kilo = if protected.mitigation.activations_observed == 0 {
+                0.0
+            } else {
+                1000.0 * protected.mitigation.preventive_refreshes as f64
+                    / protected.mitigation.activations_observed as f64
+            };
+            points.push(SingleCorePoint {
+                workload: workload.clone(),
+                nrh,
+                normalized_ipc,
+                normalized_energy,
+                preventive_refreshes_per_kilo_act: per_kilo,
+            });
+        }
+        ipc_geomean.push((nrh, geometric_mean(&norm_ipcs)));
+        energy_geomean.push((nrh, geometric_mean(&norm_energies)));
+        ipc_distribution.push((nrh, normalized_distribution(&norm_ipcs)));
+    }
+
+    SingleCoreResult {
+        mechanism: mechanism.name().to_string(),
+        points,
+        ipc_geomean,
+        energy_geomean,
+        ipc_distribution,
+    }
+}
+
+/// Figures 10 and 11: CoMeT across the paper's four RowHammer thresholds.
+pub fn fig10_fig11_singlecore(scope: ExperimentScope) -> SingleCoreResult {
+    singlecore_for(scope, MechanismKind::Comet, &scope.thresholds())
+}
+
+/// §8.4: CoMeT at high RowHammer thresholds (2000 and 4000).
+pub fn high_threshold_singlecore(scope: ExperimentScope) -> SingleCoreResult {
+    singlecore_for(scope, MechanismKind::Comet, &[2000, 4000])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_singlecore_has_low_overhead_at_high_threshold() {
+        let result = singlecore_for(ExperimentScope::Smoke, MechanismKind::Comet, &[1000]);
+        assert_eq!(result.points.len(), ExperimentScope::Smoke.workloads().len());
+        let (_, geomean) = result.ipc_geomean[0];
+        assert!(geomean > 0.9, "CoMeT at NRH=1K should be near-baseline, got {geomean}");
+        assert!(geomean <= 1.01);
+        for p in &result.points {
+            assert!(p.normalized_ipc > 0.5 && p.normalized_ipc <= 1.05, "{p:?}");
+            assert!(p.normalized_energy > 0.9 && p.normalized_energy < 1.5, "{p:?}");
+        }
+    }
+}

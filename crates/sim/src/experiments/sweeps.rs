@@ -1,0 +1,211 @@
+//! Design-space sweeps: Figure 6 (Counter Table), Figure 7 (RAT size),
+//! Figure 8 (early preventive refresh), Figure 9 (reset period k), and the
+//! ablation studies listed in DESIGN.md.
+
+use super::ExperimentScope;
+use crate::metrics::geometric_mean;
+use crate::runner::{MechanismKind, Runner};
+use serde::{Deserialize, Serialize};
+
+/// One configuration point of a sweep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// Human-readable configuration label (e.g. `"NHash=4,NCounters=512"`).
+    pub configuration: String,
+    /// RowHammer threshold.
+    pub nrh: u64,
+    /// Geometric-mean IPC normalized to the unprotected baseline.
+    pub normalized_ipc_geomean: f64,
+    /// Geometric-mean DRAM energy normalized to the unprotected baseline.
+    pub normalized_energy_geomean: f64,
+}
+
+fn sweep_one(
+    runner: &Runner,
+    workloads: &[String],
+    label: String,
+    kind: MechanismKind,
+    nrh: u64,
+) -> SweepPoint {
+    let mut ipcs = Vec::new();
+    let mut energies = Vec::new();
+    for workload in workloads {
+        let baseline = runner.run_single_core(workload, MechanismKind::Baseline, nrh).expect("catalog workload");
+        let run = runner.run_single_core(workload, kind, nrh).expect("catalog workload");
+        ipcs.push(run.normalized_ipc(&baseline));
+        energies.push(run.normalized_energy(&baseline));
+    }
+    SweepPoint {
+        configuration: label,
+        nrh,
+        normalized_ipc_geomean: geometric_mean(&ipcs),
+        normalized_energy_geomean: geometric_mean(&energies),
+    }
+}
+
+fn comet_custom(n_hash: usize, n_counters: usize, rat: usize, k: u64, history: usize, eprt: u32) -> MechanismKind {
+    MechanismKind::CometCustom {
+        n_hash,
+        n_counters,
+        rat_entries: rat,
+        reset_divisor: k,
+        history_length: history,
+        eprt_percent: eprt,
+    }
+}
+
+/// Figure 6: sweep of the Counter Table shape (NHash × NCounters) at one threshold,
+/// with a fixed 128-entry RAT.
+pub fn fig6_ct_sweep(scope: ExperimentScope, nrh: u64) -> Vec<SweepPoint> {
+    let runner = Runner::new(scope.sim_config());
+    let workloads = scope.workloads();
+    let hash_counts: &[usize] = match scope {
+        ExperimentScope::Smoke => &[1, 4],
+        _ => &[1, 2, 4, 8],
+    };
+    let counter_counts: &[usize] = match scope {
+        ExperimentScope::Smoke => &[128, 512],
+        _ => &[128, 256, 512, 1024],
+    };
+    let mut points = Vec::new();
+    for &n_hash in hash_counts {
+        for &n_counters in counter_counts {
+            let label = format!("NHash={n_hash},NCounters={n_counters}");
+            let kind = comet_custom(n_hash, n_counters, 128, 3, 256, 25);
+            points.push(sweep_one(&runner, &workloads, label, kind, nrh));
+        }
+    }
+    points
+}
+
+/// Figure 7: sweep of the Recent Aggressor Table size across thresholds,
+/// with the Counter Table fixed at 4 × 512.
+pub fn fig7_rat_sweep(scope: ExperimentScope) -> Vec<SweepPoint> {
+    let runner = Runner::new(scope.sim_config());
+    let workloads = scope.workloads();
+    let rat_sizes: &[usize] = match scope {
+        ExperimentScope::Smoke => &[32, 128],
+        _ => &[32, 64, 128, 256, 512],
+    };
+    let mut points = Vec::new();
+    for &nrh in &scope.thresholds() {
+        for &rat in rat_sizes {
+            let label = format!("NRAT={rat}");
+            let kind = comet_custom(4, 512, rat, 3, 256, 25);
+            points.push(sweep_one(&runner, &workloads, label, kind, nrh));
+        }
+    }
+    points
+}
+
+/// Figure 8: sweep of the early-preventive-refresh threshold (EPRT) and the RAT
+/// miss history length on 8-core mixes at NRH = 125.
+pub fn fig8_eprt_sweep(scope: ExperimentScope) -> Vec<SweepPoint> {
+    let runner = Runner::new(scope.sim_config());
+    let nrh = 125;
+    let cores = match scope {
+        ExperimentScope::Smoke => 2,
+        _ => 8,
+    };
+    let mixes: Vec<String> = comet_trace::mix::paper_eight_core_mixes()
+        .into_iter()
+        .take(scope.mix_count().min(6))
+        .map(|m| m.cores[0].name.clone())
+        .collect();
+    let history_lengths: &[usize] = match scope {
+        ExperimentScope::Smoke => &[256],
+        _ => &[64, 256, 1024],
+    };
+    let eprts: &[u32] = match scope {
+        ExperimentScope::Smoke => &[0, 25],
+        _ => &[0, 25, 50, 75, 100],
+    };
+    let mut points = Vec::new();
+    for &history in history_lengths {
+        for &eprt in eprts {
+            let kind = comet_custom(4, 512, 128, 3, history, eprt);
+            let mut ws = Vec::new();
+            let mut energies = Vec::new();
+            for workload in &mixes {
+                let baseline =
+                    runner.run_homogeneous(workload, cores, MechanismKind::Baseline, nrh).expect("catalog workload");
+                let run = runner.run_homogeneous(workload, cores, kind, nrh).expect("catalog workload");
+                ws.push(run.normalized_ipc(&baseline));
+                energies.push(run.normalized_energy(&baseline));
+            }
+            points.push(SweepPoint {
+                configuration: format!("History={history},EPRT={eprt}%"),
+                nrh,
+                normalized_ipc_geomean: geometric_mean(&ws),
+                normalized_energy_geomean: geometric_mean(&energies),
+            });
+        }
+    }
+    points
+}
+
+/// Figure 9: sweep of the reset-period divisor `k` (and thus `NPR = NRH/(k+1)`).
+pub fn fig9_k_sweep(scope: ExperimentScope) -> Vec<SweepPoint> {
+    let runner = Runner::new(scope.sim_config());
+    let workloads = scope.workloads();
+    let ks: &[u64] = match scope {
+        ExperimentScope::Smoke => &[1, 3],
+        _ => &[1, 2, 3, 4, 5],
+    };
+    let mut points = Vec::new();
+    for &nrh in &scope.thresholds() {
+        for &k in ks {
+            // k = 5 at NRH = 125 gives NPR = 20, still a valid configuration.
+            let kind = comet_custom(4, 512, 128, k, 256, 25);
+            points.push(sweep_one(&runner, &workloads, format!("k={k}"), kind, nrh));
+        }
+    }
+    points
+}
+
+/// Ablation: CoMeT without the Recent Aggressor Table, without early preventive
+/// refresh, and the full design, at one threshold (DESIGN.md §3).
+pub fn ablation(scope: ExperimentScope, nrh: u64) -> Vec<SweepPoint> {
+    let runner = Runner::new(scope.sim_config());
+    let workloads = scope.workloads();
+    let configs = vec![
+        ("full".to_string(), comet_custom(4, 512, 128, 3, 256, 25)),
+        ("no-rat".to_string(), comet_custom(4, 512, 0, 3, 256, 25)),
+        ("tiny-rat-8".to_string(), comet_custom(4, 512, 8, 3, 256, 25)),
+        // EPRT at 100 % means the early refresh effectively never fires.
+        ("no-early-refresh".to_string(), comet_custom(4, 512, 128, 3, 256, 100)),
+    ];
+    configs
+        .into_iter()
+        .map(|(label, kind)| sweep_one(&runner, &workloads, label, kind, nrh))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig6_smoke_larger_ct_is_not_worse() {
+        let points = fig6_ct_sweep(ExperimentScope::Smoke, 125);
+        assert_eq!(points.len(), 4);
+        let small = points
+            .iter()
+            .find(|p| p.configuration == "NHash=1,NCounters=128")
+            .unwrap()
+            .normalized_ipc_geomean;
+        let large = points
+            .iter()
+            .find(|p| p.configuration == "NHash=4,NCounters=512")
+            .unwrap()
+            .normalized_ipc_geomean;
+        assert!(large + 0.02 >= small, "large CT {large} should not be worse than small CT {small}");
+    }
+
+    #[test]
+    fn fig9_smoke_produces_points_for_each_k_and_threshold() {
+        let points = fig9_k_sweep(ExperimentScope::Smoke);
+        assert_eq!(points.len(), 2 * 2);
+        assert!(points.iter().all(|p| p.normalized_ipc_geomean > 0.5));
+    }
+}

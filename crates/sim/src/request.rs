@@ -1,0 +1,74 @@
+//! In-flight memory requests inside the memory controller.
+
+use comet_dram::{Cycle, DramAddr};
+
+/// A demand memory request queued in the memory controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemRequest {
+    /// Unique request id (assigned by the issuing core).
+    pub id: u64,
+    /// Core that issued the request.
+    pub core: usize,
+    /// Decoded DRAM address.
+    pub addr: DramAddr,
+    /// Whether the request is a (posted) write.
+    pub is_write: bool,
+    /// DRAM cycle at which the request entered the controller.
+    pub arrival: Cycle,
+    /// The request's next command may not be issued before this cycle
+    /// (mitigation throttling or metadata-fetch penalties).
+    pub hold_until: Cycle,
+    /// Whether the mitigation mechanism has already been notified of the
+    /// activation that will serve this request (prevents double counting when
+    /// an activation is delayed by throttling).
+    pub act_notified: bool,
+}
+
+impl MemRequest {
+    /// Creates a freshly arrived request.
+    pub fn new(id: u64, core: usize, addr: DramAddr, is_write: bool, arrival: Cycle) -> Self {
+        MemRequest { id, core, addr, is_write, arrival, hold_until: 0, act_notified: false }
+    }
+
+    /// Whether the request may be scheduled at `now`.
+    pub fn ready(&self, now: Cycle) -> bool {
+        now >= self.hold_until
+    }
+}
+
+/// A completed read, reported back to the issuing core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompletedRead {
+    /// Core that issued the read.
+    pub core: usize,
+    /// Request id.
+    pub id: u64,
+    /// DRAM cycle at which the data burst finishes.
+    pub completion: Cycle,
+    /// DRAM cycle at which the request entered the controller.
+    pub arrival: Cycle,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr() -> DramAddr {
+        DramAddr { channel: 0, rank: 0, bank_group: 0, bank: 0, row: 1, column: 0 }
+    }
+
+    #[test]
+    fn new_request_is_ready_immediately() {
+        let r = MemRequest::new(1, 0, addr(), false, 100);
+        assert!(r.ready(100));
+        assert!(!r.act_notified);
+    }
+
+    #[test]
+    fn hold_until_defers_readiness() {
+        let mut r = MemRequest::new(1, 0, addr(), false, 100);
+        r.hold_until = 200;
+        assert!(!r.ready(150));
+        assert!(r.ready(200));
+    }
+}

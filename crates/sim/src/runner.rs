@@ -1,0 +1,292 @@
+//! The experiment runner: builds mechanisms by name and runs workloads.
+
+use crate::metrics::RunResult;
+use crate::system::{SimConfig, System};
+use comet_core::{Comet, CometConfig};
+use comet_dram::DramConfig;
+use comet_mitigations::{
+    BlockHammer, BlockHammerConfig, Graphene, GrapheneConfig, Hydra, HydraConfig, NoMitigation, Para,
+    PerRowCounters, Rega, RowHammerMitigation,
+};
+use comet_trace::{catalog, AttackKind, AttackTrace, SyntheticTrace, TraceSource};
+use serde::{Deserialize, Serialize};
+
+/// The mitigation mechanisms the experiment harness can instantiate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MechanismKind {
+    /// No RowHammer protection (the normalization baseline).
+    Baseline,
+    /// CoMeT with the paper's default configuration.
+    Comet,
+    /// CoMeT with an explicit configuration (design-space sweeps).
+    CometCustom {
+        /// Number of hash functions.
+        n_hash: usize,
+        /// Counters per hash function.
+        n_counters: usize,
+        /// Recent Aggressor Table entries.
+        rat_entries: usize,
+        /// Reset-period divisor `k`.
+        reset_divisor: u64,
+        /// RAT-miss history length.
+        history_length: usize,
+        /// Early preventive refresh threshold in percent.
+        eprt_percent: u32,
+    },
+    /// Graphene (Misra-Gries).
+    Graphene,
+    /// Hydra (hybrid group/per-row tracking).
+    Hydra,
+    /// REGA (refresh-generating activations).
+    Rega,
+    /// PARA (probabilistic adjacent-row refresh).
+    Para,
+    /// BlockHammer (counting-Bloom-filter throttling).
+    BlockHammer,
+    /// Idealized per-row counters.
+    PerRow,
+}
+
+impl MechanismKind {
+    /// The five mechanisms compared in Figures 12–15.
+    pub fn comparison_set() -> Vec<MechanismKind> {
+        vec![
+            MechanismKind::Graphene,
+            MechanismKind::Comet,
+            MechanismKind::Hydra,
+            MechanismKind::Rega,
+            MechanismKind::Para,
+        ]
+    }
+
+    /// Short display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            MechanismKind::Baseline => "Baseline",
+            MechanismKind::Comet | MechanismKind::CometCustom { .. } => "CoMeT",
+            MechanismKind::Graphene => "Graphene",
+            MechanismKind::Hydra => "Hydra",
+            MechanismKind::Rega => "REGA",
+            MechanismKind::Para => "PARA",
+            MechanismKind::BlockHammer => "BlockHammer",
+            MechanismKind::PerRow => "PerRow",
+        }
+    }
+}
+
+/// Builds a boxed mitigation mechanism for `kind` at threshold `nrh`.
+pub fn build_mechanism(kind: MechanismKind, nrh: u64, dram: &DramConfig, seed: u64) -> Box<dyn RowHammerMitigation> {
+    let geometry = dram.geometry.clone();
+    let timing = &dram.timing;
+    match kind {
+        MechanismKind::Baseline => Box::new(NoMitigation::new()),
+        MechanismKind::Comet => Box::new(Comet::new(CometConfig::for_threshold(nrh, timing), geometry)),
+        MechanismKind::CometCustom {
+            n_hash,
+            n_counters,
+            rat_entries,
+            reset_divisor,
+            history_length,
+            eprt_percent,
+        } => {
+            let mut config = CometConfig::with_reset_divisor(nrh, reset_divisor, timing);
+            config.n_hash = n_hash;
+            config.n_counters = n_counters;
+            config.rat_entries = rat_entries;
+            config.history_length = history_length;
+            config.eprt_percent = eprt_percent;
+            Box::new(Comet::new(config, geometry))
+        }
+        MechanismKind::Graphene => {
+            Box::new(Graphene::new(GrapheneConfig::for_threshold(nrh, timing, &geometry), geometry))
+        }
+        MechanismKind::Hydra => {
+            Box::new(Hydra::new(HydraConfig::for_threshold(nrh, timing, &geometry), geometry))
+        }
+        MechanismKind::Rega => Box::new(Rega::new(nrh, timing)),
+        MechanismKind::Para => Box::new(Para::new(nrh, seed, geometry)),
+        MechanismKind::BlockHammer => {
+            Box::new(BlockHammer::new(BlockHammerConfig::for_threshold(nrh, timing), geometry, seed))
+        }
+        MechanismKind::PerRow => Box::new(PerRowCounters::new(nrh, timing, geometry)),
+    }
+}
+
+/// Errors returned by the runner.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunnerError {
+    /// The requested workload is not in the Table 3 catalog.
+    UnknownWorkload(String),
+}
+
+impl std::fmt::Display for RunnerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunnerError::UnknownWorkload(name) => write!(f, "unknown workload: {name}"),
+        }
+    }
+}
+
+impl std::error::Error for RunnerError {}
+
+/// Convenience wrapper that builds systems from workload names and mechanism kinds.
+#[derive(Debug, Clone)]
+pub struct Runner {
+    config: SimConfig,
+    seed: u64,
+}
+
+impl Runner {
+    /// Creates a runner with the given simulation configuration.
+    pub fn new(config: SimConfig) -> Self {
+        Runner { config, seed: 0xC0E7 }
+    }
+
+    /// Creates a runner with an explicit seed (traces and probabilistic
+    /// mechanisms derive their randomness from it).
+    pub fn with_seed(config: SimConfig, seed: u64) -> Self {
+        Runner { config, seed }
+    }
+
+    /// The simulation configuration in use.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    fn workload_trace(&self, name: &str, core: usize) -> Result<Box<dyn TraceSource>, RunnerError> {
+        let profile =
+            catalog::workload(name).ok_or_else(|| RunnerError::UnknownWorkload(name.to_string()))?;
+        Ok(Box::new(SyntheticTrace::new(
+            profile,
+            self.config.dram.geometry.clone(),
+            self.seed ^ (core as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        )))
+    }
+
+    /// Runs one single-core workload under `kind` at RowHammer threshold `nrh`.
+    pub fn run_single_core(&self, workload: &str, kind: MechanismKind, nrh: u64) -> Result<RunResult, RunnerError> {
+        let trace = self.workload_trace(workload, 0)?;
+        let mechanism = build_mechanism(kind, nrh, &self.config.dram, self.seed);
+        let system = System::new(self.config.clone(), vec![trace], mechanism);
+        Ok(system.run(workload))
+    }
+
+    /// Runs a homogeneous multi-core mix of `workload` on `cores` cores.
+    pub fn run_homogeneous(
+        &self,
+        workload: &str,
+        cores: usize,
+        kind: MechanismKind,
+        nrh: u64,
+    ) -> Result<RunResult, RunnerError> {
+        let traces: Result<Vec<_>, _> = (0..cores).map(|c| self.workload_trace(workload, c)).collect();
+        let mechanism = build_mechanism(kind, nrh, &self.config.dram, self.seed);
+        let system = System::new(self.config.clone(), traces?, mechanism);
+        Ok(system.run(format!("{workload}-x{cores}")))
+    }
+
+    /// Runs a benign workload alongside an attacker core executing `attack`.
+    pub fn run_with_attacker(
+        &self,
+        workload: &str,
+        attack: AttackKind,
+        kind: MechanismKind,
+        nrh: u64,
+    ) -> Result<RunResult, RunnerError> {
+        let benign = self.workload_trace(workload, 0)?;
+        let attacker: Box<dyn TraceSource> =
+            Box::new(AttackTrace::new(attack, self.config.dram.geometry.clone(), self.seed ^ 0xA77AC));
+        let mechanism = build_mechanism(kind, nrh, &self.config.dram, self.seed);
+        let system = System::new(self.config.clone(), vec![benign, attacker], mechanism);
+        Ok(system.run(format!("{workload}+attack")))
+    }
+
+    /// Runs `workload` under every mechanism of `kinds`, returning
+    /// `(kind, result)` pairs. The baseline is always included first.
+    pub fn run_comparison(
+        &self,
+        workload: &str,
+        kinds: &[MechanismKind],
+        nrh: u64,
+    ) -> Result<Vec<(MechanismKind, RunResult)>, RunnerError> {
+        let mut results = Vec::with_capacity(kinds.len() + 1);
+        results.push((MechanismKind::Baseline, self.run_single_core(workload, MechanismKind::Baseline, nrh)?));
+        for &kind in kinds {
+            results.push((kind, self.run_single_core(workload, kind, nrh)?));
+        }
+        Ok(results)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn runner() -> Runner {
+        Runner::new(SimConfig::quick_test())
+    }
+
+    #[test]
+    fn unknown_workload_is_an_error() {
+        let err = runner().run_single_core("nope", MechanismKind::Baseline, 1000).unwrap_err();
+        assert_eq!(err, RunnerError::UnknownWorkload("nope".to_string()));
+        assert!(err.to_string().contains("nope"));
+    }
+
+    #[test]
+    fn every_mechanism_kind_can_be_built() {
+        let dram = DramConfig::ddr4_paper_default();
+        for kind in [
+            MechanismKind::Baseline,
+            MechanismKind::Comet,
+            MechanismKind::Graphene,
+            MechanismKind::Hydra,
+            MechanismKind::Rega,
+            MechanismKind::Para,
+            MechanismKind::BlockHammer,
+            MechanismKind::PerRow,
+        ] {
+            let m = build_mechanism(kind, 1000, &dram, 1);
+            assert_eq!(m.name(), kind.name());
+        }
+        let custom = MechanismKind::CometCustom {
+            n_hash: 2,
+            n_counters: 256,
+            rat_entries: 64,
+            reset_divisor: 2,
+            history_length: 128,
+            eprt_percent: 50,
+        };
+        assert_eq!(build_mechanism(custom, 1000, &dram, 1).name(), "CoMeT");
+    }
+
+    #[test]
+    fn comet_overhead_is_small_for_a_benign_workload() {
+        let r = runner();
+        let baseline = r.run_single_core("450.soplex", MechanismKind::Baseline, 1000).unwrap();
+        let comet = r.run_single_core("450.soplex", MechanismKind::Comet, 1000).unwrap();
+        let normalized = comet.normalized_ipc(&baseline);
+        assert!(normalized > 0.85, "CoMeT normalized IPC too low: {normalized}");
+        assert!(normalized < 1.05, "CoMeT cannot be faster than the baseline: {normalized}");
+    }
+
+    #[test]
+    fn comparison_includes_baseline_first() {
+        let r = runner();
+        let results = r.run_comparison("473.astar", &[MechanismKind::Comet], 1000).unwrap();
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].0, MechanismKind::Baseline);
+        assert_eq!(results[1].0, MechanismKind::Comet);
+    }
+
+    #[test]
+    fn attacker_reduces_benign_performance_under_para() {
+        let r = runner();
+        let alone = r.run_single_core("473.astar", MechanismKind::Para, 125).unwrap();
+        let attacked = r
+            .run_with_attacker("473.astar", AttackKind::Traditional { rows_per_bank: 4 }, MechanismKind::Para, 125)
+            .unwrap();
+        // The benign core is core 0 in both runs.
+        assert!(attacked.per_core_ipc[0] < alone.per_core_ipc[0]);
+    }
+}

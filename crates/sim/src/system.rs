@@ -1,0 +1,314 @@
+//! The full simulated system: cores + memory controller + simulation loop.
+
+use crate::controller::{ControllerConfig, ControllerStats, MemoryController};
+use crate::cpu::{CoreConfig, TraceCore};
+use crate::metrics::RunResult;
+use comet_dram::{Cycle, DramConfig, EnergyCounters};
+use comet_mitigations::RowHammerMitigation;
+use comet_trace::TraceSource;
+
+/// Simulation-level configuration: which DRAM preset to use and how long to run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimConfig {
+    /// DRAM device configuration (geometry, timing, energy).
+    pub dram: DramConfig,
+    /// Memory controller policy.
+    pub controller: ControllerConfig,
+    /// Core parameters.
+    pub core: CoreConfig,
+    /// Warmup period in DRAM cycles (statistics are excluded).
+    pub warmup_cycles: Cycle,
+    /// Measured simulation length in DRAM cycles (after warmup).
+    pub sim_cycles: Cycle,
+}
+
+impl SimConfig {
+    /// The paper's configuration: full DDR4 with a 64 ms refresh window, run
+    /// for two CoMeT reset periods (≈ 43 ms) after a short warmup. This is
+    /// expensive — use [`SimConfig::quick`] for the default experiment presets.
+    pub fn paper_full() -> Self {
+        let dram = DramConfig::ddr4_paper_default();
+        let window = dram.timing.t_refw;
+        SimConfig {
+            controller: ControllerConfig::default(),
+            core: CoreConfig::default(),
+            warmup_cycles: window / 64,
+            sim_cycles: 2 * window / 3,
+            dram,
+        }
+    }
+
+    /// The quick preset used by default in the experiment harness: the tracker
+    /// reset window (`tREFW`) is scaled down by `refw_divisor` (periodic refresh
+    /// cadence `tREFI` is left untouched, so the baseline refresh overhead stays
+    /// realistic) and the simulation covers two full CoMeT reset periods of the
+    /// scaled window. See EXPERIMENTS.md for the fidelity discussion.
+    pub fn quick(refw_divisor: u64) -> Self {
+        let mut dram = DramConfig::ddr4_paper_default();
+        dram.timing.t_refw /= refw_divisor.max(1);
+        let window = dram.timing.t_refw;
+        SimConfig {
+            controller: ControllerConfig::default(),
+            core: CoreConfig::default(),
+            warmup_cycles: window / 16,
+            sim_cycles: 2 * window / 3,
+            dram,
+        }
+    }
+
+    /// A very small configuration for unit and integration tests (hundreds of
+    /// microseconds of simulated time).
+    pub fn quick_test() -> Self {
+        let mut config = Self::quick(64);
+        config.warmup_cycles = 20_000;
+        config.sim_cycles = 400_000;
+        config
+    }
+
+    /// Total simulated DRAM cycles (warmup + measurement).
+    pub fn total_cycles(&self) -> Cycle {
+        self.warmup_cycles + self.sim_cycles
+    }
+
+    /// Simulated measurement time in milliseconds.
+    pub fn sim_time_ms(&self) -> f64 {
+        self.dram.timing.cycles_to_ns(self.sim_cycles) / 1.0e6
+    }
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self::quick(8)
+    }
+}
+
+/// Snapshot of per-core progress used to exclude warmup from the results.
+#[derive(Debug, Clone, Default)]
+struct CoreSnapshot {
+    instructions: u64,
+    reads: u64,
+    writes: u64,
+}
+
+/// The simulated system: one memory channel shared by one or more cores.
+pub struct System {
+    config: SimConfig,
+    controller: MemoryController,
+    cores: Vec<TraceCore>,
+}
+
+impl System {
+    /// Builds a system running `traces` (one per core) under `mitigation`.
+    pub fn new(
+        config: SimConfig,
+        traces: Vec<Box<dyn TraceSource>>,
+        mitigation: Box<dyn RowHammerMitigation>,
+    ) -> Self {
+        assert!(!traces.is_empty(), "at least one core is required");
+        let controller = MemoryController::new(config.dram.clone(), config.controller.clone(), mitigation);
+        let cores = traces
+            .into_iter()
+            .enumerate()
+            .map(|(id, trace)| TraceCore::new(id, trace, config.core.clone(), &config.dram))
+            .collect();
+        System { config, controller, cores }
+    }
+
+    /// Number of cores.
+    pub fn core_count(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// Runs the simulation to completion and returns the measured result
+    /// (warmup excluded).
+    pub fn run(mut self, label: impl Into<String>) -> RunResult {
+        let warmup_end = self.config.warmup_cycles;
+        let end = self.config.total_cycles();
+        let mut now: Cycle = 0;
+        let mut warm_core: Vec<CoreSnapshot> = vec![CoreSnapshot::default(); self.cores.len()];
+        let mut warm_ctrl = ControllerStats::default();
+        let mut warm_energy = EnergyCounters::default();
+        let mut warm_mitigation = self.controller.mitigation_stats();
+        let mut warm_channel = self.controller.channel_stats();
+        let mut warm_taken = warmup_end == 0;
+
+        while now < end {
+            if !warm_taken && now >= warmup_end {
+                warm_core = self
+                    .cores
+                    .iter()
+                    .map(|c| CoreSnapshot {
+                        instructions: c.instructions(),
+                        reads: c.reads_issued(),
+                        writes: c.writes_issued(),
+                    })
+                    .collect();
+                warm_ctrl = self.controller.stats();
+                warm_energy = self.controller.energy_counters(0);
+                warm_mitigation = self.controller.mitigation_stats();
+                warm_channel = self.controller.channel_stats();
+                warm_taken = true;
+            }
+
+            for completion in self.controller.take_completions() {
+                self.cores[completion.core].note_completion(completion.id, completion.completion);
+            }
+            let mut earliest_core: Option<Cycle> = None;
+            for core in &mut self.cores {
+                let wake = core.advance(now, &mut self.controller);
+                if let Some(w) = wake.or_else(|| core.next_wake()) {
+                    earliest_core = Some(earliest_core.map_or(w, |e| e.min(w)));
+                }
+            }
+            let controller_next = self.controller.tick(now);
+
+            // Advance time: never past the next controller or core event, never
+            // past the warmup boundary, and never by more than a bounded skip so
+            // blocked-core wakeups are not missed.
+            let mut next = controller_next.max(now + 1);
+            if let Some(c) = earliest_core {
+                next = next.min(c.max(now + 1));
+            }
+            if !warm_taken {
+                next = next.min(warmup_end);
+            }
+            now = next.min(now + 512).min(end);
+        }
+
+        // Assemble the measured (post-warmup) result.
+        let measured_cycles = end - warmup_end;
+        let ctrl = self.controller.stats().delta_since(&warm_ctrl);
+        let energy_now = self.controller.energy_counters(0);
+        let energy = EnergyCounters {
+            acts: energy_now.acts - warm_energy.acts,
+            pres: energy_now.pres - warm_energy.pres,
+            reads: energy_now.reads - warm_energy.reads,
+            writes: energy_now.writes - warm_energy.writes,
+            refs: energy_now.refs - warm_energy.refs,
+            elapsed_cycles: measured_cycles,
+        };
+        let mit_now = self.controller.mitigation_stats();
+        let mitigation = comet_mitigations::MitigationStats {
+            activations_observed: mit_now.activations_observed - warm_mitigation.activations_observed,
+            preventive_refreshes: mit_now.preventive_refreshes - warm_mitigation.preventive_refreshes,
+            aggressors_identified: mit_now.aggressors_identified - warm_mitigation.aggressors_identified,
+            early_rank_refreshes: mit_now.early_rank_refreshes - warm_mitigation.early_rank_refreshes,
+            counter_reads: mit_now.counter_reads - warm_mitigation.counter_reads,
+            counter_writes: mit_now.counter_writes - warm_mitigation.counter_writes,
+            throttled_activations: mit_now.throttled_activations - warm_mitigation.throttled_activations,
+            throttle_cycles: mit_now.throttle_cycles - warm_mitigation.throttle_cycles,
+            periodic_resets: mit_now.periodic_resets - warm_mitigation.periodic_resets,
+        };
+        let channel_now = self.controller.channel_stats();
+        let acts = channel_now.acts - warm_channel.acts;
+
+        let timing = &self.config.dram.timing;
+        let cpu_cycles = self.cores[0].dram_to_cpu(measured_cycles);
+        let per_core_instructions: Vec<u64> = self
+            .cores
+            .iter()
+            .zip(&warm_core)
+            .map(|(c, w)| c.instructions() - w.instructions)
+            .collect();
+        let per_core_ipc: Vec<f64> =
+            per_core_instructions.iter().map(|&i| i as f64 / cpu_cycles).collect();
+        let total_reads: u64 = self.cores.iter().zip(&warm_core).map(|(c, w)| c.reads_issued() - w.reads).sum();
+        let total_writes: u64 = self.cores.iter().zip(&warm_core).map(|(c, w)| c.writes_issued() - w.writes).sum();
+
+        let energy_breakdown = self.config.dram.energy.breakdown(
+            &energy,
+            timing,
+            self.config.dram.geometry.ranks_per_channel,
+        );
+
+        RunResult {
+            label: label.into(),
+            mechanism: self.controller.mitigation_name(),
+            cores: self.cores.len(),
+            dram_cycles: measured_cycles,
+            cpu_cycles,
+            instructions: per_core_instructions.iter().sum(),
+            per_core_ipc: per_core_ipc.clone(),
+            ipc: per_core_ipc.iter().sum(),
+            reads: total_reads,
+            writes: total_writes,
+            activations: acts,
+            avg_read_latency_ns: timing.cycles_to_ns(1) * ctrl.avg_read_latency(),
+            energy_nj: energy_breakdown.total_nj(),
+            energy_breakdown,
+            controller: ctrl,
+            mitigation,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use comet_mitigations::NoMitigation;
+    use comet_trace::{catalog, SyntheticTrace};
+
+    fn trace(name: &str, seed: u64, dram: &DramConfig) -> Box<dyn TraceSource> {
+        Box::new(SyntheticTrace::new(catalog::workload(name).unwrap(), dram.geometry.clone(), seed))
+    }
+
+    #[test]
+    fn single_core_run_produces_sane_metrics() {
+        let config = SimConfig::quick_test();
+        let t = trace("429.mcf", 1, &config.dram);
+        let system = System::new(config, vec![t], Box::new(NoMitigation::new()));
+        let result = system.run("mcf-baseline");
+        assert!(result.ipc > 0.05 && result.ipc < 4.0, "ipc = {}", result.ipc);
+        assert!(result.reads > 100, "reads = {}", result.reads);
+        assert!(result.activations > 10);
+        assert!(result.avg_read_latency_ns > 10.0, "latency = {}", result.avg_read_latency_ns);
+        assert!(result.energy_nj > 0.0);
+    }
+
+    #[test]
+    fn low_intensity_workload_has_higher_ipc_than_high_intensity() {
+        let config = SimConfig::quick_test();
+        let low = System::new(
+            config.clone(),
+            vec![trace("541.leela", 3, &config.dram)],
+            Box::new(NoMitigation::new()),
+        )
+        .run("low");
+        let high = System::new(
+            config.clone(),
+            vec![trace("bfs_ny", 3, &config.dram)],
+            Box::new(NoMitigation::new()),
+        )
+        .run("high");
+        assert!(
+            low.ipc > high.ipc,
+            "low-intensity IPC {} must exceed high-intensity IPC {}",
+            low.ipc,
+            high.ipc
+        );
+    }
+
+    #[test]
+    fn eight_core_run_accumulates_per_core_ipc() {
+        let mut config = SimConfig::quick_test();
+        config.sim_cycles = 150_000;
+        let traces: Vec<Box<dyn TraceSource>> =
+            (0..8).map(|i| trace("450.soplex", i as u64, &config.dram)).collect();
+        let system = System::new(config, traces, Box::new(NoMitigation::new()));
+        let result = system.run("soplex-x8");
+        assert_eq!(result.cores, 8);
+        assert_eq!(result.per_core_ipc.len(), 8);
+        assert!(result.ipc > 0.0);
+        // Shared-channel contention keeps the sum well under 8× the single-core IPC.
+        assert!(result.ipc < 16.0);
+    }
+
+    #[test]
+    fn quick_config_scales_tracker_window_only() {
+        let full = SimConfig::paper_full();
+        let quick = SimConfig::quick(8);
+        assert_eq!(quick.dram.timing.t_refi, full.dram.timing.t_refi);
+        assert!(quick.dram.timing.t_refw < full.dram.timing.t_refw);
+        assert!(quick.total_cycles() < full.total_cycles());
+    }
+}

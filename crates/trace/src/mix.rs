@@ -1,0 +1,84 @@
+//! Multi-programmed workload mixes for the 8-core evaluation.
+
+use crate::catalog;
+use crate::profile::WorkloadProfile;
+use serde::{Deserialize, Serialize};
+
+/// A multi-core workload mix: one profile per core.
+///
+/// The paper evaluates 56 *homogeneous* 8-core mixes — eight copies of the same
+/// single-core workload running together — which is the configuration
+/// [`homogeneous_mix`] produces. Heterogeneous mixes can be built directly from
+/// profiles when needed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultiCoreMix {
+    /// Mix name used in reports.
+    pub name: String,
+    /// One workload profile per core.
+    pub cores: Vec<WorkloadProfile>,
+}
+
+impl MultiCoreMix {
+    /// Number of cores in the mix.
+    pub fn core_count(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// Aggregate memory bandwidth demand of the mix in MB/s.
+    pub fn total_bandwidth_mbps(&self) -> f64 {
+        self.cores.iter().map(|c| c.bandwidth_mbps).sum()
+    }
+}
+
+/// Builds the homogeneous `cores`-copy mix of `workload_name`.
+///
+/// Returns `None` if the workload is not in the Table 3 catalog.
+pub fn homogeneous_mix(workload_name: &str, cores: usize) -> Option<MultiCoreMix> {
+    let profile = catalog::workload(workload_name)?;
+    Some(MultiCoreMix {
+        name: format!("{workload_name}-x{cores}"),
+        cores: vec![profile; cores],
+    })
+}
+
+/// All homogeneous 8-core mixes the paper evaluates (one per catalog workload
+/// that exerts measurable memory pressure; the paper uses 56 of the 61).
+pub fn paper_eight_core_mixes() -> Vec<MultiCoreMix> {
+    catalog::all_workloads()
+        .into_iter()
+        .filter(|w| w.bandwidth_mbps >= 10.0)
+        .map(|w| MultiCoreMix { name: format!("{}-x8", w.name), cores: vec![w; 8] })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn homogeneous_mix_replicates_profile() {
+        let mix = homogeneous_mix("429.mcf", 8).unwrap();
+        assert_eq!(mix.core_count(), 8);
+        assert!(mix.cores.iter().all(|c| c.name == "429.mcf"));
+        assert_eq!(mix.name, "429.mcf-x8");
+    }
+
+    #[test]
+    fn unknown_workload_returns_none() {
+        assert!(homogeneous_mix("no-such-workload", 8).is_none());
+    }
+
+    #[test]
+    fn paper_mixes_are_around_56() {
+        let mixes = paper_eight_core_mixes();
+        assert!((50..=61).contains(&mixes.len()), "got {} mixes", mixes.len());
+        assert!(mixes.iter().all(|m| m.core_count() == 8));
+    }
+
+    #[test]
+    fn total_bandwidth_sums_cores() {
+        let mix = homogeneous_mix("519.lbm", 8).unwrap();
+        let single = catalog::workload("519.lbm").unwrap().bandwidth_mbps;
+        assert!((mix.total_bandwidth_mbps() - 8.0 * single).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,82 @@
+//! Design-space exploration of CoMeT's own knobs — a miniature of Figures 6, 7
+//! and 9: Counter Table shape, Recent Aggressor Table size, and the reset
+//! period divisor `k`.
+//!
+//! ```text
+//! cargo run -p comet --release --example design_space
+//! ```
+
+use comet::core::CometConfig;
+use comet::dram::TimingParams;
+use comet::sim::{geometric_mean, MechanismKind, Runner, SimConfig};
+
+fn evaluate(runner: &Runner, workloads: &[&str], kind: MechanismKind, nrh: u64) -> f64 {
+    let mut values = Vec::new();
+    for w in workloads {
+        let baseline = runner.run_single_core(w, MechanismKind::Baseline, nrh).expect("catalog workload");
+        let run = runner.run_single_core(w, kind, nrh).expect("catalog workload");
+        values.push(run.normalized_ipc(&baseline));
+    }
+    geometric_mean(&values)
+}
+
+fn main() {
+    let nrh = 125;
+    let workloads = ["bfs_ny", "429.mcf", "462.libquantum"];
+    let runner = Runner::new(SimConfig::quick(32));
+    let timing = TimingParams::ddr4_2400();
+
+    println!("CoMeT design-space exploration at NRH = {nrh}\n");
+
+    println!("Counter Table shape (RAT fixed at 128 entries):");
+    for (n_hash, n_counters) in [(1, 128), (2, 256), (4, 512), (8, 1024)] {
+        let kind = MechanismKind::CometCustom {
+            n_hash,
+            n_counters,
+            rat_entries: 128,
+            reset_divisor: 3,
+            history_length: 256,
+            eprt_percent: 25,
+        };
+        let config = CometConfig::for_threshold(nrh, &timing);
+        let counters_kib = (n_hash * n_counters) as f64 * config.ct_counter_bits() as f64 / 8.0 / 1024.0;
+        println!(
+            "  NHash={n_hash:<2} NCounters={n_counters:<5} -> normalized IPC {:.4}  ({counters_kib:.1} KiB/bank)",
+            evaluate(&runner, &workloads, kind, nrh)
+        );
+    }
+
+    println!("\nRecent Aggressor Table size (CT fixed at 4 x 512):");
+    for rat_entries in [0, 32, 128, 512] {
+        let kind = MechanismKind::CometCustom {
+            n_hash: 4,
+            n_counters: 512,
+            rat_entries,
+            reset_divisor: 3,
+            history_length: 256,
+            eprt_percent: 25,
+        };
+        println!(
+            "  NRAT={rat_entries:<4} -> normalized IPC {:.4}",
+            evaluate(&runner, &workloads, kind, nrh)
+        );
+    }
+
+    println!("\nReset period divisor k (NPR = NRH / (k+1)):");
+    for k in [1u64, 2, 3, 4, 5] {
+        let kind = MechanismKind::CometCustom {
+            n_hash: 4,
+            n_counters: 512,
+            rat_entries: 128,
+            reset_divisor: k,
+            history_length: 256,
+            eprt_percent: 25,
+        };
+        let config = CometConfig::with_reset_divisor(nrh, k, &timing);
+        println!(
+            "  k={k} (NPR={:<3}) -> normalized IPC {:.4}",
+            config.npr(),
+            evaluate(&runner, &workloads, kind, nrh)
+        );
+    }
+}

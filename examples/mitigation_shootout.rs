@@ -1,0 +1,61 @@
+//! Mitigation shoot-out: compare CoMeT with Graphene, Hydra, REGA, and PARA on
+//! a mix of workloads — a miniature version of Figures 12 and 14 plus Table 4.
+//!
+//! ```text
+//! cargo run -p comet --release --example mitigation_shootout [NRH]
+//! ```
+
+use comet::area;
+use comet::sim::{geometric_mean, MechanismKind, Runner, SimConfig};
+
+fn main() {
+    let nrh: u64 = std::env::args().nth(1).and_then(|v| v.parse().ok()).unwrap_or(125);
+    let workloads = ["bfs_ny", "429.mcf", "450.soplex", "462.libquantum", "473.astar", "482.sphinx3"];
+    let runner = Runner::new(SimConfig::quick(32));
+
+    println!("Mitigation shoot-out at NRH = {nrh} over {} workloads\n", workloads.len());
+    println!(
+        "{:<12} {:>14} {:>14} {:>14} {:>12} {:>12}",
+        "Mechanism", "IPC (geo)", "Energy (geo)", "Prev.refr/Kact", "Storage KiB", "Area mm^2"
+    );
+
+    let baselines: Vec<_> = workloads
+        .iter()
+        .map(|w| runner.run_single_core(w, MechanismKind::Baseline, nrh).expect("catalog workload"))
+        .collect();
+
+    for kind in MechanismKind::comparison_set() {
+        let mut ipcs = Vec::new();
+        let mut energies = Vec::new();
+        let mut refr_rate = Vec::new();
+        for (workload, baseline) in workloads.iter().zip(&baselines) {
+            let run = runner.run_single_core(workload, kind, nrh).expect("catalog workload");
+            ipcs.push(run.normalized_ipc(baseline));
+            energies.push(run.normalized_energy(baseline));
+            if run.mitigation.activations_observed > 0 {
+                refr_rate.push(
+                    1000.0 * run.mitigation.preventive_refreshes as f64
+                        / run.mitigation.activations_observed as f64,
+                );
+            }
+        }
+        let report = match kind {
+            MechanismKind::Comet => area::comet_report(nrh),
+            MechanismKind::Graphene => area::graphene_report(nrh),
+            MechanismKind::Hydra => area::hydra_report(nrh),
+            MechanismKind::Rega => area::rega_report(nrh),
+            _ => area::para_report(nrh),
+        };
+        println!(
+            "{:<12} {:>14.4} {:>14.4} {:>14.2} {:>12.1} {:>12.3}",
+            kind.name(),
+            geometric_mean(&ipcs),
+            geometric_mean(&energies),
+            refr_rate.iter().sum::<f64>() / refr_rate.len().max(1) as f64,
+            report.storage_kib,
+            report.area_mm2,
+        );
+    }
+
+    println!("\n(Normalized to an unprotected baseline; higher IPC and lower energy are better.)");
+}

@@ -1,0 +1,48 @@
+//! Quickstart: protect a workload with CoMeT and measure what it costs.
+//!
+//! ```text
+//! cargo run -p comet --release --example quickstart
+//! ```
+//!
+//! Runs one SPEC-like workload on the simulated DDR4 system twice — once
+//! without any RowHammer mitigation and once with CoMeT — at two RowHammer
+//! thresholds, and prints the performance / energy cost plus the tracker's own
+//! statistics.
+
+use comet::sim::{MechanismKind, Runner, SimConfig};
+
+fn main() {
+    let workload = "429.mcf";
+    // The quick preset keeps the DDR4 timing real but scales the tracker reset
+    // window down so this example finishes in seconds.
+    let runner = Runner::new(SimConfig::quick(32));
+
+    println!("CoMeT quickstart — workload: {workload}\n");
+    for nrh in [1000u64, 125] {
+        let baseline = runner
+            .run_single_core(workload, MechanismKind::Baseline, nrh)
+            .expect("workload exists in the Table 3 catalog");
+        let comet = runner
+            .run_single_core(workload, MechanismKind::Comet, nrh)
+            .expect("workload exists in the Table 3 catalog");
+
+        let slowdown = 100.0 * (1.0 - comet.normalized_ipc(&baseline));
+        let energy = 100.0 * (comet.normalized_energy(&baseline) - 1.0);
+        println!("RowHammer threshold NRH = {nrh}");
+        println!("  baseline IPC            : {:.3}", baseline.ipc);
+        println!("  CoMeT IPC               : {:.3}", comet.ipc);
+        println!("  performance overhead    : {slowdown:.2} %");
+        println!("  DRAM energy overhead    : {energy:.2} %");
+        println!("  activations observed    : {}", comet.mitigation.activations_observed);
+        println!("  preventive refreshes    : {}", comet.mitigation.preventive_refreshes);
+        println!("  early rank refreshes    : {}", comet.mitigation.early_rank_refreshes);
+        println!("  avg read latency        : {:.1} ns (baseline {:.1} ns)", comet.avg_read_latency_ns, baseline.avg_read_latency_ns);
+        println!();
+    }
+
+    let report = comet::area::comet_report(125);
+    println!(
+        "CoMeT storage at NRH = 125: {:.1} KiB, estimated area {:.3} mm^2 per dual-rank channel",
+        report.storage_kib, report.area_mm2
+    );
+}

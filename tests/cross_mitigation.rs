@@ -1,0 +1,121 @@
+//! Cross-mechanism integration tests: every mitigation runs through the same
+//! controller and produces results with the qualitative ordering the paper
+//! reports (storage, traffic, and refresh-count relationships).
+
+use comet::area;
+use comet::sim::{MechanismKind, Runner, SimConfig};
+
+fn runner() -> Runner {
+    Runner::new(SimConfig::quick_test())
+}
+
+#[test]
+fn every_mechanism_completes_a_run_at_every_threshold() {
+    let r = runner();
+    let kinds = [
+        MechanismKind::Baseline,
+        MechanismKind::Comet,
+        MechanismKind::Graphene,
+        MechanismKind::Hydra,
+        MechanismKind::Rega,
+        MechanismKind::Para,
+        MechanismKind::BlockHammer,
+        MechanismKind::PerRow,
+    ];
+    for kind in kinds {
+        for nrh in [1000, 125] {
+            let result = r.run_single_core("473.astar", kind, nrh).unwrap();
+            assert!(result.ipc > 0.0, "{kind:?} at NRH={nrh} produced zero IPC");
+            assert!(result.instructions > 0);
+            assert_eq!(result.mechanism, kind.name());
+        }
+    }
+}
+
+#[test]
+fn hydra_generates_dram_counter_traffic_and_comet_does_not() {
+    use comet::trace::AttackKind;
+    let r = runner();
+    // The group-spray pattern saturates Hydra's group counters quickly, forcing
+    // per-row counter fetches from DRAM; CoMeT keeps everything on chip.
+    let attack = AttackKind::HydraTargeted { groups_per_bank: 16, rows_per_group: 128 };
+    let hydra = r.run_with_attacker("473.astar", attack, MechanismKind::Hydra, 125).unwrap();
+    let comet = r.run_with_attacker("473.astar", attack, MechanismKind::Comet, 125).unwrap();
+    assert!(
+        hydra.mitigation.counter_reads + hydra.mitigation.counter_writes > 0,
+        "Hydra must fetch per-row counters from DRAM under group-counter pressure"
+    );
+    assert_eq!(comet.mitigation.counter_reads, 0, "CoMeT keeps all counters on chip");
+    assert_eq!(comet.mitigation.counter_writes, 0);
+}
+
+#[test]
+fn para_performs_far_more_preventive_refreshes_than_counter_based_trackers() {
+    let r = runner();
+    let workload = "519.lbm";
+    let para = r.run_single_core(workload, MechanismKind::Para, 125).unwrap();
+    let comet = r.run_single_core(workload, MechanismKind::Comet, 125).unwrap();
+    let graphene = r.run_single_core(workload, MechanismKind::Graphene, 125).unwrap();
+    assert!(
+        para.mitigation.preventive_refreshes > 3 * comet.mitigation.preventive_refreshes,
+        "PARA ({}) must refresh much more than CoMeT ({})",
+        para.mitigation.preventive_refreshes,
+        comet.mitigation.preventive_refreshes
+    );
+    assert!(para.mitigation.preventive_refreshes > 3 * graphene.mitigation.preventive_refreshes);
+}
+
+#[test]
+fn storage_ordering_matches_table4() {
+    for nrh in [1000, 500, 250, 125] {
+        let comet = area::comet_report(nrh);
+        let graphene = area::graphene_report(nrh);
+        let hydra = area::hydra_report(nrh);
+        assert!(
+            comet.storage_kib < graphene.storage_kib,
+            "NRH={nrh}: CoMeT ({}) must use less storage than Graphene ({})",
+            comet.storage_kib,
+            graphene.storage_kib
+        );
+        // CoMeT and Hydra are in the same ballpark (within ~2x either way).
+        let ratio = comet.storage_kib / hydra.storage_kib;
+        assert!((0.4..2.5).contains(&ratio), "NRH={nrh}: CoMeT/Hydra storage ratio {ratio}");
+    }
+}
+
+#[test]
+fn area_advantage_over_graphene_grows_as_threshold_drops() {
+    let ratio_1k = area::graphene_report(1000).area_mm2 / area::comet_report(1000).area_mm2;
+    let ratio_125 = area::graphene_report(125).area_mm2 / area::comet_report(125).area_mm2;
+    assert!(ratio_1k > 3.0);
+    assert!(ratio_125 > ratio_1k * 4.0, "Graphene/CoMeT ratio must explode at low NRH: {ratio_125} vs {ratio_1k}");
+}
+
+#[test]
+fn mechanism_storage_bits_agree_with_analytic_model() {
+    use comet::dram::{DramConfig, DramGeometry, TimingParams};
+    use comet::mitigations::RowHammerMitigation;
+
+    let dram = DramConfig::ddr4_paper_default();
+    let geometry = DramGeometry::paper_default();
+    let timing = TimingParams::ddr4_2400();
+    for nrh in [1000u64, 125] {
+        // CoMeT's live structure and the area model must agree on storage.
+        let comet = comet::core::Comet::new(comet::core::CometConfig::for_threshold(nrh, &timing), geometry.clone());
+        let live_kib = comet.storage_bits() as f64 / 8.0 / 1024.0;
+        let model_kib = area::comet_report(nrh).storage_kib;
+        let gap = (live_kib - model_kib).abs() / model_kib;
+        assert!(gap < 0.05, "NRH={nrh}: live {live_kib} KiB vs model {model_kib} KiB");
+        let _ = dram; // geometry consistency is asserted through construction above
+    }
+}
+
+#[test]
+fn blockhammer_throttles_only_under_attack_like_pressure() {
+    let r = runner();
+    let benign = r.run_single_core("482.sphinx3", MechanismKind::BlockHammer, 1000).unwrap();
+    assert_eq!(
+        benign.mitigation.throttled_activations, 0,
+        "a low-intensity benign workload must not be throttled at NRH=1K"
+    );
+}

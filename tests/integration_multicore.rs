@@ -1,0 +1,61 @@
+//! Multi-core integration tests: homogeneous mixes sharing one DRAM channel.
+
+use comet::sim::{MechanismKind, Runner, SimConfig};
+
+fn config() -> SimConfig {
+    let mut c = SimConfig::quick_test();
+    c.sim_cycles = 200_000;
+    c
+}
+
+#[test]
+fn multicore_contention_lowers_per_core_ipc() {
+    let runner = Runner::new(config());
+    let single = runner.run_single_core("450.soplex", MechanismKind::Baseline, 1000).unwrap();
+    let quad = runner.run_homogeneous("450.soplex", 4, MechanismKind::Baseline, 1000).unwrap();
+    assert_eq!(quad.cores, 4);
+    let avg_shared_ipc = quad.ipc / 4.0;
+    assert!(
+        avg_shared_ipc < single.ipc,
+        "sharing one channel must lower per-core IPC: {avg_shared_ipc} vs {}",
+        single.ipc
+    );
+    // But the aggregate throughput should still exceed a single core's.
+    assert!(quad.ipc > single.ipc);
+}
+
+#[test]
+fn comet_multicore_overhead_is_bounded() {
+    let runner = Runner::new(config());
+    for nrh in [1000u64, 125] {
+        let baseline = runner.run_homogeneous("429.mcf", 4, MechanismKind::Baseline, nrh).unwrap();
+        let comet = runner.run_homogeneous("429.mcf", 4, MechanismKind::Comet, nrh).unwrap();
+        let normalized = comet.normalized_ipc(&baseline);
+        assert!(normalized > 0.5, "NRH={nrh}: normalized weighted IPC collapsed to {normalized}");
+        assert!(normalized <= 1.02, "NRH={nrh}: protected system cannot beat baseline: {normalized}");
+    }
+}
+
+#[test]
+fn weighted_speedup_matches_summed_ipc_for_homogeneous_mixes() {
+    let runner = Runner::new(config());
+    let baseline = runner.run_homogeneous("462.libquantum", 2, MechanismKind::Baseline, 500).unwrap();
+    let comet = runner.run_homogeneous("462.libquantum", 2, MechanismKind::Comet, 500).unwrap();
+    // Weighted speedup with identical alone-IPCs reduces to the IPC ratio.
+    let alone = vec![1.0, 1.0];
+    let ws_ratio = comet.weighted_speedup(&alone) / baseline.weighted_speedup(&alone);
+    let ipc_ratio = comet.normalized_ipc(&baseline);
+    assert!((ws_ratio - ipc_ratio).abs() < 1e-9);
+}
+
+#[test]
+fn eight_core_mix_stresses_the_tracker_more_than_single_core() {
+    let runner = Runner::new(config());
+    let single = runner.run_single_core("519.lbm", MechanismKind::Comet, 125).unwrap();
+    let eight = runner.run_homogeneous("519.lbm", 8, MechanismKind::Comet, 125).unwrap();
+    assert!(eight.activations > single.activations);
+    assert!(
+        eight.mitigation.preventive_refreshes >= single.mitigation.preventive_refreshes,
+        "more cores hammering must not reduce preventive refreshes"
+    );
+}

@@ -1,0 +1,112 @@
+//! End-to-end single-core integration tests: trace generation → CPU model →
+//! memory controller → DRAM substrate → CoMeT, checking the paper's headline
+//! qualitative results on a reduced scale.
+
+use comet::sim::{MechanismKind, Runner, SimConfig};
+
+fn runner() -> Runner {
+    Runner::new(SimConfig::quick_test())
+}
+
+#[test]
+fn comet_overhead_is_negligible_at_nrh_1000() {
+    let r = runner();
+    for workload in ["429.mcf", "462.libquantum", "541.leela"] {
+        let baseline = r.run_single_core(workload, MechanismKind::Baseline, 1000).unwrap();
+        let comet = r.run_single_core(workload, MechanismKind::Comet, 1000).unwrap();
+        let normalized = comet.normalized_ipc(&baseline);
+        assert!(
+            normalized > 0.93,
+            "{workload}: CoMeT at NRH=1K should be within a few percent of baseline, got {normalized}"
+        );
+        assert!(normalized <= 1.02, "{workload}: protected cannot beat baseline: {normalized}");
+    }
+}
+
+#[test]
+fn comet_overhead_grows_but_stays_moderate_at_nrh_125() {
+    let r = runner();
+    let workload = "bfs_ny"; // the most memory-intensive workload in the catalog
+    let baseline = r.run_single_core(workload, MechanismKind::Baseline, 125).unwrap();
+    let at_125 = r.run_single_core(workload, MechanismKind::Comet, 125).unwrap();
+    let at_1k = r.run_single_core(workload, MechanismKind::Comet, 1000).unwrap();
+    let norm_125 = at_125.normalized_ipc(&baseline);
+    let norm_1k = at_1k.normalized_ipc(&baseline);
+    assert!(norm_125 <= norm_1k + 0.01, "overhead must not shrink at a lower threshold");
+    assert!(norm_125 > 0.60, "CoMeT at NRH=125 must not collapse: {norm_125}");
+    assert!(
+        at_125.mitigation.preventive_refreshes >= at_1k.mitigation.preventive_refreshes,
+        "a lower threshold must trigger at least as many preventive refreshes"
+    );
+}
+
+#[test]
+fn comet_tracks_more_aggressors_for_memory_intensive_workloads() {
+    let r = runner();
+    let high = r.run_single_core("bfs_cm2003", MechanismKind::Comet, 125).unwrap();
+    let low = r.run_single_core("511.povray", MechanismKind::Comet, 125).unwrap();
+    assert!(high.activations > low.activations);
+    assert!(high.mitigation.preventive_refreshes >= low.mitigation.preventive_refreshes);
+}
+
+#[test]
+fn baseline_energy_and_latency_are_physically_plausible() {
+    let r = runner();
+    let result = r.run_single_core("519.lbm", MechanismKind::Baseline, 1000).unwrap();
+    // A row-miss access takes at least tRCD + CL + burst ≈ 31 ns on DDR4-2400 and
+    // queueing pushes the average up; it should stay below a microsecond.
+    assert!(result.avg_read_latency_ns > 20.0, "latency {}", result.avg_read_latency_ns);
+    assert!(result.avg_read_latency_ns < 1000.0, "latency {}", result.avg_read_latency_ns);
+    // Energy must be dominated by something other than NaN.
+    assert!(result.energy_breakdown.background_nj > 0.0);
+    assert!(result.energy_breakdown.act_pre_nj > 0.0);
+    assert!(result.energy_nj >= result.energy_breakdown.background_nj);
+}
+
+#[test]
+fn rega_and_para_cost_more_than_comet_at_very_low_thresholds() {
+    let r = runner();
+    let workload = "459.GemsFDTD";
+    let baseline = r.run_single_core(workload, MechanismKind::Baseline, 125).unwrap();
+    let comet = r.run_single_core(workload, MechanismKind::Comet, 125).unwrap();
+    let para = r.run_single_core(workload, MechanismKind::Para, 125).unwrap();
+    let rega = r.run_single_core(workload, MechanismKind::Rega, 125).unwrap();
+    let n = |x: &comet::sim::RunResult| x.normalized_ipc(&baseline);
+    assert!(
+        n(&comet) >= n(&para) - 0.01,
+        "CoMeT ({}) must not be slower than PARA ({}) at NRH=125",
+        n(&comet),
+        n(&para)
+    );
+    assert!(
+        n(&comet) >= n(&rega) - 0.01,
+        "CoMeT ({}) must not be slower than REGA ({}) at NRH=125",
+        n(&comet),
+        n(&rega)
+    );
+}
+
+#[test]
+fn graphene_and_comet_are_close_in_performance() {
+    let r = runner();
+    let workload = "433.milc";
+    for nrh in [1000, 125] {
+        let baseline = r.run_single_core(workload, MechanismKind::Baseline, nrh).unwrap();
+        let comet = r.run_single_core(workload, MechanismKind::Comet, nrh).unwrap();
+        let graphene = r.run_single_core(workload, MechanismKind::Graphene, nrh).unwrap();
+        let gap = (comet.normalized_ipc(&baseline) - graphene.normalized_ipc(&baseline)).abs();
+        assert!(gap < 0.12, "NRH={nrh}: CoMeT and Graphene should be close, gap = {gap}");
+    }
+}
+
+#[test]
+fn results_are_deterministic_for_a_fixed_seed() {
+    let r1 = Runner::with_seed(SimConfig::quick_test(), 7);
+    let r2 = Runner::with_seed(SimConfig::quick_test(), 7);
+    let a = r1.run_single_core("473.astar", MechanismKind::Comet, 250).unwrap();
+    let b = r2.run_single_core("473.astar", MechanismKind::Comet, 250).unwrap();
+    assert_eq!(a.instructions, b.instructions);
+    assert_eq!(a.activations, b.activations);
+    assert_eq!(a.mitigation.preventive_refreshes, b.mitigation.preventive_refreshes);
+    assert!((a.ipc - b.ipc).abs() < 1e-12);
+}

@@ -1,0 +1,157 @@
+//! Property-based tests over the core data structures and cross-crate
+//! invariants, using proptest.
+
+use comet::core::{CometConfig, CountMinSketch, CounterTable, RecentAggressorTable};
+use comet::dram::{Bank, CommandKind, DramAddr, DramGeometry, TimingParams};
+use comet::mitigations::CountingBloomFilter;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+proptest! {
+    /// The Count-Min Sketch never underestimates, for arbitrary streams,
+    /// with and without conservative updates.
+    #[test]
+    fn cms_never_underestimates(
+        items in proptest::collection::vec(0u64..2_000, 1..4_000),
+        conservative in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let mut cms = CountMinSketch::with_conservative_updates(4, 128, seed, None, conservative);
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        for &item in &items {
+            cms.increment(item, 1);
+            *truth.entry(item).or_insert(0) += 1;
+        }
+        for (item, count) in truth {
+            prop_assert!(cms.estimate(item) >= count);
+        }
+    }
+
+    /// The Counter Table saturates at NPR and never loses track of a row that
+    /// was activated NPR times (its estimate stays pinned at NPR).
+    #[test]
+    fn counter_table_saturation_is_sticky(
+        rows in proptest::collection::vec(0u64..512, 1..2_000),
+        npr in 8u32..256,
+    ) {
+        let mut ct = CounterTable::new(4, 128, npr, 1);
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        for &row in &rows {
+            ct.record_activation(row, 1);
+            *truth.entry(row).or_insert(0) += 1;
+        }
+        for (row, count) in truth {
+            let estimate = ct.estimate(row);
+            prop_assert!(estimate >= count.min(npr as u64));
+            prop_assert!(estimate <= npr as u64);
+        }
+    }
+
+    /// The counting Bloom filter (BlockHammer's tracker) never underestimates either.
+    #[test]
+    fn cbf_never_underestimates(
+        items in proptest::collection::vec(0u64..1_000, 1..3_000),
+        seed in any::<u64>(),
+    ) {
+        let mut cbf = CountingBloomFilter::new(256, 4, seed);
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        for &item in &items {
+            cbf.insert(item, 1);
+            *truth.entry(item).or_insert(0) += 1;
+        }
+        for (item, count) in truth {
+            prop_assert!(cbf.estimate(item) >= count);
+        }
+    }
+
+    /// The Recent Aggressor Table never exceeds its capacity and lookups always
+    /// reflect the most recent allocation/increment sequence.
+    #[test]
+    fn rat_capacity_is_respected(
+        rows in proptest::collection::vec(0u64..64, 1..1_000),
+        capacity in 1usize..32,
+        seed in any::<u64>(),
+    ) {
+        let mut rat = RecentAggressorTable::new(capacity, seed);
+        for &row in &rows {
+            rat.allocate(row);
+            rat.increment(row, 1);
+            prop_assert!(rat.len() <= capacity);
+            prop_assert_eq!(rat.lookup(row), Some(1));
+            rat.reset_entry(row);
+        }
+    }
+
+    /// Equation 1: for every (NRH, k) the worst-case activation count an attacker
+    /// can accumulate between victim refreshes stays below NRH.
+    #[test]
+    fn npr_security_bound_holds(nrh in 16u64..100_000, k in 1u64..8) {
+        let timing = TimingParams::ddr4_2400();
+        let config = CometConfig::with_reset_divisor(nrh, k, &timing);
+        prop_assert!(config.worst_case_activations() < nrh);
+        prop_assert!(config.npr() >= 1);
+    }
+
+    /// Bank state machine: any sequence of legally-timed commands keeps the bank
+    /// in a consistent state (reads only with a row open, activations only when
+    /// closed), and issuing at the reported earliest time never fails.
+    #[test]
+    fn bank_accepts_commands_at_reported_earliest_time(
+        commands in proptest::collection::vec(0u8..4, 1..200),
+    ) {
+        let timing = TimingParams::ddr4_2400();
+        let mut bank = Bank::new();
+        let mut now = 0;
+        for &c in &commands {
+            let desired = match c {
+                0 => CommandKind::Act,
+                1 => CommandKind::Rd,
+                2 => CommandKind::Wr,
+                _ => CommandKind::Pre,
+            };
+            // Skip commands that are illegal in the current state; the scheduler
+            // in comet-sim does the same.
+            if !bank.is_legal(desired) {
+                continue;
+            }
+            let at = bank.earliest_issue(desired, now, &timing);
+            prop_assert!(bank.issue(desired, 7, at, &timing).is_ok());
+            now = at;
+        }
+    }
+
+    /// Address mapping round-trips for arbitrary in-range DRAM addresses.
+    #[test]
+    fn address_mapping_round_trips(
+        rank in 0usize..2,
+        bank_group in 0usize..4,
+        bank in 0usize..4,
+        row in 0usize..131_072,
+        column in 0usize..128,
+    ) {
+        use comet::dram::{AddressMapper, AddressScheme};
+        let geometry = DramGeometry::paper_default();
+        let mapper = AddressMapper::new(geometry, AddressScheme::RoRaBgBaCoCh);
+        let addr = DramAddr { channel: 0, rank, bank_group, bank, row, column };
+        let phys = mapper.unmap(&addr);
+        prop_assert_eq!(mapper.map(phys), addr);
+    }
+
+    /// Workload profiles generated from any catalog entry produce traces whose
+    /// addresses always decode to valid DRAM locations.
+    #[test]
+    fn synthetic_traces_stay_in_range(index in 0usize..61, steps in 1usize..500, seed in any::<u64>()) {
+        use comet::trace::{SyntheticTrace, TraceSource};
+        use comet::dram::{AddressMapper, AddressScheme};
+        let workloads = comet::trace::all_workloads();
+        let profile = workloads[index].clone();
+        let geometry = DramGeometry::paper_default();
+        let mapper = AddressMapper::new(geometry.clone(), AddressScheme::RoRaBgBaCoCh);
+        let mut trace = SyntheticTrace::new(profile, geometry.clone(), seed);
+        for _ in 0..steps {
+            let record = trace.next_record();
+            let addr = mapper.map(record.addr);
+            prop_assert!(addr.validate(&geometry).is_ok());
+        }
+    }
+}
