@@ -30,4 +30,6 @@ pub mod trackers;
 pub use memory::{cam_area_mm2, sram_area_mm2, MemoryKind};
 pub use report::{AreaComponent, AreaReport};
 pub use tables::{table1_rows, table4_rows, Table1Row, Table4Row};
-pub use trackers::{blockhammer_report, comet_report, graphene_report, hydra_report, para_report, rega_report};
+pub use trackers::{
+    blockhammer_report, comet_report, graphene_report, hydra_report, para_report, rega_report,
+};

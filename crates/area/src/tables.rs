@@ -65,11 +65,8 @@ mod tests {
         let rows = table4_rows();
         assert_eq!(rows.len(), 12);
         for &nrh in &TABLE_THRESHOLDS {
-            let mechanisms: Vec<String> = rows
-                .iter()
-                .filter(|r| r.nrh == nrh)
-                .map(|r| r.report.mechanism.clone())
-                .collect();
+            let mechanisms: Vec<String> =
+                rows.iter().filter(|r| r.nrh == nrh).map(|r| r.report.mechanism.clone()).collect();
             assert_eq!(mechanisms, vec!["CoMeT", "Graphene", "Hydra"]);
         }
     }
@@ -77,11 +74,8 @@ mod tests {
     #[test]
     fn comet_storage_decreases_with_threshold_in_table4() {
         let rows = table4_rows();
-        let comet_kib: Vec<f64> = rows
-            .iter()
-            .filter(|r| r.report.mechanism == "CoMeT")
-            .map(|r| r.report.storage_kib)
-            .collect();
+        let comet_kib: Vec<f64> =
+            rows.iter().filter(|r| r.report.mechanism == "CoMeT").map(|r| r.report.storage_kib).collect();
         for pair in comet_kib.windows(2) {
             assert!(pair[1] < pair[0], "CoMeT storage must shrink as NRH shrinks");
         }

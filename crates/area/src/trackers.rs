@@ -37,11 +37,7 @@ pub fn comet_report(nrh: u64) -> AreaReport {
             storage_kib: bits_to_kib(rat_bits + history_bits),
             area_mm2: cam_area_mm2(rat_bits) + sram_area_mm2(history_bits),
         },
-        AreaComponent {
-            name: "Logic Circuitry".to_string(),
-            storage_kib: 0.0,
-            area_mm2: COMET_LOGIC_MM2,
-        },
+        AreaComponent { name: "Logic Circuitry".to_string(), storage_kib: 0.0, area_mm2: COMET_LOGIC_MM2 },
     ];
     AreaReport::from_components("CoMeT", nrh, components, 0.0, 0.0)
 }

@@ -35,7 +35,8 @@ fn bench_channel_command_issue(c: &mut Criterion) {
         let mut row = 0usize;
         b.iter(|| {
             row = (row + 1) % 131_072;
-            let a = DramAddr { channel: 0, rank: 0, bank_group: row % 4, bank: (row / 4) % 4, row, column: 0 };
+            let a =
+                DramAddr { channel: 0, rank: 0, bank_group: row % 4, bank: (row / 4) % 4, row, column: 0 };
             let t0 = channel.earliest_issue(CommandKind::Act, &a, now);
             channel.issue(CommandKind::Act, &a, t0).unwrap();
             let t1 = channel.earliest_issue(CommandKind::Rd, &a, t0);

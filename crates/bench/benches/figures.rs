@@ -3,7 +3,7 @@
 //! exercises the complete harness. The full-size versions are produced by the
 //! `experiments` binary (see README / DESIGN.md).
 
-use comet_sim::experiments::{self, ExperimentScope};
+use comet_sim::experiments::{self, ExperimentScope, ParallelExecutor};
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
 fn bench_analytic_tables(c: &mut Criterion) {
@@ -29,15 +29,21 @@ fn bench_fig17_false_positive_rate(c: &mut Criterion) {
 fn bench_fig10_smoke(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig10_smoke");
     group.sample_size(10);
-    group.bench_function("comet_singlecore_smoke", |b| {
-        b.iter(|| {
-            black_box(experiments::singlecore::singlecore_for(
-                ExperimentScope::Smoke,
-                comet_sim::MechanismKind::Comet,
-                &[1000],
-            ))
+    for (label, executor) in [
+        ("comet_singlecore_smoke_serial", ParallelExecutor::serial()),
+        ("comet_singlecore_smoke_parallel", ParallelExecutor::new()),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                black_box(experiments::singlecore::singlecore_for(
+                    ExperimentScope::Smoke,
+                    comet_sim::MechanismKind::Comet,
+                    &[1000],
+                    &executor,
+                ))
+            });
         });
-    });
+    }
     group.finish();
 }
 

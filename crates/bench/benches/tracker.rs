@@ -86,7 +86,8 @@ fn bench_mechanism_activation_path(c: &mut Criterion) {
         });
     });
 
-    let mut graphene = Graphene::new(GrapheneConfig::for_threshold(125, &timing, &geometry), geometry.clone());
+    let mut graphene =
+        Graphene::new(GrapheneConfig::for_threshold(125, &timing, &geometry), geometry.clone());
     group.bench_function("graphene", |b| {
         let mut i = 0usize;
         b.iter(|| {

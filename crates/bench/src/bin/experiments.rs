@@ -3,7 +3,7 @@
 //! Usage:
 //!
 //! ```text
-//! experiments [--scope smoke|quick|full] [--out DIR] <target> [<target> ...]
+//! experiments [--scope smoke|quick|full] [--out DIR] [--threads N | --serial] <target> [<target> ...]
 //! experiments all
 //! ```
 //!
@@ -11,42 +11,73 @@
 //! fig11 fig12 fig13 fig14 fig15 fig16 fig17 fig18 highnrh ablation all`.
 //!
 //! Each target prints a human-readable table and writes the raw series as JSON
-//! under the output directory (default `results/`).
+//! under the output directory (default `results/`). Simulation cells fan out
+//! over all cores by default (`--threads 1` / `--serial` forces the reference
+//! serial path, which produces bit-identical results); the wall-clock time of
+//! every target is reported.
 
 use comet_bench::parse_scope;
-use comet_sim::experiments::{self, ExperimentScope};
-use comet_sim::SimConfig;
+use comet_sim::experiments::{self, ExperimentScope, ParallelExecutor};
+use comet_sim::{RunnerError, SimConfig};
 use serde::Serialize;
 use std::fs;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
 
 struct Args {
     scope: ExperimentScope,
     out: PathBuf,
+    executor: ParallelExecutor,
     targets: Vec<String>,
 }
 
 fn parse_args() -> Args {
     let mut scope = ExperimentScope::Quick;
     let mut out = PathBuf::from("results");
+    let mut executor = ParallelExecutor::new();
     let mut targets = Vec::new();
-    let mut args = std::env::args().skip(1);
+    let mut args = std::env::args().skip(1).peekable();
+    // An option's value must not itself look like an option; exiting instead
+    // of silently consuming the next flag keeps `--threads --serial` a usage
+    // error rather than an accidental all-cores run.
+    let value_for =
+        |args: &mut std::iter::Peekable<std::iter::Skip<std::env::Args>>, flag: &str| match args.peek() {
+            Some(value) if !value.starts_with('-') => args.next().expect("peeked"),
+            _ => {
+                eprintln!("error: {flag} requires a value");
+                std::process::exit(2);
+            }
+        };
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--scope" => {
-                let value = args.next().unwrap_or_default();
+                let value = value_for(&mut args, "--scope");
                 scope = parse_scope(&value).unwrap_or_else(|| {
                     eprintln!("unknown scope '{value}', using quick");
                     ExperimentScope::Quick
                 });
             }
             "--out" => {
-                out = PathBuf::from(args.next().unwrap_or_else(|| "results".to_string()));
+                out = PathBuf::from(value_for(&mut args, "--out"));
+            }
+            "--threads" => {
+                let value = value_for(&mut args, "--threads");
+                match value.parse::<usize>() {
+                    Ok(threads) if threads >= 1 => executor = ParallelExecutor::with_threads(threads),
+                    _ => {
+                        eprintln!("invalid --threads '{value}', using all cores");
+                        executor = ParallelExecutor::new();
+                    }
+                }
+            }
+            "--serial" => {
+                executor = ParallelExecutor::serial();
             }
             "help" | "--help" | "-h" => {
                 println!("targets: table1 table2 table3 table4 fig3 fig4 fig6 fig7 fig8 fig9");
                 println!("         fig10 fig11 fig12 fig13 fig14 fig15 fig16 fig17 fig18");
                 println!("         highnrh ablation all");
+                println!("options: --scope smoke|quick|full   --out DIR   --threads N   --serial");
                 std::process::exit(0);
             }
             other => targets.push(other.to_string()),
@@ -55,10 +86,10 @@ fn parse_args() -> Args {
     if targets.is_empty() {
         targets.push("all".to_string());
     }
-    Args { scope, out, targets }
+    Args { scope, out, executor, targets }
 }
 
-fn save_json<T: Serialize>(out: &PathBuf, name: &str, value: &T) {
+fn save_json<T: Serialize>(out: &Path, name: &str, value: &T) {
     if fs::create_dir_all(out).is_err() {
         return;
     }
@@ -79,7 +110,7 @@ fn header(title: &str) {
     println!("================================================================");
 }
 
-fn table1(out: &PathBuf) {
+fn table1(out: &Path) -> Result<(), RunnerError> {
     header("Table 1: storage overhead of Graphene (KB) vs RowHammer threshold");
     let rows = comet_area::table1_rows();
     println!("{:>8} {:>14}", "NRH", "Storage (KB)");
@@ -87,20 +118,24 @@ fn table1(out: &PathBuf) {
         println!("{:>8} {:>14.2}", row.nrh, row.graphene_storage_kib);
     }
     save_json(out, "table1", &rows);
+    Ok(())
 }
 
-fn table2(out: &PathBuf) {
+fn table2(out: &Path) -> Result<(), RunnerError> {
     header("Table 2: simulated system configuration");
     let config = SimConfig::paper_full();
     println!("Processor     : 1 or 8 cores, 3.6 GHz, 4-wide issue, 128-entry instruction window");
     println!(
-        "DRAM          : DDR4, 1 channel, {} ranks, {} bank groups x {} banks, {} rows/bank",
+        "DRAM          : DDR4, {} channel(s), {} ranks, {} bank groups x {} banks, {} rows/bank",
+        config.dram.geometry.channels,
         config.dram.geometry.ranks_per_channel,
         config.dram.geometry.bank_groups_per_rank,
         config.dram.geometry.banks_per_bank_group,
         config.dram.geometry.rows_per_bank
     );
-    println!("Memory Ctrl   : 64-entry read/write queues, FR-FCFS with a column cap of 16");
+    println!(
+        "Memory Ctrl   : one controller per channel, 64-entry read/write queues, FR-FCFS, column cap 16"
+    );
     println!(
         "Timing        : tRC={} tRAS={} tRP={} tRCD={} tREFI={} tREFW={} (cycles @ {} ns)",
         config.dram.timing.t_rc,
@@ -112,25 +147,21 @@ fn table2(out: &PathBuf) {
         config.dram.timing.t_ck_ns
     );
     save_json(out, "table2", &config.dram);
+    Ok(())
 }
 
-fn table3(out: &PathBuf) {
+fn table3(out: &Path) -> Result<(), RunnerError> {
     header("Table 3: evaluated workloads and their characteristics");
     let workloads = comet_trace::all_workloads();
     println!("{:<18} {:>10} {:>12} {:>10}", "Workload", "RBMPKI", "BW (MB/s)", "Class");
     for w in &workloads {
-        println!(
-            "{:<18} {:>10.2} {:>12.0} {:>10?}",
-            w.name,
-            w.rbmpki,
-            w.bandwidth_mbps,
-            w.intensity()
-        );
+        println!("{:<18} {:>10.2} {:>12.0} {:>10?}", w.name, w.rbmpki, w.bandwidth_mbps, w.intensity());
     }
     save_json(out, "table3", &workloads);
+    Ok(())
 }
 
-fn table4(out: &PathBuf) {
+fn table4(out: &Path) -> Result<(), RunnerError> {
     header("Table 4: dual-rank storage and area of CoMeT vs Graphene and Hydra");
     let rows = comet_area::table4_rows();
     println!("{:>6} {:<12} {:>14} {:>10}", "NRH", "Mechanism", "Storage (KB)", "mm^2");
@@ -144,18 +175,20 @@ fn table4(out: &PathBuf) {
         }
     }
     save_json(out, "table4", &rows);
+    Ok(())
 }
 
-fn fig3(scope: ExperimentScope, out: &PathBuf) {
+fn fig3(scope: ExperimentScope, out: &Path, executor: &ParallelExecutor) -> Result<(), RunnerError> {
     header("Figure 3: Hydra normalized IPC distribution vs RowHammer threshold");
-    let result = experiments::comparison::fig3_hydra_motivation(scope);
+    let result = experiments::comparison::fig3_hydra_motivation(scope, executor)?;
     print_comparison(&result);
     save_json(out, "fig3", &result);
+    Ok(())
 }
 
-fn fig4(scope: ExperimentScope, out: &PathBuf) {
+fn fig4(scope: ExperimentScope, out: &Path, executor: &ParallelExecutor) -> Result<(), RunnerError> {
     header("Figure 4: performance / energy / area trade-off at NRH = 125");
-    let points = experiments::radar_fig4(scope);
+    let points = experiments::radar_fig4(scope, executor)?;
     println!(
         "{:<12} {:>12} {:>12} {:>14} {:>12}",
         "Mechanism", "Perf ovh", "Energy ovh", "CPU area mm^2", "DRAM area %"
@@ -171,13 +204,11 @@ fn fig4(scope: ExperimentScope, out: &PathBuf) {
         );
     }
     save_json(out, "fig4", &points);
+    Ok(())
 }
 
 fn print_sweep(points: &[experiments::SweepPoint]) {
-    println!(
-        "{:<32} {:>6} {:>16} {:>18}",
-        "Configuration", "NRH", "Norm. IPC (geo)", "Norm. energy (geo)"
-    );
+    println!("{:<32} {:>6} {:>16} {:>18}", "Configuration", "NRH", "Norm. IPC (geo)", "Norm. energy (geo)");
     for p in points {
         println!(
             "{:<32} {:>6} {:>16.4} {:>18.4}",
@@ -186,40 +217,44 @@ fn print_sweep(points: &[experiments::SweepPoint]) {
     }
 }
 
-fn fig6(scope: ExperimentScope, out: &PathBuf) {
+fn fig6(scope: ExperimentScope, out: &Path, executor: &ParallelExecutor) -> Result<(), RunnerError> {
     header("Figure 6: Counter Table design sweep (NHash x NCounters)");
     for nrh in [1000u64, 125] {
         println!("\n-- NRH = {nrh} --");
-        let points = experiments::fig6_ct_sweep(scope, nrh);
+        let points = experiments::fig6_ct_sweep(scope, nrh, executor)?;
         print_sweep(&points);
         save_json(out, &format!("fig6_nrh{nrh}"), &points);
     }
+    Ok(())
 }
 
-fn fig7(scope: ExperimentScope, out: &PathBuf) {
+fn fig7(scope: ExperimentScope, out: &Path, executor: &ParallelExecutor) -> Result<(), RunnerError> {
     header("Figure 7: Recent Aggressor Table size sweep");
-    let points = experiments::fig7_rat_sweep(scope);
+    let points = experiments::fig7_rat_sweep(scope, executor)?;
     print_sweep(&points);
     save_json(out, "fig7", &points);
+    Ok(())
 }
 
-fn fig8(scope: ExperimentScope, out: &PathBuf) {
+fn fig8(scope: ExperimentScope, out: &Path, executor: &ParallelExecutor) -> Result<(), RunnerError> {
     header("Figure 8: early preventive refresh (EPRT x history length) sweep, 8-core, NRH = 125");
-    let points = experiments::fig8_eprt_sweep(scope);
+    let points = experiments::fig8_eprt_sweep(scope, executor)?;
     print_sweep(&points);
     save_json(out, "fig8", &points);
+    Ok(())
 }
 
-fn fig9(scope: ExperimentScope, out: &PathBuf) {
+fn fig9(scope: ExperimentScope, out: &Path, executor: &ParallelExecutor) -> Result<(), RunnerError> {
     header("Figure 9: counter reset period (k) sweep");
-    let points = experiments::fig9_k_sweep(scope);
+    let points = experiments::fig9_k_sweep(scope, executor)?;
     print_sweep(&points);
     save_json(out, "fig9", &points);
+    Ok(())
 }
 
-fn fig10_11(scope: ExperimentScope, out: &PathBuf) {
+fn fig10_11(scope: ExperimentScope, out: &Path, executor: &ParallelExecutor) -> Result<(), RunnerError> {
     header("Figures 10 & 11: CoMeT single-core normalized IPC and DRAM energy");
-    let result = experiments::fig10_fig11_singlecore(scope);
+    let result = experiments::fig10_fig11_singlecore(scope, executor)?;
     println!("{:>6} {:>18} {:>20}", "NRH", "IPC geomean", "Energy geomean");
     for ((nrh, ipc), (_, energy)) in result.ipc_geomean.iter().zip(&result.energy_geomean) {
         println!("{:>6} {:>18.4} {:>20.4}", nrh, ipc, energy);
@@ -232,6 +267,7 @@ fn fig10_11(scope: ExperimentScope, out: &PathBuf) {
         println!("  {:<18} {:>8.4}", p.workload, p.normalized_ipc);
     }
     save_json(out, "fig10_fig11", &result);
+    Ok(())
 }
 
 fn print_comparison(result: &experiments::ComparisonResult) {
@@ -253,32 +289,35 @@ fn print_comparison(result: &experiments::ComparisonResult) {
     }
 }
 
-fn fig12_14(scope: ExperimentScope, out: &PathBuf) {
+fn fig12_14(scope: ExperimentScope, out: &Path, executor: &ParallelExecutor) -> Result<(), RunnerError> {
     header("Figures 12 & 14: single-core comparison against state-of-the-art mitigations");
-    let result = experiments::fig12_fig14_comparison(scope);
+    let result = experiments::fig12_fig14_comparison(scope, executor)?;
     print_comparison(&result);
     save_json(out, "fig12_fig14", &result);
+    Ok(())
 }
 
-fn fig13_15(scope: ExperimentScope, out: &PathBuf) {
+fn fig13_15(scope: ExperimentScope, out: &Path, executor: &ParallelExecutor) -> Result<(), RunnerError> {
     header("Figures 13 & 15: 8-core weighted speedup and DRAM energy comparison");
-    let result = experiments::fig13_fig15_multicore(scope);
-    println!(
-        "{:<12} {:>6} {:>14} {:>14} {:>14}",
-        "Mechanism", "NRH", "WS geomean", "WS min", "Energy geo"
-    );
+    let result = experiments::fig13_fig15_multicore(scope, executor)?;
+    println!("{:<12} {:>6} {:>14} {:>14} {:>14}", "Mechanism", "NRH", "WS geomean", "WS min", "Energy geo");
     for cell in &result.cells {
         println!(
             "{:<12} {:>6} {:>14.4} {:>14.4} {:>14.4}",
-            cell.mechanism, cell.nrh, cell.weighted_speedup.geomean, cell.weighted_speedup.min, cell.energy.geomean
+            cell.mechanism,
+            cell.nrh,
+            cell.weighted_speedup.geomean,
+            cell.weighted_speedup.min,
+            cell.energy.geomean
         );
     }
     save_json(out, "fig13_fig15", &result);
+    Ok(())
 }
 
-fn fig16(scope: ExperimentScope, out: &PathBuf) {
+fn fig16(scope: ExperimentScope, out: &Path, executor: &ParallelExecutor) -> Result<(), RunnerError> {
     header("Figure 16: benign performance under RowHammer attacks");
-    let result = experiments::fig16_adversarial(scope);
+    let result = experiments::fig16_adversarial(scope, executor)?;
     println!("(a) traditional attack, NRH = 500");
     for cell in &result.traditional {
         println!(
@@ -294,9 +333,10 @@ fn fig16(scope: ExperimentScope, out: &PathBuf) {
         );
     }
     save_json(out, "fig16", &result);
+    Ok(())
 }
 
-fn fig17(out: &PathBuf) {
+fn fig17(out: &Path) -> Result<(), RunnerError> {
     header("Figure 17: tracker false positive rate, CoMeT vs BlockHammer");
     let points = experiments::fig17_false_positive_rate(10_000, 125, 0xF17);
     println!("{:>12} {:>12} {:>16}", "Unique rows", "CoMeT FPR", "BlockHammer FPR");
@@ -304,97 +344,118 @@ fn fig17(out: &PathBuf) {
         println!("{:>12} {:>12.4} {:>16.4}", p.unique_rows, p.comet_fpr, p.blockhammer_fpr);
     }
     save_json(out, "fig17", &points);
+    Ok(())
 }
 
-fn fig18(scope: ExperimentScope, out: &PathBuf) {
+fn fig18(scope: ExperimentScope, out: &Path, executor: &ParallelExecutor) -> Result<(), RunnerError> {
     header("Figure 18: CoMeT vs BlockHammer normalized IPC");
-    let result = experiments::comparison::fig18_blockhammer(scope);
+    let result = experiments::comparison::fig18_blockhammer(scope, executor)?;
     print_comparison(&result);
     save_json(out, "fig18", &result);
+    Ok(())
 }
 
-fn highnrh(scope: ExperimentScope, out: &PathBuf) {
+fn highnrh(scope: ExperimentScope, out: &Path, executor: &ParallelExecutor) -> Result<(), RunnerError> {
     header("Section 8.4: CoMeT at high RowHammer thresholds (2000, 4000)");
-    let result = experiments::singlecore::high_threshold_singlecore(scope);
+    let result = experiments::singlecore::high_threshold_singlecore(scope, executor)?;
     for (nrh, geomean) in &result.ipc_geomean {
         println!("NRH = {nrh}: normalized IPC geomean = {geomean:.5}");
     }
     save_json(out, "highnrh", &result);
+    Ok(())
 }
 
-fn ablation(scope: ExperimentScope, out: &PathBuf) {
+fn ablation(scope: ExperimentScope, out: &Path, executor: &ParallelExecutor) -> Result<(), RunnerError> {
     header("Ablation: RAT and early preventive refresh contributions at NRH = 125");
-    let points = experiments::sweeps::ablation(scope, 125);
+    let points = experiments::sweeps::ablation(scope, 125, executor)?;
     print_sweep(&points);
     save_json(out, "ablation", &points);
+    Ok(())
 }
 
 fn main() {
     let args = parse_args();
     let scope = args.scope;
+    let executor = args.executor;
     println!(
-        "CoMeT reproduction experiments — scope: {:?}, workloads: {}, output: {}",
+        "CoMeT reproduction experiments — scope: {:?}, workloads: {}, worker threads: {}, output: {}",
         scope,
         scope.workloads().len(),
+        executor.threads(),
         args.out.display()
     );
 
     let run_all = args.targets.iter().any(|t| t == "all");
     let wants = |name: &str| run_all || args.targets.iter().any(|t| t == name);
+    let mut failures = 0u32;
+    let mut timed = |name: &str, run: &mut dyn FnMut() -> Result<(), RunnerError>| {
+        let started = Instant::now();
+        match run() {
+            Ok(()) => println!("[{name}: {:.2} s]", started.elapsed().as_secs_f64()),
+            Err(error) => {
+                eprintln!("error: target {name} failed: {error}");
+                failures += 1;
+            }
+        }
+    };
 
     if wants("table1") {
-        table1(&args.out);
+        timed("table1", &mut || table1(&args.out));
     }
     if wants("table2") {
-        table2(&args.out);
+        timed("table2", &mut || table2(&args.out));
     }
     if wants("table3") {
-        table3(&args.out);
+        timed("table3", &mut || table3(&args.out));
     }
     if wants("table4") {
-        table4(&args.out);
+        timed("table4", &mut || table4(&args.out));
     }
     if wants("fig17") {
-        fig17(&args.out);
+        timed("fig17", &mut || fig17(&args.out));
     }
     if wants("fig3") {
-        fig3(scope, &args.out);
+        timed("fig3", &mut || fig3(scope, &args.out, &executor));
     }
     if wants("fig4") {
-        fig4(scope, &args.out);
+        timed("fig4", &mut || fig4(scope, &args.out, &executor));
     }
     if wants("fig6") {
-        fig6(scope, &args.out);
+        timed("fig6", &mut || fig6(scope, &args.out, &executor));
     }
     if wants("fig7") {
-        fig7(scope, &args.out);
+        timed("fig7", &mut || fig7(scope, &args.out, &executor));
     }
     if wants("fig8") {
-        fig8(scope, &args.out);
+        timed("fig8", &mut || fig8(scope, &args.out, &executor));
     }
     if wants("fig9") {
-        fig9(scope, &args.out);
+        timed("fig9", &mut || fig9(scope, &args.out, &executor));
     }
     if wants("fig10") || wants("fig11") {
-        fig10_11(scope, &args.out);
+        timed("fig10_11", &mut || fig10_11(scope, &args.out, &executor));
     }
     if wants("fig12") || wants("fig14") {
-        fig12_14(scope, &args.out);
+        timed("fig12_14", &mut || fig12_14(scope, &args.out, &executor));
     }
     if wants("fig13") || wants("fig15") {
-        fig13_15(scope, &args.out);
+        timed("fig13_15", &mut || fig13_15(scope, &args.out, &executor));
     }
     if wants("fig16") {
-        fig16(scope, &args.out);
+        timed("fig16", &mut || fig16(scope, &args.out, &executor));
     }
     if wants("fig18") {
-        fig18(scope, &args.out);
+        timed("fig18", &mut || fig18(scope, &args.out, &executor));
     }
     if wants("highnrh") {
-        highnrh(scope, &args.out);
+        timed("highnrh", &mut || highnrh(scope, &args.out, &executor));
     }
     if wants("ablation") {
-        ablation(scope, &args.out);
+        timed("ablation", &mut || ablation(scope, &args.out, &executor));
+    }
+    if failures > 0 {
+        eprintln!("\n{failures} target(s) failed.");
+        std::process::exit(1);
     }
     println!("\nDone. JSON series written to {}", args.out.display());
 }

@@ -178,10 +178,7 @@ mod tests {
             let items: Vec<(u64, u64)> = (0..20_000u64).map(|i| ((i * 31) % 700, 1)).collect();
             let truth = exercise(&mut cms, &items);
             for (item, count) in truth {
-                assert!(
-                    cms.estimate(item) >= count,
-                    "conservative={conservative}: underestimate for {item}"
-                );
+                assert!(cms.estimate(item) >= count, "conservative={conservative}: underestimate for {item}");
             }
         }
     }
@@ -198,7 +195,8 @@ mod tests {
 
     #[test]
     fn conservative_update_overestimates_no_more_than_plain() {
-        let items: Vec<(u64, u64)> = (0..50_000u64).map(|i| ((i.wrapping_mul(2654435761)) % 3000, 1)).collect();
+        let items: Vec<(u64, u64)> =
+            (0..50_000u64).map(|i| ((i.wrapping_mul(2654435761)) % 3000, 1)).collect();
         let mut plain = CountMinSketch::with_conservative_updates(4, 256, 11, None, false);
         let mut cu = CountMinSketch::with_conservative_updates(4, 256, 11, None, true);
         let truth = exercise(&mut plain, &items);
@@ -261,9 +259,7 @@ mod tests {
         let mut large = CountMinSketch::new(4, 1024, 1, None);
         let truth = exercise(&mut small, &items);
         exercise(&mut large, &items);
-        let err = |cms: &CountMinSketch| -> u64 {
-            truth.iter().map(|(&i, &c)| cms.estimate(i) - c).sum()
-        };
+        let err = |cms: &CountMinSketch| -> u64 { truth.iter().map(|(&i, &c)| cms.estimate(i) - c).sum() };
         assert!(err(&large) < err(&small));
     }
 }

@@ -102,7 +102,10 @@ impl Comet {
     }
 
     fn bank_index(&self, addr: &DramAddr) -> usize {
-        addr.channel * self.geometry.banks_per_channel() + addr.flat_bank(&self.geometry)
+        // One CoMeT instance protects exactly one channel (the sharded memory
+        // system builds an instance per channel), so per-bank trackers are
+        // indexed within the channel and `addr.channel` plays no part.
+        addr.flat_bank(&self.geometry)
     }
 
     fn maybe_periodic_reset(&mut self, now: Cycle) {

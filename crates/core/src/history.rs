@@ -36,10 +36,8 @@ impl RatMissHistory {
         if self.length == 0 {
             return;
         }
-        if self.bits.len() == self.length {
-            if self.bits.pop_front() == Some(true) {
-                self.capacity_misses -= 1;
-            }
+        if self.bits.len() == self.length && self.bits.pop_front() == Some(true) {
+            self.capacity_misses -= 1;
         }
         self.bits.push_back(capacity_miss);
         if capacity_miss {

@@ -31,9 +31,7 @@ pub struct DramAddr {
 impl DramAddr {
     /// Flat bank index within the channel: `rank * banks_per_rank + bank_group * banks_per_group + bank`.
     pub fn flat_bank(&self, geometry: &DramGeometry) -> usize {
-        self.rank * geometry.banks_per_rank()
-            + self.bank_group * geometry.banks_per_bank_group
-            + self.bank
+        self.rank * geometry.banks_per_rank() + self.bank_group * geometry.banks_per_bank_group + self.bank
     }
 
     /// Flat bank index within the rank.

@@ -95,7 +95,9 @@ impl Bank {
                 CommandKind::Rd | CommandKind::RdA | CommandKind::Wr | CommandKind::WrA,
                 BankState::Opened { .. },
             ) => true,
-            (CommandKind::Rd | CommandKind::RdA | CommandKind::Wr | CommandKind::WrA, BankState::Closed) => false,
+            (CommandKind::Rd | CommandKind::RdA | CommandKind::Wr | CommandKind::WrA, BankState::Closed) => {
+                false
+            }
             (CommandKind::Ref, BankState::Closed) => true,
             (CommandKind::Ref, BankState::Opened { .. }) => false,
         }

@@ -29,6 +29,17 @@ impl ChannelStats {
     pub fn total(&self) -> u64 {
         self.acts + self.pres + self.reads + self.writes + self.refs
     }
+
+    /// Field-wise sum (`self + other`), used to aggregate per-channel shards.
+    pub fn merged(&self, other: &ChannelStats) -> ChannelStats {
+        ChannelStats {
+            acts: self.acts + other.acts,
+            pres: self.pres + other.pres,
+            reads: self.reads + other.reads,
+            writes: self.writes + other.writes,
+            refs: self.refs + other.refs,
+        }
+    }
 }
 
 /// A DRAM channel: the unit the memory controller schedules commands onto.
@@ -49,7 +60,13 @@ impl DramChannel {
     /// Creates a channel with all banks precharged.
     pub fn new(config: DramConfig) -> Self {
         let ranks = (0..config.geometry.ranks_per_channel).map(|_| Rank::new(&config.geometry)).collect();
-        DramChannel { config, ranks, data_bus_free_at: 0, stats: ChannelStats::default(), energy: EnergyCounters::default() }
+        DramChannel {
+            config,
+            ranks,
+            data_bus_free_at: 0,
+            stats: ChannelStats::default(),
+            energy: EnergyCounters::default(),
+        }
     }
 
     /// The configuration this channel was built with.
@@ -86,8 +103,7 @@ impl DramChannel {
     /// Earliest cycle at which `cmd` targeting `addr` can be legally issued.
     pub fn earliest_issue(&self, cmd: CommandKind, addr: &DramAddr, now: Cycle) -> Cycle {
         let t = &self.config.timing;
-        let mut earliest =
-            self.ranks[addr.rank].earliest_issue(cmd, addr.bank_group, addr.bank, now, t);
+        let mut earliest = self.ranks[addr.rank].earliest_issue(cmd, addr.bank_group, addr.bank, now, t);
         if cmd.is_column() {
             // One burst at a time on the shared data bus. The burst occupies the bus
             // CL/CWL cycles after the command; conservatively serialize command issue
@@ -223,10 +239,7 @@ mod tests {
     fn invalid_address_is_rejected() {
         let mut ch = channel();
         let bad = DramAddr { channel: 0, rank: 9, bank_group: 0, bank: 0, row: 0, column: 0 };
-        assert!(matches!(
-            ch.issue(CommandKind::Act, &bad, 0),
-            Err(DramError::AddressOutOfRange { .. })
-        ));
+        assert!(matches!(ch.issue(CommandKind::Act, &bad, 0), Err(DramError::AddressOutOfRange { .. })));
     }
 
     #[test]

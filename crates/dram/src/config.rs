@@ -47,15 +47,17 @@ impl DramConfig {
         c
     }
 
+    /// The paper configuration scaled out to `channels` independent channels.
+    pub fn ddr4_multi_channel(channels: usize) -> Self {
+        let mut c = Self::ddr4_paper_default();
+        c.geometry = c.geometry.with_channels(channels);
+        c
+    }
+
     /// Validates the configuration, returning human-readable problems (empty = OK).
     pub fn validate(&self) -> Vec<String> {
         let mut problems = self.timing.consistency_violations();
-        if self.geometry.channels == 0 || self.geometry.ranks_per_channel == 0 {
-            problems.push("geometry must have at least one channel and rank".to_string());
-        }
-        if self.geometry.rows_per_bank < 2 {
-            problems.push("geometry must have at least two rows per bank".to_string());
-        }
+        problems.extend(self.geometry.consistency_violations());
         problems
     }
 }
@@ -86,6 +88,15 @@ mod tests {
         let scaled = DramConfig::ddr4_scaled_refresh(8);
         assert_eq!(scaled.timing.t_refw, base.timing.t_refw / 8);
         assert!(scaled.validate().is_empty());
+    }
+
+    #[test]
+    fn multi_channel_config_is_valid() {
+        for channels in [2usize, 4] {
+            let c = DramConfig::ddr4_multi_channel(channels);
+            assert_eq!(c.geometry.channels, channels);
+            assert!(c.validate().is_empty());
+        }
     }
 
     #[test]

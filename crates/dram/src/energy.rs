@@ -28,6 +28,35 @@ pub struct EnergyCounters {
     pub elapsed_cycles: u64,
 }
 
+impl EnergyCounters {
+    /// Field-wise sum of the command counters, used to aggregate per-channel
+    /// shards. `elapsed_cycles` is *not* summed — channels run concurrently,
+    /// so wall-clock time is the maximum, not the total.
+    pub fn merged(&self, other: &EnergyCounters) -> EnergyCounters {
+        EnergyCounters {
+            acts: self.acts + other.acts,
+            pres: self.pres + other.pres,
+            reads: self.reads + other.reads,
+            writes: self.writes + other.writes,
+            refs: self.refs + other.refs,
+            elapsed_cycles: self.elapsed_cycles.max(other.elapsed_cycles),
+        }
+    }
+
+    /// Field-wise difference (`self - earlier`) of the command counters, used
+    /// for warmup exclusion. `elapsed_cycles` is carried over from `self`.
+    pub fn delta_since(&self, earlier: &EnergyCounters) -> EnergyCounters {
+        EnergyCounters {
+            acts: self.acts - earlier.acts,
+            pres: self.pres - earlier.pres,
+            reads: self.reads - earlier.reads,
+            writes: self.writes - earlier.writes,
+            refs: self.refs - earlier.refs,
+            elapsed_cycles: self.elapsed_cycles,
+        }
+    }
+}
+
 /// Energy attributed to each component, in nanojoules.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct EnergyBreakdown {
@@ -183,7 +212,14 @@ mod tests {
     #[test]
     fn extra_activations_increase_total_energy() {
         let (m, t) = model();
-        let base = EnergyCounters { acts: 1000, pres: 1000, reads: 5000, writes: 100, refs: 50, elapsed_cycles: 1_000_000 };
+        let base = EnergyCounters {
+            acts: 1000,
+            pres: 1000,
+            reads: 5000,
+            writes: 100,
+            refs: 50,
+            elapsed_cycles: 1_000_000,
+        };
         let more = EnergyCounters { acts: 1500, pres: 1500, ..base };
         assert!(m.breakdown(&more, &t, 2).total_nj() > m.breakdown(&base, &t, 2).total_nj());
     }

@@ -50,6 +50,26 @@ impl DramGeometry {
         }
     }
 
+    /// The paper geometry scaled out to `channels` independent channels —
+    /// the organization the sharded memory system in `comet-sim` simulates for
+    /// multi-channel scenarios.
+    ///
+    /// ```rust
+    /// use comet_dram::DramGeometry;
+    /// let g = DramGeometry::multi_channel(4);
+    /// assert_eq!(g.channels, 4);
+    /// assert_eq!(g.total_banks(), 4 * 32);
+    /// ```
+    pub fn multi_channel(channels: usize) -> Self {
+        Self::paper_default().with_channels(channels)
+    }
+
+    /// Returns this geometry with the channel count replaced (builder style).
+    pub fn with_channels(mut self, channels: usize) -> Self {
+        self.channels = channels;
+        self
+    }
+
     /// A deliberately tiny geometry for unit tests and doc examples, small
     /// enough that exhaustive row sweeps stay fast.
     pub fn tiny() -> Self {
@@ -99,6 +119,33 @@ impl DramGeometry {
     pub fn row_bits(&self) -> u32 {
         usize::BITS - (self.rows_per_bank - 1).leading_zeros()
     }
+
+    /// Human-readable consistency problems with this geometry (empty = OK).
+    ///
+    /// Every dimension must be non-zero for the address mapper's mixed-radix
+    /// decomposition to be well defined, and at least two rows per bank are
+    /// required for victim rows to exist.
+    pub fn consistency_violations(&self) -> Vec<String> {
+        let mut problems = Vec::new();
+        let dimensions = [
+            ("channels", self.channels),
+            ("ranks_per_channel", self.ranks_per_channel),
+            ("bank_groups_per_rank", self.bank_groups_per_rank),
+            ("banks_per_bank_group", self.banks_per_bank_group),
+            ("columns_per_row", self.columns_per_row),
+            ("bytes_per_column", self.bytes_per_column),
+            ("devices_per_rank", self.devices_per_rank),
+        ];
+        for (name, value) in dimensions {
+            if value == 0 {
+                problems.push(format!("geometry dimension `{name}` must be non-zero"));
+            }
+        }
+        if self.rows_per_bank < 2 {
+            problems.push("geometry must have at least two rows per bank".to_string());
+        }
+        problems
+    }
 }
 
 impl Default for DramGeometry {
@@ -147,5 +194,28 @@ mod tests {
     #[test]
     fn default_is_paper_default() {
         assert_eq!(DramGeometry::default(), DramGeometry::paper_default());
+    }
+
+    #[test]
+    fn multi_channel_scales_only_the_channel_count() {
+        let one = DramGeometry::paper_default();
+        for channels in [2usize, 4, 8] {
+            let g = DramGeometry::multi_channel(channels);
+            assert_eq!(g.channels, channels);
+            assert_eq!(g.banks_per_channel(), one.banks_per_channel());
+            assert_eq!(g.total_banks(), channels * one.total_banks());
+            assert_eq!(g.capacity_bytes(), channels as u64 * one.capacity_bytes());
+            assert!(g.consistency_violations().is_empty());
+        }
+    }
+
+    #[test]
+    fn zero_dimensions_are_reported() {
+        let mut g = DramGeometry::tiny();
+        g.channels = 0;
+        g.rows_per_bank = 1;
+        let problems = g.consistency_violations();
+        assert!(problems.iter().any(|p| p.contains("channels")));
+        assert!(problems.iter().any(|p| p.contains("two rows")));
     }
 }

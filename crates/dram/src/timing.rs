@@ -148,11 +148,7 @@ impl TimingParams {
     pub fn consistency_violations(&self) -> Vec<String> {
         let mut v = Vec::new();
         if self.t_rc < self.t_ras + self.t_rp {
-            v.push(format!(
-                "t_rc ({}) must be >= t_ras + t_rp ({})",
-                self.t_rc,
-                self.t_ras + self.t_rp
-            ));
+            v.push(format!("t_rc ({}) must be >= t_ras + t_rp ({})", self.t_rc, self.t_ras + self.t_rp));
         }
         if self.t_rrd_l < self.t_rrd_s {
             v.push("t_rrd_l must be >= t_rrd_s".to_string());

@@ -33,9 +33,8 @@ impl CountingBloomFilter {
 
     fn index(&self, item: u64, hash: usize) -> usize {
         // A small xorshift-multiply hash family; any counter can be selected by any hash.
-        let mut x = item
-            .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(hash as u64 + 1))
-            .wrapping_add(self.seed);
+        let mut x =
+            item.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(hash as u64 + 1)).wrapping_add(self.seed);
         x ^= x >> 33;
         x = x.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
         x ^= x >> 29;
@@ -145,7 +144,11 @@ impl BlockHammer {
             .map(|b| {
                 [
                     CountingBloomFilter::new(config.cbf_counters, config.cbf_hashes, seed ^ (b as u64)),
-                    CountingBloomFilter::new(config.cbf_counters, config.cbf_hashes, seed ^ (b as u64) ^ 0xDEAD),
+                    CountingBloomFilter::new(
+                        config.cbf_counters,
+                        config.cbf_hashes,
+                        seed ^ (b as u64) ^ 0xDEAD,
+                    ),
                 ]
             })
             .collect();
@@ -190,7 +193,7 @@ impl RowHammerMitigation for BlockHammer {
     fn on_activation(&mut self, addr: &DramAddr, now: Cycle, weight: u64) -> MitigationResponse {
         self.maybe_rotate(now);
         self.stats.activations_observed += weight;
-        let bank = addr.channel * self.geometry.banks_per_channel() + addr.flat_bank(&self.geometry);
+        let bank = addr.flat_bank(&self.geometry);
         let row = addr.row as u64;
         let pair = &mut self.filters[bank];
         pair[self.active].insert(row, weight);

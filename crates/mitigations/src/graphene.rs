@@ -158,7 +158,7 @@ impl RowHammerMitigation for Graphene {
     fn on_activation(&mut self, addr: &DramAddr, now: Cycle, weight: u64) -> MitigationResponse {
         self.maybe_reset(now);
         self.stats.activations_observed += weight;
-        let bank = addr.channel * self.geometry.banks_per_channel() + addr.flat_bank(&self.geometry);
+        let bank = addr.flat_bank(&self.geometry);
         let estimate = self.tables[bank].update(addr.row, weight, self.config.entries_per_bank);
         let threshold = self.config.prevention_threshold;
         let level = estimate / threshold;

@@ -164,7 +164,7 @@ impl RowHammerMitigation for Hydra {
     fn on_activation(&mut self, addr: &DramAddr, now: Cycle, weight: u64) -> MitigationResponse {
         self.maybe_reset(now);
         self.stats.activations_observed += weight;
-        let bank = addr.channel * self.geometry.banks_per_channel() + addr.flat_bank(&self.geometry);
+        let bank = addr.flat_bank(&self.geometry);
         let group = addr.row / self.config.rows_per_group;
         let key = (bank, addr.row);
         let mut response = MitigationResponse::none();

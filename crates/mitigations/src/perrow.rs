@@ -39,7 +39,7 @@ impl PerRowCounters {
 
     /// Exact activation count recorded for `addr` in the current window.
     pub fn count(&self, addr: &DramAddr) -> u64 {
-        let bank = addr.channel * self.geometry.banks_per_channel() + addr.flat_bank(&self.geometry);
+        let bank = addr.flat_bank(&self.geometry);
         *self.counters.get(&(bank, addr.row)).unwrap_or(&0)
     }
 
@@ -67,7 +67,7 @@ impl RowHammerMitigation for PerRowCounters {
     fn on_activation(&mut self, addr: &DramAddr, now: Cycle, weight: u64) -> MitigationResponse {
         self.maybe_reset(now);
         self.stats.activations_observed += weight;
-        let bank = addr.channel * self.geometry.banks_per_channel() + addr.flat_bank(&self.geometry);
+        let bank = addr.flat_bank(&self.geometry);
         let counter = self.counters.entry((bank, addr.row)).or_insert(0);
         *counter += weight;
         if *counter >= self.prevention_threshold {

@@ -43,6 +43,36 @@ impl MitigationStats {
             (self.counter_reads + self.counter_writes) as f64 / self.activations_observed as f64
         }
     }
+
+    /// Field-wise sum (`self + other`), used to aggregate per-channel shards.
+    pub fn merged(&self, other: &MitigationStats) -> MitigationStats {
+        MitigationStats {
+            activations_observed: self.activations_observed + other.activations_observed,
+            preventive_refreshes: self.preventive_refreshes + other.preventive_refreshes,
+            aggressors_identified: self.aggressors_identified + other.aggressors_identified,
+            early_rank_refreshes: self.early_rank_refreshes + other.early_rank_refreshes,
+            counter_reads: self.counter_reads + other.counter_reads,
+            counter_writes: self.counter_writes + other.counter_writes,
+            throttled_activations: self.throttled_activations + other.throttled_activations,
+            throttle_cycles: self.throttle_cycles + other.throttle_cycles,
+            periodic_resets: self.periodic_resets + other.periodic_resets,
+        }
+    }
+
+    /// Field-wise difference (`self - earlier`), used for warmup exclusion.
+    pub fn delta_since(&self, earlier: &MitigationStats) -> MitigationStats {
+        MitigationStats {
+            activations_observed: self.activations_observed - earlier.activations_observed,
+            preventive_refreshes: self.preventive_refreshes - earlier.preventive_refreshes,
+            aggressors_identified: self.aggressors_identified - earlier.aggressors_identified,
+            early_rank_refreshes: self.early_rank_refreshes - earlier.early_rank_refreshes,
+            counter_reads: self.counter_reads - earlier.counter_reads,
+            counter_writes: self.counter_writes - earlier.counter_writes,
+            throttled_activations: self.throttled_activations - earlier.throttled_activations,
+            throttle_cycles: self.throttle_cycles - earlier.throttle_cycles,
+            periodic_resets: self.periodic_resets - earlier.periodic_resets,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -67,5 +97,16 @@ mod tests {
         };
         assert!((s.preventive_refresh_rate() - 0.1).abs() < 1e-12);
         assert!((s.counter_traffic_rate() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merged_sums_and_delta_subtracts() {
+        let a = MitigationStats { activations_observed: 10, preventive_refreshes: 2, ..Default::default() };
+        let b = MitigationStats { activations_observed: 5, preventive_refreshes: 1, ..Default::default() };
+        let sum = a.merged(&b);
+        assert_eq!(sum.activations_observed, 15);
+        assert_eq!(sum.preventive_refreshes, 3);
+        let delta = sum.delta_since(&b);
+        assert_eq!(delta, a);
     }
 }

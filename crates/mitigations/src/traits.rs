@@ -64,7 +64,11 @@ impl MitigationResponse {
 /// command it issues and executes the returned [`MitigationResponse`].
 /// Implementations must be deterministic given their construction-time seed so
 /// experiments are reproducible.
-pub trait RowHammerMitigation {
+///
+/// `Send` is a supertrait so that a per-channel mechanism instance can live
+/// inside a controller shard that runs on a worker thread of the parallel
+/// experiment executor.
+pub trait RowHammerMitigation: Send {
     /// Short, stable mechanism name used in experiment reports (e.g. `"CoMeT"`).
     fn name(&self) -> &str;
 
@@ -102,6 +106,66 @@ pub trait RowHammerMitigation {
     fn storage_bits(&self) -> u64;
 }
 
+/// Builds one independent mitigation instance per memory-channel shard.
+///
+/// The sharded memory system in `comet-sim` owns one controller — and thus
+/// one tracker — per channel, mirroring how per-channel RowHammer trackers
+/// are instantiated in hardware. A factory captures everything needed to
+/// construct a mechanism (configuration, threshold, seed) so that shards can
+/// be built lazily, per channel, possibly from worker threads (`Send + Sync`).
+pub trait MitigationFactory: Send + Sync {
+    /// Short, stable mechanism name (matches the built instances' `name()`).
+    fn name(&self) -> &str;
+
+    /// Builds the mechanism instance protecting `channel`.
+    ///
+    /// Instances for different channels must be independent: mutating one
+    /// shard's tracker state must never affect another's. Probabilistic
+    /// mechanisms should derive per-channel randomness from `channel` so that
+    /// shards do not replay identical decision streams.
+    fn build(&self, channel: usize) -> Box<dyn RowHammerMitigation>;
+}
+
+/// A [`MitigationFactory`] wrapping a closure — the easiest way to adapt a
+/// concrete mechanism constructor.
+///
+/// ```rust
+/// use comet_mitigations::{FnFactory, MitigationFactory, NoMitigation};
+///
+/// let factory = FnFactory::new("Baseline", |_channel| Box::new(NoMitigation::new()));
+/// assert_eq!(factory.build(0).name(), "Baseline");
+/// ```
+pub struct FnFactory {
+    name: String,
+    build: Box<dyn Fn(usize) -> Box<dyn RowHammerMitigation> + Send + Sync>,
+}
+
+impl FnFactory {
+    /// Creates a factory calling `build` for every channel.
+    pub fn new(
+        name: impl Into<String>,
+        build: impl Fn(usize) -> Box<dyn RowHammerMitigation> + Send + Sync + 'static,
+    ) -> Self {
+        FnFactory { name: name.into(), build: Box::new(build) }
+    }
+}
+
+impl MitigationFactory for FnFactory {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn build(&self, channel: usize) -> Box<dyn RowHammerMitigation> {
+        (self.build)(channel)
+    }
+}
+
+impl std::fmt::Debug for FnFactory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FnFactory").field("name", &self.name).finish()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -132,5 +196,26 @@ mod tests {
         assert!(!r.is_nop());
         let w = MitigationResponse { counter_writes: 1, ..Default::default() };
         assert!(!w.is_nop());
+    }
+
+    #[test]
+    fn fn_factory_builds_independent_instances() {
+        let factory = FnFactory::new("Baseline", |_channel| {
+            Box::new(crate::NoMitigation::new()) as Box<dyn RowHammerMitigation>
+        });
+        assert_eq!(factory.name(), "Baseline");
+        let addr = DramAddr { channel: 0, rank: 0, bank_group: 0, bank: 0, row: 5, column: 0 };
+        let mut a = factory.build(0);
+        let b = factory.build(1);
+        a.on_activation(&addr, 0, 1);
+        assert_eq!(a.stats().activations_observed, 1);
+        assert_eq!(b.stats().activations_observed, 0, "instances must not share state");
+    }
+
+    #[test]
+    fn mechanisms_are_send() {
+        fn assert_send<T: Send + ?Sized>() {}
+        assert_send::<dyn RowHammerMitigation>();
+        assert_send::<Box<dyn RowHammerMitigation>>();
     }
 }

@@ -2,9 +2,7 @@
 //! management, and the RowHammer-mitigation hook on every activation.
 
 use crate::request::{CompletedRead, MemRequest};
-use comet_dram::{
-    CommandKind, Cycle, DramAddr, DramChannel, DramConfig, EnergyCounters, RefreshScheduler,
-};
+use comet_dram::{CommandKind, Cycle, DramAddr, DramChannel, DramConfig, EnergyCounters, RefreshScheduler};
 use comet_mitigations::{MitigationResponse, RowHammerMitigation};
 use std::collections::VecDeque;
 
@@ -68,6 +66,20 @@ impl ControllerStats {
             0.0
         } else {
             self.read_latency_sum as f64 / self.reads_completed as f64
+        }
+    }
+
+    /// Field-wise sum (`self + other`), used to aggregate per-channel shards.
+    pub fn merged(&self, other: &ControllerStats) -> ControllerStats {
+        ControllerStats {
+            reads_completed: self.reads_completed + other.reads_completed,
+            writes_completed: self.writes_completed + other.writes_completed,
+            read_latency_sum: self.read_latency_sum + other.read_latency_sum,
+            preventive_refreshes_done: self.preventive_refreshes_done + other.preventive_refreshes_done,
+            rank_refreshes_done: self.rank_refreshes_done + other.rank_refreshes_done,
+            periodic_refreshes: self.periodic_refreshes + other.periodic_refreshes,
+            throttled_acts: self.throttled_acts + other.throttled_acts,
+            metadata_accesses: self.metadata_accesses + other.metadata_accesses,
         }
     }
 
@@ -494,7 +506,8 @@ impl MemoryController {
                     continue; // handled by the column pass
                 }
                 if !request.ready(now) {
-                    earliest_future = Some(earliest_future.map_or(request.hold_until, |t| t.min(request.hold_until)));
+                    earliest_future =
+                        Some(earliest_future.map_or(request.hold_until, |t| t.min(request.hold_until)));
                     continue;
                 }
                 let bank = request.addr.flat_bank(&geometry);
@@ -510,7 +523,8 @@ impl MemoryController {
                             let response = self.mitigation.on_activation(&request.addr, now, 1);
                             let throttled = response.throttle_cycles > 0;
                             let hold = self.apply_response(response, &request.addr, now);
-                            let queue = if prefer_writes { &mut self.write_queue } else { &mut self.read_queue };
+                            let queue =
+                                if prefer_writes { &mut self.write_queue } else { &mut self.read_queue };
                             queue[index].act_notified = true;
                             if hold > now {
                                 queue[index].hold_until = hold;
@@ -526,7 +540,8 @@ impl MemoryController {
                         // bank) is held for the extra in-DRAM refresh time.
                         let penalty = self.mitigation.act_latency_penalty();
                         if penalty > 0 {
-                            let queue = if prefer_writes { &mut self.write_queue } else { &mut self.read_queue };
+                            let queue =
+                                if prefer_writes { &mut self.write_queue } else { &mut self.read_queue };
                             queue[index].hold_until = now + penalty;
                         }
                         // Reset the notification flag so a future re-activation (after a
@@ -545,7 +560,9 @@ impl MemoryController {
                         }
                         let pre_at = self.channel.earliest_issue(CommandKind::Pre, &request.addr, now);
                         if pre_at <= now {
-                            self.channel.issue(CommandKind::Pre, &request.addr, now).expect("PRE at legal time");
+                            self.channel
+                                .issue(CommandKind::Pre, &request.addr, now)
+                                .expect("PRE at legal time");
                             self.bank_state[bank].columns_since_act = 0;
                             return Some(now);
                         }
@@ -596,7 +613,7 @@ mod tests {
         while now < limit {
             let next = mc.tick(now);
             done.extend(mc.take_completions());
-            if mc.idle() && done.len() >= 1 && mc.queued_requests() == 0 {
+            if mc.idle() && !done.is_empty() && mc.queued_requests() == 0 {
                 break;
             }
             now = next.max(now + 1);
@@ -648,7 +665,13 @@ mod tests {
     fn writes_are_buffered_and_drained() {
         let mut mc = controller_with(Box::new(NoMitigation::new()));
         for i in 0..60 {
-            assert!(mc.enqueue(MemRequest::new(i, 0, addr(0, 0, (i % 8) as usize, i as usize % 64), true, 0)));
+            assert!(mc.enqueue(MemRequest::new(
+                i,
+                0,
+                addr(0, 0, (i % 8) as usize, i as usize % 64),
+                true,
+                0
+            )));
         }
         let mut now = 0;
         for _ in 0..200_000 {
@@ -701,7 +724,7 @@ mod tests {
         let mut issued = 0u64;
         while issued < 400 || mc.queued_requests() > 0 || !mc.idle() {
             if issued < 400 && mc.queued_requests() == 0 {
-                let row = if issued % 2 == 0 { 100 } else { 300 };
+                let row = if issued.is_multiple_of(2) { 100 } else { 300 };
                 mc.enqueue(MemRequest::new(id, 0, addr(0, 0, row, 0), false, now));
                 id += 1;
                 issued += 1;

@@ -1,6 +1,6 @@
 //! Trace-driven CPU core model with a bounded instruction window.
 
-use crate::controller::MemoryController;
+use crate::memory::MemorySink;
 use crate::request::MemRequest;
 use comet_dram::{AddressMapper, AddressScheme, Cycle};
 use comet_trace::{TraceRecord, TraceSource};
@@ -182,11 +182,13 @@ impl TraceCore {
     }
 
     /// Advances the core up to DRAM cycle `now`, dispatching instructions and
-    /// enqueueing memory requests into `controller`.
+    /// enqueueing memory requests into `memory` — a single controller or the
+    /// sharded multi-channel memory system; requests carry their decoded
+    /// channel in the address and the sink routes them.
     ///
     /// Returns the DRAM cycle at which the core next wants to act, or `None`
     /// when it is blocked waiting for a completion or controller queue space.
-    pub fn advance(&mut self, now: Cycle, controller: &mut MemoryController) -> Option<Cycle> {
+    pub fn advance(&mut self, now: Cycle, memory: &mut impl MemorySink) -> Option<Cycle> {
         let until_cpu = self.dram_to_cpu(now + 1) - 1e-9;
         loop {
             self.retire_completed();
@@ -228,15 +230,8 @@ impl TraceCore {
                 return None;
             }
             let addr = self.mapper.map(record.addr);
-            let accepted = {
-                let has_space =
-                    if record.is_write { controller.can_accept_write() } else { controller.can_accept_read() };
-                if has_space {
-                    controller.enqueue(MemRequest::new(self.next_request_id, self.id, addr, record.is_write, now))
-                } else {
-                    false
-                }
-            };
+            let accepted = memory.can_accept(&addr, record.is_write)
+                && memory.enqueue(MemRequest::new(self.next_request_id, self.id, addr, record.is_write, now));
             if !accepted {
                 // The core genuinely stalls here; account for the time spent waiting.
                 self.clock_cpu = self.clock_cpu.max(self.dram_to_cpu(now));
@@ -278,7 +273,7 @@ impl std::fmt::Debug for TraceCore {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::controller::ControllerConfig;
+    use crate::controller::{ControllerConfig, MemoryController};
     use comet_dram::DramConfig;
     use comet_mitigations::NoMitigation;
     use comet_trace::request::ReplayTrace;

@@ -1,9 +1,9 @@
 //! Figure 16: performance of benign workloads running concurrently with
 //! RowHammer attacks (a traditional attack and mechanism-targeted attacks).
 
-use super::ExperimentScope;
+use super::{run_grid, ExperimentScope, ParallelExecutor};
 use crate::metrics::{normalized_distribution, DistributionSummary};
-use crate::runner::{MechanismKind, Runner};
+use crate::runner::{MechanismKind, Runner, RunnerError};
 use comet_trace::AttackKind;
 use serde::{Deserialize, Serialize};
 
@@ -37,40 +37,63 @@ fn attack_label(kind: AttackKind) -> String {
     }
 }
 
-fn run_attack_cell(
+/// Runs every (mechanism, attack, nrh) attack study over `workloads`,
+/// fanning the whole grid — protected runs and their attacked-baseline
+/// counterparts — out over `executor`.
+fn attack_cells(
     runner: &Runner,
     workloads: &[String],
-    mechanism: MechanismKind,
-    attack: AttackKind,
-    nrh: u64,
-) -> AdversarialCell {
-    let mut values = Vec::new();
-    for workload in workloads {
-        // The baseline is the same benign workload plus the same attacker on an
-        // unprotected system, so the normalization isolates the mitigation's cost
-        // (matching the paper, which normalizes to the no-mitigation system).
-        let baseline = runner
-            .run_with_attacker(workload, attack, MechanismKind::Baseline, nrh)
-            .expect("catalog workload");
-        let run = runner.run_with_attacker(workload, attack, mechanism, nrh).expect("catalog workload");
-        let benign_norm = if baseline.per_core_ipc[0] > 0.0 {
-            run.per_core_ipc[0] / baseline.per_core_ipc[0]
-        } else {
-            1.0
-        };
-        values.push(benign_norm);
+    studies: &[(MechanismKind, AttackKind, u64)],
+    executor: &ParallelExecutor,
+) -> Result<Vec<AdversarialCell>, RunnerError> {
+    // The baseline is the same benign workload plus the same attacker on an
+    // unprotected system, so the normalization isolates the mitigation's cost
+    // (matching the paper, which normalizes to the no-mitigation system).
+    // Studies sharing an (attack, nrh) pair — e.g. every mechanism under the
+    // traditional attack — share their baseline runs.
+    let mut baseline_keys: Vec<(AttackKind, u64)> = Vec::new();
+    for &(_, attack, nrh) in studies {
+        if !baseline_keys.contains(&(attack, nrh)) {
+            baseline_keys.push((attack, nrh));
+        }
     }
-    AdversarialCell {
-        mechanism: mechanism.name().to_string(),
-        attack: attack_label(attack),
-        benign_ipc: normalized_distribution(&values),
+    let baselines = run_grid(executor, &baseline_keys, &[()], workloads, |&(attack, nrh), _, workload| {
+        runner.run_with_attacker(workload, attack, MechanismKind::Baseline, nrh)
+    })?;
+    let runs = run_grid(executor, studies, &[()], workloads, |&(mechanism, attack, nrh), _, workload| {
+        runner.run_with_attacker(workload, attack, mechanism, nrh)
+    })?;
+
+    let mut cells = Vec::with_capacity(studies.len());
+    for (s, &(mechanism, attack, nrh)) in studies.iter().enumerate() {
+        let b = baseline_keys.iter().position(|&k| k == (attack, nrh)).expect("key collected above");
+        let mut values = Vec::new();
+        for (w, _) in workloads.iter().enumerate() {
+            let baseline = baselines.at(b, 0, w);
+            let run = runs.at(s, 0, w);
+            let benign_norm = if baseline.per_core_ipc[0] > 0.0 {
+                run.per_core_ipc[0] / baseline.per_core_ipc[0]
+            } else {
+                1.0
+            };
+            values.push(benign_norm);
+        }
+        cells.push(AdversarialCell {
+            mechanism: mechanism.name().to_string(),
+            attack: attack_label(attack),
+            benign_ipc: normalized_distribution(&values),
+        });
     }
+    Ok(cells)
 }
 
 /// Figure 16: (a) benign workloads + a traditional attack under every mechanism
 /// at NRH = 500; (b) benign workloads + mechanism-targeted attacks for CoMeT and
 /// Hydra at NRH = 125.
-pub fn fig16_adversarial(scope: ExperimentScope) -> AdversarialResult {
+pub fn fig16_adversarial(
+    scope: ExperimentScope,
+    executor: &ParallelExecutor,
+) -> Result<AdversarialResult, RunnerError> {
     let runner = Runner::new(scope.sim_config());
     // Attack studies focus on medium/high intensity benign workloads.
     let workloads: Vec<String> = scope.workloads().into_iter().take(scope.mix_count().max(4)).collect();
@@ -80,29 +103,17 @@ pub fn fig16_adversarial(scope: ExperimentScope) -> AdversarialResult {
         ExperimentScope::Smoke => vec![MechanismKind::Comet, MechanismKind::Hydra],
         _ => MechanismKind::comparison_set(),
     };
-    let traditional = mechanisms
-        .iter()
-        .map(|&m| run_attack_cell(&runner, &workloads, m, traditional_attack, 500))
-        .collect();
+    let traditional_studies: Vec<(MechanismKind, AttackKind, u64)> =
+        mechanisms.iter().map(|&m| (m, traditional_attack, 500)).collect();
+    let traditional = attack_cells(&runner, &workloads, &traditional_studies, executor)?;
 
-    let targeted = vec![
-        run_attack_cell(
-            &runner,
-            &workloads,
-            MechanismKind::Comet,
-            AttackKind::CometTargeted { rows_per_bank: 512 },
-            125,
-        ),
-        run_attack_cell(
-            &runner,
-            &workloads,
-            MechanismKind::Hydra,
-            AttackKind::HydraTargeted { groups_per_bank: 64, rows_per_group: 128 },
-            125,
-        ),
+    let targeted_studies = [
+        (MechanismKind::Comet, AttackKind::CometTargeted { rows_per_bank: 512 }, 125),
+        (MechanismKind::Hydra, AttackKind::HydraTargeted { groups_per_bank: 64, rows_per_group: 128 }, 125),
     ];
+    let targeted = attack_cells(&runner, &workloads, &targeted_studies, executor)?;
 
-    AdversarialResult { traditional, targeted }
+    Ok(AdversarialResult { traditional, targeted })
 }
 
 #[cfg(test)]
@@ -111,7 +122,7 @@ mod tests {
 
     #[test]
     fn smoke_adversarial_produces_cells() {
-        let result = fig16_adversarial(ExperimentScope::Smoke);
+        let result = fig16_adversarial(ExperimentScope::Smoke, &ParallelExecutor::new()).unwrap();
         assert_eq!(result.traditional.len(), 2);
         assert_eq!(result.targeted.len(), 2);
         for cell in result.traditional.iter().chain(&result.targeted) {

@@ -2,9 +2,9 @@
 //! Figure 3 (Hydra's overhead), Figure 4 (the trade-off radar plot), and
 //! Figure 18 (CoMeT vs BlockHammer).
 
-use super::ExperimentScope;
+use super::{run_grid, single_core_baselines, ExperimentScope, ParallelExecutor};
 use crate::metrics::{normalized_distribution, DistributionSummary};
-use crate::runner::{MechanismKind, Runner};
+use crate::runner::{MechanismKind, Runner, RunnerError};
 use serde::{Deserialize, Serialize};
 
 /// Distribution of normalized IPC and energy for one mechanism at one threshold.
@@ -39,32 +39,39 @@ impl ComparisonResult {
 /// Runs the comparison for an arbitrary mechanism set (Figure 12/14 uses
 /// [`MechanismKind::comparison_set`], Figure 18 uses CoMeT vs BlockHammer,
 /// Figure 3 uses Hydra alone).
+///
+/// Every (workload × mechanism × threshold) cell — and every shared baseline —
+/// is an independent simulation fanned out over `executor`; results are
+/// bit-identical to a serial run regardless of the worker count.
 pub fn comparison_for(
     scope: ExperimentScope,
     mechanisms: &[MechanismKind],
     thresholds: &[u64],
-) -> ComparisonResult {
+    executor: &ParallelExecutor,
+) -> Result<ComparisonResult, RunnerError> {
     let runner = Runner::new(scope.sim_config());
     let workloads = scope.workloads();
-    let mut cells = Vec::new();
-    for &nrh in thresholds {
-        // Baselines are shared across mechanisms for a threshold.
-        let baselines: Vec<_> = workloads
-            .iter()
-            .map(|w| runner.run_single_core(w, MechanismKind::Baseline, nrh).expect("catalog workload"))
-            .collect();
-        for &mechanism in mechanisms {
+    // Baselines are shared across mechanisms for a threshold.
+    let baselines = single_core_baselines(&runner, &workloads, thresholds, executor)?;
+    let runs = run_grid(executor, thresholds, mechanisms, &workloads, |&nrh, &mechanism, workload| {
+        runner.run_single_core(workload, mechanism, nrh)
+    })?;
+
+    let mut out = Vec::with_capacity(thresholds.len() * mechanisms.len());
+    for (t, &nrh) in thresholds.iter().enumerate() {
+        for (m, &mechanism) in mechanisms.iter().enumerate() {
             let mut norm_ipc = Vec::new();
             let mut norm_energy = Vec::new();
             let mut per_workload = Vec::new();
-            for (workload, baseline) in workloads.iter().zip(&baselines) {
-                let run = runner.run_single_core(workload, mechanism, nrh).expect("catalog workload");
+            for (w, workload) in workloads.iter().enumerate() {
+                let baseline = baselines.at(t, 0, w);
+                let run = runs.at(t, m, w);
                 let ipc = run.normalized_ipc(baseline);
                 norm_ipc.push(ipc);
                 norm_energy.push(run.normalized_energy(baseline));
                 per_workload.push((workload.clone(), ipc));
             }
-            cells.push(ComparisonCell {
+            out.push(ComparisonCell {
                 mechanism: mechanism.name().to_string(),
                 nrh,
                 ipc: normalized_distribution(&norm_ipc),
@@ -73,22 +80,31 @@ pub fn comparison_for(
             });
         }
     }
-    ComparisonResult { cells }
+    Ok(ComparisonResult { cells: out })
 }
 
 /// Figures 12 and 14: Graphene, CoMeT, Hydra, REGA, and PARA across thresholds.
-pub fn fig12_fig14_comparison(scope: ExperimentScope) -> ComparisonResult {
-    comparison_for(scope, &MechanismKind::comparison_set(), &scope.thresholds())
+pub fn fig12_fig14_comparison(
+    scope: ExperimentScope,
+    executor: &ParallelExecutor,
+) -> Result<ComparisonResult, RunnerError> {
+    comparison_for(scope, &MechanismKind::comparison_set(), &scope.thresholds(), executor)
 }
 
 /// Figure 3: Hydra's normalized IPC distribution across thresholds.
-pub fn fig3_hydra_motivation(scope: ExperimentScope) -> ComparisonResult {
-    comparison_for(scope, &[MechanismKind::Hydra], &scope.thresholds())
+pub fn fig3_hydra_motivation(
+    scope: ExperimentScope,
+    executor: &ParallelExecutor,
+) -> Result<ComparisonResult, RunnerError> {
+    comparison_for(scope, &[MechanismKind::Hydra], &scope.thresholds(), executor)
 }
 
 /// Figure 18: CoMeT versus BlockHammer.
-pub fn fig18_blockhammer(scope: ExperimentScope) -> ComparisonResult {
-    comparison_for(scope, &[MechanismKind::Comet, MechanismKind::BlockHammer], &scope.thresholds())
+pub fn fig18_blockhammer(
+    scope: ExperimentScope,
+    executor: &ParallelExecutor,
+) -> Result<ComparisonResult, RunnerError> {
+    comparison_for(scope, &[MechanismKind::Comet, MechanismKind::BlockHammer], &scope.thresholds(), executor)
 }
 
 /// One mechanism's position in the Figure 4 radar plot at NRH = 125.
@@ -107,13 +123,16 @@ pub struct RadarPoint {
 }
 
 /// Figure 4: the four-axis trade-off at NRH = 125 for all five mechanisms and CoMeT.
-pub fn radar_fig4(scope: ExperimentScope) -> Vec<RadarPoint> {
+pub fn radar_fig4(
+    scope: ExperimentScope,
+    executor: &ParallelExecutor,
+) -> Result<Vec<RadarPoint>, RunnerError> {
     let nrh = 125;
-    let comparison = comparison_for(scope, &MechanismKind::comparison_set(), &[nrh]);
-    MechanismKind::comparison_set()
+    let comparison = comparison_for(scope, &MechanismKind::comparison_set(), &[nrh], executor)?;
+    Ok(MechanismKind::comparison_set()
         .iter()
         .map(|&kind| {
-            let cell = comparison.cell(kind.name(), nrh).expect("cell exists");
+            let cell = comparison.cell(kind.name(), nrh).expect("cell exists for every compared mechanism");
             let area = match kind {
                 MechanismKind::Comet => comet_area::comet_report(nrh),
                 MechanismKind::Graphene => comet_area::graphene_report(nrh),
@@ -130,7 +149,7 @@ pub fn radar_fig4(scope: ExperimentScope) -> Vec<RadarPoint> {
                 dram_area_fraction: area.dram_area_fraction,
             }
         })
-        .collect()
+        .collect())
 }
 
 #[cfg(test)]
@@ -143,7 +162,9 @@ mod tests {
             ExperimentScope::Smoke,
             &[MechanismKind::Comet, MechanismKind::Para],
             &[125],
-        );
+            &ParallelExecutor::new(),
+        )
+        .unwrap();
         let comet = result.cell("CoMeT", 125).unwrap();
         let para = result.cell("PARA", 125).unwrap();
         // PARA's 24 % refresh probability at NRH=125 must cost more than CoMeT.

@@ -9,6 +9,7 @@ pub mod adversarial;
 pub mod comparison;
 pub mod fpr;
 pub mod multicore;
+pub mod parallel;
 pub mod singlecore;
 pub mod sweeps;
 
@@ -16,9 +17,12 @@ pub use adversarial::{fig16_adversarial, AdversarialResult};
 pub use comparison::{fig12_fig14_comparison, radar_fig4, ComparisonResult, RadarPoint};
 pub use fpr::{fig17_false_positive_rate, FprPoint};
 pub use multicore::{fig13_fig15_multicore, MulticoreResult};
+pub use parallel::ParallelExecutor;
 pub use singlecore::{fig10_fig11_singlecore, SingleCoreResult};
 pub use sweeps::{fig6_ct_sweep, fig7_rat_sweep, fig8_eprt_sweep, fig9_k_sweep, SweepPoint};
 
+use crate::metrics::RunResult;
+use crate::runner::{MechanismKind, Runner, RunnerError};
 use serde::{Deserialize, Serialize};
 
 /// Scope of an experiment run: which workloads and how much simulated time.
@@ -77,6 +81,76 @@ impl ExperimentScope {
             ExperimentScope::Full => 56,
         }
     }
+}
+
+/// Results of a three-axis cell grid (outer × middle × inner), indexable by
+/// axis positions so consumers never track a manual running index.
+///
+/// Every experiment fans its simulations out as a grid — typically
+/// (threshold × mechanism × workload) — and then re-walks the same axes to
+/// aggregate. Keeping the fan-out order and the re-walk order in sync by hand
+/// is fragile; [`run_grid`] owns the layout and [`RunGrid::at`] is the only
+/// way results come back out.
+pub(crate) struct RunGrid<R> {
+    results: Vec<R>,
+    middle_len: usize,
+    inner_len: usize,
+}
+
+impl<R> RunGrid<R> {
+    /// The result for `(outers[outer], middles[middle], inners[inner])`.
+    pub(crate) fn at(&self, outer: usize, middle: usize, inner: usize) -> &R {
+        &self.results[(outer * self.middle_len + middle) * self.inner_len + inner]
+    }
+}
+
+/// Fans `work` over every `(outer, middle, inner)` cell via `executor` and
+/// returns the results as an indexable [`RunGrid`]. Deterministic: cell
+/// identity, not execution order, decides each result's position.
+pub(crate) fn run_grid<A: Sync, B: Sync, C: Sync, R: Send>(
+    executor: &ParallelExecutor,
+    outers: &[A],
+    middles: &[B],
+    inners: &[C],
+    work: impl Fn(&A, &B, &C) -> Result<R, RunnerError> + Sync,
+) -> Result<RunGrid<R>, RunnerError> {
+    let mut cells: Vec<(&A, &B, &C)> = Vec::with_capacity(outers.len() * middles.len() * inners.len());
+    for outer in outers {
+        for middle in middles {
+            for inner in inners {
+                cells.push((outer, middle, inner));
+            }
+        }
+    }
+    let results = executor.try_run(&cells, |_, &(outer, middle, inner)| work(outer, middle, inner))?;
+    Ok(RunGrid { results, middle_len: middles.len(), inner_len: inners.len() })
+}
+
+/// Unprotected-baseline runs for every `(threshold, workload)` pair, executed
+/// as one parallel wave; index with `at(t, 0, w)`.
+pub(crate) fn single_core_baselines(
+    runner: &Runner,
+    workloads: &[String],
+    thresholds: &[u64],
+    executor: &ParallelExecutor,
+) -> Result<RunGrid<RunResult>, RunnerError> {
+    run_grid(executor, thresholds, &[()], workloads, |&nrh, _, workload| {
+        runner.run_single_core(workload, MechanismKind::Baseline, nrh)
+    })
+}
+
+/// Unprotected-baseline runs of homogeneous `cores`-copy mixes, one parallel
+/// wave, indexed like [`single_core_baselines`].
+pub(crate) fn homogeneous_baselines(
+    runner: &Runner,
+    mixes: &[String],
+    cores: usize,
+    thresholds: &[u64],
+    executor: &ParallelExecutor,
+) -> Result<RunGrid<RunResult>, RunnerError> {
+    run_grid(executor, thresholds, &[()], mixes, |&nrh, _, workload| {
+        runner.run_homogeneous(workload, cores, MechanismKind::Baseline, nrh)
+    })
 }
 
 #[cfg(test)]

@@ -1,8 +1,8 @@
 //! Figures 13 and 15: 8-core weighted speedup and DRAM energy comparison.
 
-use super::ExperimentScope;
+use super::{homogeneous_baselines, run_grid, ExperimentScope, ParallelExecutor};
 use crate::metrics::{normalized_distribution, DistributionSummary};
-use crate::runner::{MechanismKind, Runner};
+use crate::runner::{MechanismKind, Runner, RunnerError};
 use serde::{Deserialize, Serialize};
 
 /// Distribution of normalized weighted speedup / energy for one mechanism at one threshold.
@@ -34,7 +34,8 @@ impl MulticoreResult {
     }
 }
 
-/// Runs the multicore comparison for the given mechanisms and thresholds.
+/// Runs the multicore comparison for the given mechanisms and thresholds,
+/// fanning every (mix × mechanism × threshold) simulation out over `executor`.
 ///
 /// The paper evaluates homogeneous 8-core mixes; for those, normalizing the
 /// weighted speedup to the baseline system is equivalent to normalizing the
@@ -44,7 +45,8 @@ pub fn multicore_for(
     mechanisms: &[MechanismKind],
     thresholds: &[u64],
     cores: usize,
-) -> MulticoreResult {
+    executor: &ParallelExecutor,
+) -> Result<MulticoreResult, RunnerError> {
     let runner = Runner::new(scope.sim_config());
     // Pick the most memory-intensive workloads for the mixes: they are where
     // multi-core contention (and tracker pressure) is visible.
@@ -54,21 +56,23 @@ pub fn multicore_for(
         .map(|m| m.cores[0].name.clone())
         .collect();
 
-    let mut cells = Vec::new();
-    for &nrh in thresholds {
-        let baselines: Vec<_> = mixes
-            .iter()
-            .map(|w| runner.run_homogeneous(w, cores, MechanismKind::Baseline, nrh).expect("catalog workload"))
-            .collect();
-        for &mechanism in mechanisms {
+    let baselines = homogeneous_baselines(&runner, &mixes, cores, thresholds, executor)?;
+    let runs = run_grid(executor, thresholds, mechanisms, &mixes, |&nrh, &mechanism, workload| {
+        runner.run_homogeneous(workload, cores, mechanism, nrh)
+    })?;
+
+    let mut out = Vec::with_capacity(thresholds.len() * mechanisms.len());
+    for (t, &nrh) in thresholds.iter().enumerate() {
+        for (m, &mechanism) in mechanisms.iter().enumerate() {
             let mut norm_ws = Vec::new();
             let mut norm_energy = Vec::new();
-            for (workload, baseline) in mixes.iter().zip(&baselines) {
-                let run = runner.run_homogeneous(workload, cores, mechanism, nrh).expect("catalog workload");
+            for (w, _) in mixes.iter().enumerate() {
+                let baseline = baselines.at(t, 0, w);
+                let run = runs.at(t, m, w);
                 norm_ws.push(run.normalized_ipc(baseline));
                 norm_energy.push(run.normalized_energy(baseline));
             }
-            cells.push(MulticoreCell {
+            out.push(MulticoreCell {
                 mechanism: mechanism.name().to_string(),
                 nrh,
                 weighted_speedup: normalized_distribution(&norm_ws),
@@ -76,12 +80,15 @@ pub fn multicore_for(
             });
         }
     }
-    MulticoreResult { mixes: mixes.iter().map(|m| format!("{m}-x{cores}")).collect(), cells }
+    Ok(MulticoreResult { mixes: mixes.iter().map(|m| format!("{m}-x{cores}")).collect(), cells: out })
 }
 
 /// Figures 13 and 15: the five-mechanism comparison on 8-core mixes.
-pub fn fig13_fig15_multicore(scope: ExperimentScope) -> MulticoreResult {
-    multicore_for(scope, &MechanismKind::comparison_set(), &scope.thresholds(), 8)
+pub fn fig13_fig15_multicore(
+    scope: ExperimentScope,
+    executor: &ParallelExecutor,
+) -> Result<MulticoreResult, RunnerError> {
+    multicore_for(scope, &MechanismKind::comparison_set(), &scope.thresholds(), 8, executor)
 }
 
 #[cfg(test)]
@@ -91,7 +98,14 @@ mod tests {
     #[test]
     fn smoke_multicore_runs_two_mixes() {
         // Use 4 cores and one threshold to keep the smoke test fast.
-        let result = multicore_for(ExperimentScope::Smoke, &[MechanismKind::Comet], &[1000], 4);
+        let result = multicore_for(
+            ExperimentScope::Smoke,
+            &[MechanismKind::Comet],
+            &[1000],
+            4,
+            &ParallelExecutor::new(),
+        )
+        .unwrap();
         assert_eq!(result.mixes.len(), 2);
         let cell = result.cell("CoMeT", 1000).unwrap();
         assert!(cell.weighted_speedup.geomean > 0.7);

@@ -2,9 +2,9 @@
 //! normalized to a system without any RowHammer mitigation. Also covers the
 //! high-threshold evaluation of §8.4 (NRH = 2000 and 4000).
 
-use super::ExperimentScope;
+use super::{run_grid, single_core_baselines, ExperimentScope, ParallelExecutor};
 use crate::metrics::{geometric_mean, normalized_distribution, DistributionSummary};
-use crate::runner::{MechanismKind, Runner};
+use crate::runner::{MechanismKind, Runner, RunnerError};
 use serde::{Deserialize, Serialize};
 
 /// One workload's normalized IPC and energy at one RowHammer threshold.
@@ -37,29 +37,34 @@ pub struct SingleCoreResult {
     pub ipc_distribution: Vec<(u64, DistributionSummary)>,
 }
 
-/// Runs the Figure 10/11 experiment for `mechanism` over `thresholds`.
+/// Runs the Figure 10/11 experiment for `mechanism` over `thresholds`,
+/// fanning every (workload × threshold) simulation out over `executor`.
 pub fn singlecore_for(
     scope: ExperimentScope,
     mechanism: MechanismKind,
     thresholds: &[u64],
-) -> SingleCoreResult {
+    executor: &ParallelExecutor,
+) -> Result<SingleCoreResult, RunnerError> {
     let runner = Runner::new(scope.sim_config());
     let workloads = scope.workloads();
+    let baselines = single_core_baselines(&runner, &workloads, thresholds, executor)?;
+    let runs = run_grid(executor, thresholds, &[()], &workloads, |&nrh, _, workload| {
+        runner.run_single_core(workload, mechanism, nrh)
+    })?;
+
     let mut points = Vec::new();
     let mut ipc_geomean = Vec::new();
     let mut energy_geomean = Vec::new();
     let mut ipc_distribution = Vec::new();
 
-    for &nrh in thresholds {
+    for (t, &nrh) in thresholds.iter().enumerate() {
         let mut norm_ipcs = Vec::new();
         let mut norm_energies = Vec::new();
-        for workload in &workloads {
-            let baseline = runner
-                .run_single_core(workload, MechanismKind::Baseline, nrh)
-                .expect("catalog workload");
-            let protected = runner.run_single_core(workload, mechanism, nrh).expect("catalog workload");
-            let normalized_ipc = protected.normalized_ipc(&baseline);
-            let normalized_energy = protected.normalized_energy(&baseline);
+        for (w, workload) in workloads.iter().enumerate() {
+            let baseline = baselines.at(t, 0, w);
+            let protected = runs.at(t, 0, w);
+            let normalized_ipc = protected.normalized_ipc(baseline);
+            let normalized_energy = protected.normalized_energy(baseline);
             norm_ipcs.push(normalized_ipc);
             norm_energies.push(normalized_energy);
             let per_kilo = if protected.mitigation.activations_observed == 0 {
@@ -81,23 +86,29 @@ pub fn singlecore_for(
         ipc_distribution.push((nrh, normalized_distribution(&norm_ipcs)));
     }
 
-    SingleCoreResult {
+    Ok(SingleCoreResult {
         mechanism: mechanism.name().to_string(),
         points,
         ipc_geomean,
         energy_geomean,
         ipc_distribution,
-    }
+    })
 }
 
 /// Figures 10 and 11: CoMeT across the paper's four RowHammer thresholds.
-pub fn fig10_fig11_singlecore(scope: ExperimentScope) -> SingleCoreResult {
-    singlecore_for(scope, MechanismKind::Comet, &scope.thresholds())
+pub fn fig10_fig11_singlecore(
+    scope: ExperimentScope,
+    executor: &ParallelExecutor,
+) -> Result<SingleCoreResult, RunnerError> {
+    singlecore_for(scope, MechanismKind::Comet, &scope.thresholds(), executor)
 }
 
 /// §8.4: CoMeT at high RowHammer thresholds (2000 and 4000).
-pub fn high_threshold_singlecore(scope: ExperimentScope) -> SingleCoreResult {
-    singlecore_for(scope, MechanismKind::Comet, &[2000, 4000])
+pub fn high_threshold_singlecore(
+    scope: ExperimentScope,
+    executor: &ParallelExecutor,
+) -> Result<SingleCoreResult, RunnerError> {
+    singlecore_for(scope, MechanismKind::Comet, &[2000, 4000], executor)
 }
 
 #[cfg(test)]
@@ -106,7 +117,9 @@ mod tests {
 
     #[test]
     fn smoke_singlecore_has_low_overhead_at_high_threshold() {
-        let result = singlecore_for(ExperimentScope::Smoke, MechanismKind::Comet, &[1000]);
+        let result =
+            singlecore_for(ExperimentScope::Smoke, MechanismKind::Comet, &[1000], &ParallelExecutor::new())
+                .unwrap();
         assert_eq!(result.points.len(), ExperimentScope::Smoke.workloads().len());
         let (_, geomean) = result.ipc_geomean[0];
         assert!(geomean > 0.9, "CoMeT at NRH=1K should be near-baseline, got {geomean}");

@@ -2,9 +2,9 @@
 //! Figure 8 (early preventive refresh), Figure 9 (reset period k), and the
 //! ablation studies listed in DESIGN.md.
 
-use super::ExperimentScope;
+use super::{homogeneous_baselines, run_grid, single_core_baselines, ExperimentScope, ParallelExecutor};
 use crate::metrics::geometric_mean;
-use crate::runner::{MechanismKind, Runner};
+use crate::runner::{MechanismKind, Runner, RunnerError};
 use serde::{Deserialize, Serialize};
 
 /// One configuration point of a sweep.
@@ -20,30 +20,53 @@ pub struct SweepPoint {
     pub normalized_energy_geomean: f64,
 }
 
-fn sweep_one(
-    runner: &Runner,
-    workloads: &[String],
-    label: String,
-    kind: MechanismKind,
-    nrh: u64,
-) -> SweepPoint {
-    let mut ipcs = Vec::new();
-    let mut energies = Vec::new();
-    for workload in workloads {
-        let baseline = runner.run_single_core(workload, MechanismKind::Baseline, nrh).expect("catalog workload");
-        let run = runner.run_single_core(workload, kind, nrh).expect("catalog workload");
-        ipcs.push(run.normalized_ipc(&baseline));
-        energies.push(run.normalized_energy(&baseline));
+/// Runs a grid of single-core sweep configurations: baselines are simulated
+/// once per (workload, threshold) and shared by every configuration point,
+/// and the whole (configuration × threshold × workload) grid fans out over
+/// `executor`.
+fn sweep_grid(
+    scope: ExperimentScope,
+    configs: &[(String, MechanismKind)],
+    thresholds: &[u64],
+    executor: &ParallelExecutor,
+) -> Result<Vec<SweepPoint>, RunnerError> {
+    let runner = Runner::new(scope.sim_config());
+    let workloads = scope.workloads();
+    let baselines = single_core_baselines(&runner, &workloads, thresholds, executor)?;
+    let runs = run_grid(executor, thresholds, configs, &workloads, |&nrh, (_, kind), workload| {
+        runner.run_single_core(workload, *kind, nrh)
+    })?;
+
+    let mut points = Vec::with_capacity(thresholds.len() * configs.len());
+    for (t, &nrh) in thresholds.iter().enumerate() {
+        for (c, (label, _)) in configs.iter().enumerate() {
+            let mut ipcs = Vec::new();
+            let mut energies = Vec::new();
+            for (w, _) in workloads.iter().enumerate() {
+                let baseline = baselines.at(t, 0, w);
+                let run = runs.at(t, c, w);
+                ipcs.push(run.normalized_ipc(baseline));
+                energies.push(run.normalized_energy(baseline));
+            }
+            points.push(SweepPoint {
+                configuration: label.clone(),
+                nrh,
+                normalized_ipc_geomean: geometric_mean(&ipcs),
+                normalized_energy_geomean: geometric_mean(&energies),
+            });
+        }
     }
-    SweepPoint {
-        configuration: label,
-        nrh,
-        normalized_ipc_geomean: geometric_mean(&ipcs),
-        normalized_energy_geomean: geometric_mean(&energies),
-    }
+    Ok(points)
 }
 
-fn comet_custom(n_hash: usize, n_counters: usize, rat: usize, k: u64, history: usize, eprt: u32) -> MechanismKind {
+fn comet_custom(
+    n_hash: usize,
+    n_counters: usize,
+    rat: usize,
+    k: u64,
+    history: usize,
+    eprt: u32,
+) -> MechanismKind {
     MechanismKind::CometCustom {
         n_hash,
         n_counters,
@@ -56,9 +79,11 @@ fn comet_custom(n_hash: usize, n_counters: usize, rat: usize, k: u64, history: u
 
 /// Figure 6: sweep of the Counter Table shape (NHash × NCounters) at one threshold,
 /// with a fixed 128-entry RAT.
-pub fn fig6_ct_sweep(scope: ExperimentScope, nrh: u64) -> Vec<SweepPoint> {
-    let runner = Runner::new(scope.sim_config());
-    let workloads = scope.workloads();
+pub fn fig6_ct_sweep(
+    scope: ExperimentScope,
+    nrh: u64,
+    executor: &ParallelExecutor,
+) -> Result<Vec<SweepPoint>, RunnerError> {
     let hash_counts: &[usize] = match scope {
         ExperimentScope::Smoke => &[1, 4],
         _ => &[1, 2, 4, 8],
@@ -67,40 +92,41 @@ pub fn fig6_ct_sweep(scope: ExperimentScope, nrh: u64) -> Vec<SweepPoint> {
         ExperimentScope::Smoke => &[128, 512],
         _ => &[128, 256, 512, 1024],
     };
-    let mut points = Vec::new();
-    for &n_hash in hash_counts {
-        for &n_counters in counter_counts {
-            let label = format!("NHash={n_hash},NCounters={n_counters}");
-            let kind = comet_custom(n_hash, n_counters, 128, 3, 256, 25);
-            points.push(sweep_one(&runner, &workloads, label, kind, nrh));
-        }
-    }
-    points
+    let configs: Vec<(String, MechanismKind)> = hash_counts
+        .iter()
+        .flat_map(|&n_hash| {
+            counter_counts.iter().map(move |&n_counters| {
+                (
+                    format!("NHash={n_hash},NCounters={n_counters}"),
+                    comet_custom(n_hash, n_counters, 128, 3, 256, 25),
+                )
+            })
+        })
+        .collect();
+    sweep_grid(scope, &configs, &[nrh], executor)
 }
 
 /// Figure 7: sweep of the Recent Aggressor Table size across thresholds,
 /// with the Counter Table fixed at 4 × 512.
-pub fn fig7_rat_sweep(scope: ExperimentScope) -> Vec<SweepPoint> {
-    let runner = Runner::new(scope.sim_config());
-    let workloads = scope.workloads();
+pub fn fig7_rat_sweep(
+    scope: ExperimentScope,
+    executor: &ParallelExecutor,
+) -> Result<Vec<SweepPoint>, RunnerError> {
     let rat_sizes: &[usize] = match scope {
         ExperimentScope::Smoke => &[32, 128],
         _ => &[32, 64, 128, 256, 512],
     };
-    let mut points = Vec::new();
-    for &nrh in &scope.thresholds() {
-        for &rat in rat_sizes {
-            let label = format!("NRAT={rat}");
-            let kind = comet_custom(4, 512, rat, 3, 256, 25);
-            points.push(sweep_one(&runner, &workloads, label, kind, nrh));
-        }
-    }
-    points
+    let configs: Vec<(String, MechanismKind)> =
+        rat_sizes.iter().map(|&rat| (format!("NRAT={rat}"), comet_custom(4, 512, rat, 3, 256, 25))).collect();
+    sweep_grid(scope, &configs, &scope.thresholds(), executor)
 }
 
 /// Figure 8: sweep of the early-preventive-refresh threshold (EPRT) and the RAT
 /// miss history length on 8-core mixes at NRH = 125.
-pub fn fig8_eprt_sweep(scope: ExperimentScope) -> Vec<SweepPoint> {
+pub fn fig8_eprt_sweep(
+    scope: ExperimentScope,
+    executor: &ParallelExecutor,
+) -> Result<Vec<SweepPoint>, RunnerError> {
     let runner = Runner::new(scope.sim_config());
     let nrh = 125;
     let cores = match scope {
@@ -120,54 +146,61 @@ pub fn fig8_eprt_sweep(scope: ExperimentScope) -> Vec<SweepPoint> {
         ExperimentScope::Smoke => &[0, 25],
         _ => &[0, 25, 50, 75, 100],
     };
-    let mut points = Vec::new();
-    for &history in history_lengths {
-        for &eprt in eprts {
-            let kind = comet_custom(4, 512, 128, 3, history, eprt);
-            let mut ws = Vec::new();
-            let mut energies = Vec::new();
-            for workload in &mixes {
-                let baseline =
-                    runner.run_homogeneous(workload, cores, MechanismKind::Baseline, nrh).expect("catalog workload");
-                let run = runner.run_homogeneous(workload, cores, kind, nrh).expect("catalog workload");
-                ws.push(run.normalized_ipc(&baseline));
-                energies.push(run.normalized_energy(&baseline));
-            }
-            points.push(SweepPoint {
-                configuration: format!("History={history},EPRT={eprt}%"),
-                nrh,
-                normalized_ipc_geomean: geometric_mean(&ws),
-                normalized_energy_geomean: geometric_mean(&energies),
-            });
+    let configs: Vec<(String, MechanismKind)> = history_lengths
+        .iter()
+        .flat_map(|&history| {
+            eprts.iter().map(move |&eprt| {
+                (format!("History={history},EPRT={eprt}%"), comet_custom(4, 512, 128, 3, history, eprt))
+            })
+        })
+        .collect();
+
+    let baselines = homogeneous_baselines(&runner, &mixes, cores, &[nrh], executor)?;
+    let runs = run_grid(executor, &configs, &[()], &mixes, |(_, kind), _, workload| {
+        runner.run_homogeneous(workload, cores, *kind, nrh)
+    })?;
+
+    let mut points = Vec::with_capacity(configs.len());
+    for (c, (label, _)) in configs.iter().enumerate() {
+        let mut ws = Vec::new();
+        let mut energies = Vec::new();
+        for (w, _) in mixes.iter().enumerate() {
+            let run = runs.at(c, 0, w);
+            ws.push(run.normalized_ipc(baselines.at(0, 0, w)));
+            energies.push(run.normalized_energy(baselines.at(0, 0, w)));
         }
+        points.push(SweepPoint {
+            configuration: label.clone(),
+            nrh,
+            normalized_ipc_geomean: geometric_mean(&ws),
+            normalized_energy_geomean: geometric_mean(&energies),
+        });
     }
-    points
+    Ok(points)
 }
 
 /// Figure 9: sweep of the reset-period divisor `k` (and thus `NPR = NRH/(k+1)`).
-pub fn fig9_k_sweep(scope: ExperimentScope) -> Vec<SweepPoint> {
-    let runner = Runner::new(scope.sim_config());
-    let workloads = scope.workloads();
+pub fn fig9_k_sweep(
+    scope: ExperimentScope,
+    executor: &ParallelExecutor,
+) -> Result<Vec<SweepPoint>, RunnerError> {
     let ks: &[u64] = match scope {
         ExperimentScope::Smoke => &[1, 3],
         _ => &[1, 2, 3, 4, 5],
     };
-    let mut points = Vec::new();
-    for &nrh in &scope.thresholds() {
-        for &k in ks {
-            // k = 5 at NRH = 125 gives NPR = 20, still a valid configuration.
-            let kind = comet_custom(4, 512, 128, k, 256, 25);
-            points.push(sweep_one(&runner, &workloads, format!("k={k}"), kind, nrh));
-        }
-    }
-    points
+    // k = 5 at NRH = 125 gives NPR = 20, still a valid configuration.
+    let configs: Vec<(String, MechanismKind)> =
+        ks.iter().map(|&k| (format!("k={k}"), comet_custom(4, 512, 128, k, 256, 25))).collect();
+    sweep_grid(scope, &configs, &scope.thresholds(), executor)
 }
 
 /// Ablation: CoMeT without the Recent Aggressor Table, without early preventive
 /// refresh, and the full design, at one threshold (DESIGN.md §3).
-pub fn ablation(scope: ExperimentScope, nrh: u64) -> Vec<SweepPoint> {
-    let runner = Runner::new(scope.sim_config());
-    let workloads = scope.workloads();
+pub fn ablation(
+    scope: ExperimentScope,
+    nrh: u64,
+    executor: &ParallelExecutor,
+) -> Result<Vec<SweepPoint>, RunnerError> {
     let configs = vec![
         ("full".to_string(), comet_custom(4, 512, 128, 3, 256, 25)),
         ("no-rat".to_string(), comet_custom(4, 512, 0, 3, 256, 25)),
@@ -175,10 +208,7 @@ pub fn ablation(scope: ExperimentScope, nrh: u64) -> Vec<SweepPoint> {
         // EPRT at 100 % means the early refresh effectively never fires.
         ("no-early-refresh".to_string(), comet_custom(4, 512, 128, 3, 256, 100)),
     ];
-    configs
-        .into_iter()
-        .map(|(label, kind)| sweep_one(&runner, &workloads, label, kind, nrh))
-        .collect()
+    sweep_grid(scope, &configs, &[nrh], executor)
 }
 
 #[cfg(test)]
@@ -187,7 +217,7 @@ mod tests {
 
     #[test]
     fn fig6_smoke_larger_ct_is_not_worse() {
-        let points = fig6_ct_sweep(ExperimentScope::Smoke, 125);
+        let points = fig6_ct_sweep(ExperimentScope::Smoke, 125, &ParallelExecutor::new()).unwrap();
         assert_eq!(points.len(), 4);
         let small = points
             .iter()
@@ -204,7 +234,7 @@ mod tests {
 
     #[test]
     fn fig9_smoke_produces_points_for_each_k_and_threshold() {
-        let points = fig9_k_sweep(ExperimentScope::Smoke);
+        let points = fig9_k_sweep(ExperimentScope::Smoke, &ParallelExecutor::new()).unwrap();
         assert_eq!(points.len(), 2 * 2);
         assert!(points.iter().all(|p| p.normalized_ipc_geomean > 0.5));
     }

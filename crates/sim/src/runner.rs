@@ -1,15 +1,12 @@
-//! The experiment runner: builds mechanisms by name and runs workloads.
+//! The experiment runner: resolves mechanisms through the registry and runs
+//! workloads on the sharded simulated system.
 
 use crate::metrics::RunResult;
+use crate::registry::MechanismRegistry;
 use crate::system::{SimConfig, System};
-use comet_core::{Comet, CometConfig};
-use comet_dram::DramConfig;
-use comet_mitigations::{
-    BlockHammer, BlockHammerConfig, Graphene, GrapheneConfig, Hydra, HydraConfig, NoMitigation, Para,
-    PerRowCounters, Rega, RowHammerMitigation,
-};
 use comet_trace::{catalog, AttackKind, AttackTrace, SyntheticTrace, TraceSource};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// The mitigation mechanisms the experiment harness can instantiate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -72,80 +69,74 @@ impl MechanismKind {
             MechanismKind::PerRow => "PerRow",
         }
     }
-}
 
-/// Builds a boxed mitigation mechanism for `kind` at threshold `nrh`.
-pub fn build_mechanism(kind: MechanismKind, nrh: u64, dram: &DramConfig, seed: u64) -> Box<dyn RowHammerMitigation> {
-    let geometry = dram.geometry.clone();
-    let timing = &dram.timing;
-    match kind {
-        MechanismKind::Baseline => Box::new(NoMitigation::new()),
-        MechanismKind::Comet => Box::new(Comet::new(CometConfig::for_threshold(nrh, timing), geometry)),
-        MechanismKind::CometCustom {
-            n_hash,
-            n_counters,
-            rat_entries,
-            reset_divisor,
-            history_length,
-            eprt_percent,
-        } => {
-            let mut config = CometConfig::with_reset_divisor(nrh, reset_divisor, timing);
-            config.n_hash = n_hash;
-            config.n_counters = n_counters;
-            config.rat_entries = rat_entries;
-            config.history_length = history_length;
-            config.eprt_percent = eprt_percent;
-            Box::new(Comet::new(config, geometry))
+    /// Stable registry key. Unlike [`name`](Self::name), the default and
+    /// custom CoMeT configurations map to different builders.
+    pub fn key(&self) -> &'static str {
+        match self {
+            MechanismKind::Baseline => "baseline",
+            MechanismKind::Comet => "comet",
+            MechanismKind::CometCustom { .. } => "comet-custom",
+            MechanismKind::Graphene => "graphene",
+            MechanismKind::Hydra => "hydra",
+            MechanismKind::Rega => "rega",
+            MechanismKind::Para => "para",
+            MechanismKind::BlockHammer => "blockhammer",
+            MechanismKind::PerRow => "perrow",
         }
-        MechanismKind::Graphene => {
-            Box::new(Graphene::new(GrapheneConfig::for_threshold(nrh, timing, &geometry), geometry))
-        }
-        MechanismKind::Hydra => {
-            Box::new(Hydra::new(HydraConfig::for_threshold(nrh, timing, &geometry), geometry))
-        }
-        MechanismKind::Rega => Box::new(Rega::new(nrh, timing)),
-        MechanismKind::Para => Box::new(Para::new(nrh, seed, geometry)),
-        MechanismKind::BlockHammer => {
-            Box::new(BlockHammer::new(BlockHammerConfig::for_threshold(nrh, timing), geometry, seed))
-        }
-        MechanismKind::PerRow => Box::new(PerRowCounters::new(nrh, timing, geometry)),
     }
 }
 
-/// Errors returned by the runner.
+/// Errors returned by the runner and the experiment harness.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RunnerError {
     /// The requested workload is not in the Table 3 catalog.
     UnknownWorkload(String),
+    /// No builder is registered for the requested mechanism key.
+    UnknownMechanism(String),
+    /// The simulation configuration failed validation.
+    InvalidConfig(Vec<String>),
 }
 
 impl std::fmt::Display for RunnerError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             RunnerError::UnknownWorkload(name) => write!(f, "unknown workload: {name}"),
+            RunnerError::UnknownMechanism(key) => write!(f, "unknown mechanism: {key}"),
+            RunnerError::InvalidConfig(problems) => {
+                write!(f, "invalid simulation configuration: {}", problems.join("; "))
+            }
         }
     }
 }
 
 impl std::error::Error for RunnerError {}
 
-/// Convenience wrapper that builds systems from workload names and mechanism kinds.
+/// Convenience wrapper that builds systems from workload names and mechanism
+/// kinds, resolving mechanisms through a [`MechanismRegistry`].
 #[derive(Debug, Clone)]
 pub struct Runner {
     config: SimConfig,
     seed: u64,
+    registry: Arc<MechanismRegistry>,
 }
 
 impl Runner {
-    /// Creates a runner with the given simulation configuration.
+    /// Creates a runner with the given simulation configuration and the
+    /// built-in mechanism registry.
     pub fn new(config: SimConfig) -> Self {
-        Runner { config, seed: 0xC0E7 }
+        Self::with_seed(config, 0xC0E7)
     }
 
     /// Creates a runner with an explicit seed (traces and probabilistic
     /// mechanisms derive their randomness from it).
     pub fn with_seed(config: SimConfig, seed: u64) -> Self {
-        Runner { config, seed }
+        Self::with_registry(config, seed, Arc::new(MechanismRegistry::with_defaults()))
+    }
+
+    /// Creates a runner resolving mechanisms through a custom registry.
+    pub fn with_registry(config: SimConfig, seed: u64, registry: Arc<MechanismRegistry>) -> Self {
+        Runner { config, seed, registry }
     }
 
     /// The simulation configuration in use.
@@ -153,7 +144,29 @@ impl Runner {
         &self.config
     }
 
+    /// The seed traces and probabilistic mechanisms derive their streams from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The mechanism registry in use.
+    pub fn registry(&self) -> &MechanismRegistry {
+        &self.registry
+    }
+
+    fn validated_config(&self) -> Result<&SimConfig, RunnerError> {
+        let problems = self.config.validate();
+        if problems.is_empty() {
+            Ok(&self.config)
+        } else {
+            Err(RunnerError::InvalidConfig(problems))
+        }
+    }
+
     fn workload_trace(&self, name: &str, core: usize) -> Result<Box<dyn TraceSource>, RunnerError> {
+        // Validate before constructing the generator: trace construction
+        // samples bank indices and would panic on a degenerate geometry.
+        self.validated_config()?;
         let profile =
             catalog::workload(name).ok_or_else(|| RunnerError::UnknownWorkload(name.to_string()))?;
         Ok(Box::new(SyntheticTrace::new(
@@ -163,12 +176,27 @@ impl Runner {
         )))
     }
 
+    fn run_system(
+        &self,
+        traces: Vec<Box<dyn TraceSource>>,
+        kind: MechanismKind,
+        nrh: u64,
+        label: String,
+    ) -> Result<RunResult, RunnerError> {
+        let config = self.validated_config()?.clone();
+        let factory = self.registry.factory(kind, nrh, &config.dram, self.seed)?;
+        Ok(System::new(config, traces, &factory).run(label))
+    }
+
     /// Runs one single-core workload under `kind` at RowHammer threshold `nrh`.
-    pub fn run_single_core(&self, workload: &str, kind: MechanismKind, nrh: u64) -> Result<RunResult, RunnerError> {
+    pub fn run_single_core(
+        &self,
+        workload: &str,
+        kind: MechanismKind,
+        nrh: u64,
+    ) -> Result<RunResult, RunnerError> {
         let trace = self.workload_trace(workload, 0)?;
-        let mechanism = build_mechanism(kind, nrh, &self.config.dram, self.seed);
-        let system = System::new(self.config.clone(), vec![trace], mechanism);
-        Ok(system.run(workload))
+        self.run_system(vec![trace], kind, nrh, workload.to_string())
     }
 
     /// Runs a homogeneous multi-core mix of `workload` on `cores` cores.
@@ -180,9 +208,7 @@ impl Runner {
         nrh: u64,
     ) -> Result<RunResult, RunnerError> {
         let traces: Result<Vec<_>, _> = (0..cores).map(|c| self.workload_trace(workload, c)).collect();
-        let mechanism = build_mechanism(kind, nrh, &self.config.dram, self.seed);
-        let system = System::new(self.config.clone(), traces?, mechanism);
-        Ok(system.run(format!("{workload}-x{cores}")))
+        self.run_system(traces?, kind, nrh, format!("{workload}-x{cores}"))
     }
 
     /// Runs a benign workload alongside an attacker core executing `attack`.
@@ -196,9 +222,7 @@ impl Runner {
         let benign = self.workload_trace(workload, 0)?;
         let attacker: Box<dyn TraceSource> =
             Box::new(AttackTrace::new(attack, self.config.dram.geometry.clone(), self.seed ^ 0xA77AC));
-        let mechanism = build_mechanism(kind, nrh, &self.config.dram, self.seed);
-        let system = System::new(self.config.clone(), vec![benign, attacker], mechanism);
-        Ok(system.run(format!("{workload}+attack")))
+        self.run_system(vec![benign, attacker], kind, nrh, format!("{workload}+attack"))
     }
 
     /// Runs `workload` under every mechanism of `kinds`, returning
@@ -210,7 +234,8 @@ impl Runner {
         nrh: u64,
     ) -> Result<Vec<(MechanismKind, RunResult)>, RunnerError> {
         let mut results = Vec::with_capacity(kinds.len() + 1);
-        results.push((MechanismKind::Baseline, self.run_single_core(workload, MechanismKind::Baseline, nrh)?));
+        results
+            .push((MechanismKind::Baseline, self.run_single_core(workload, MechanismKind::Baseline, nrh)?));
         for &kind in kinds {
             results.push((kind, self.run_single_core(workload, kind, nrh)?));
         }
@@ -234,30 +259,20 @@ mod tests {
     }
 
     #[test]
-    fn every_mechanism_kind_can_be_built() {
-        let dram = DramConfig::ddr4_paper_default();
-        for kind in [
-            MechanismKind::Baseline,
-            MechanismKind::Comet,
-            MechanismKind::Graphene,
-            MechanismKind::Hydra,
-            MechanismKind::Rega,
-            MechanismKind::Para,
-            MechanismKind::BlockHammer,
-            MechanismKind::PerRow,
-        ] {
-            let m = build_mechanism(kind, 1000, &dram, 1);
-            assert_eq!(m.name(), kind.name());
-        }
-        let custom = MechanismKind::CometCustom {
-            n_hash: 2,
-            n_counters: 256,
-            rat_entries: 64,
-            reset_divisor: 2,
-            history_length: 128,
-            eprt_percent: 50,
-        };
-        assert_eq!(build_mechanism(custom, 1000, &dram, 1).name(), "CoMeT");
+    fn invalid_configuration_is_an_error_not_a_panic() {
+        let mut config = SimConfig::quick_test();
+        config.dram.geometry.channels = 0;
+        let err = Runner::new(config).run_single_core("429.mcf", MechanismKind::Baseline, 1000).unwrap_err();
+        assert!(matches!(err, RunnerError::InvalidConfig(_)), "{err:?}");
+        assert!(err.to_string().contains("channels"));
+    }
+
+    #[test]
+    fn unregistered_mechanism_is_an_error() {
+        let registry = Arc::new(crate::registry::MechanismRegistry::empty());
+        let r = Runner::with_registry(SimConfig::quick_test(), 1, registry);
+        let err = r.run_single_core("429.mcf", MechanismKind::Hydra, 1000).unwrap_err();
+        assert_eq!(err, RunnerError::UnknownMechanism("hydra".to_string()));
     }
 
     #[test]
@@ -284,9 +299,26 @@ mod tests {
         let r = runner();
         let alone = r.run_single_core("473.astar", MechanismKind::Para, 125).unwrap();
         let attacked = r
-            .run_with_attacker("473.astar", AttackKind::Traditional { rows_per_bank: 4 }, MechanismKind::Para, 125)
+            .run_with_attacker(
+                "473.astar",
+                AttackKind::Traditional { rows_per_bank: 4 },
+                MechanismKind::Para,
+                125,
+            )
             .unwrap();
         // The benign core is core 0 in both runs.
         assert!(attacked.per_core_ipc[0] < alone.per_core_ipc[0]);
+    }
+
+    #[test]
+    fn multi_channel_runs_complete_for_two_and_four_channels() {
+        for channels in [2usize, 4] {
+            let mut config = SimConfig::quick_test().with_channels(channels);
+            config.sim_cycles = 200_000;
+            let r = Runner::new(config);
+            let result = r.run_single_core("429.mcf", MechanismKind::Comet, 250).unwrap();
+            assert!(result.ipc > 0.0, "{channels}-channel run produced zero IPC");
+            assert!(result.reads > 0);
+        }
     }
 }

@@ -1,10 +1,11 @@
-//! The full simulated system: cores + memory controller + simulation loop.
+//! The full simulated system: cores + sharded memory system + simulation loop.
 
-use crate::controller::{ControllerConfig, ControllerStats, MemoryController};
+use crate::controller::ControllerConfig;
 use crate::cpu::{CoreConfig, TraceCore};
+use crate::memory::MemorySystem;
 use crate::metrics::RunResult;
 use comet_dram::{Cycle, DramConfig, EnergyCounters};
-use comet_mitigations::RowHammerMitigation;
+use comet_mitigations::MitigationFactory;
 use comet_trace::TraceSource;
 
 /// Simulation-level configuration: which DRAM preset to use and how long to run.
@@ -12,7 +13,7 @@ use comet_trace::TraceSource;
 pub struct SimConfig {
     /// DRAM device configuration (geometry, timing, energy).
     pub dram: DramConfig,
-    /// Memory controller policy.
+    /// Memory controller policy (applied to every channel shard).
     pub controller: ControllerConfig,
     /// Core parameters.
     pub core: CoreConfig,
@@ -65,6 +66,29 @@ impl SimConfig {
         config
     }
 
+    /// Returns this configuration scaled out to `channels` independent memory
+    /// channels (builder style). Each channel gets its own controller shard
+    /// and mitigation instance; traces interleave their accesses across
+    /// channels through the address mapping.
+    pub fn with_channels(mut self, channels: usize) -> Self {
+        self.dram.geometry = self.dram.geometry.with_channels(channels);
+        self
+    }
+
+    /// Number of memory channels this configuration simulates.
+    pub fn channels(&self) -> usize {
+        self.dram.geometry.channels
+    }
+
+    /// Validates the configuration, returning human-readable problems (empty = OK).
+    pub fn validate(&self) -> Vec<String> {
+        let mut problems = self.dram.validate();
+        if self.sim_cycles == 0 {
+            problems.push("sim_cycles must be non-zero".to_string());
+        }
+        problems
+    }
+
     /// Total simulated DRAM cycles (warmup + measurement).
     pub fn total_cycles(&self) -> Cycle {
         self.warmup_cycles + self.sim_cycles
@@ -90,33 +114,47 @@ struct CoreSnapshot {
     writes: u64,
 }
 
-/// The simulated system: one memory channel shared by one or more cores.
+/// The simulated system: a sharded memory system shared by one or more cores.
 pub struct System {
     config: SimConfig,
-    controller: MemoryController,
+    memory: MemorySystem,
     cores: Vec<TraceCore>,
 }
 
 impl System {
-    /// Builds a system running `traces` (one per core) under `mitigation`.
+    /// Builds a system running `traces` (one per core); `mitigation` builds
+    /// one independent mechanism instance per memory-channel shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `traces` is empty or the configuration fails
+    /// [`SimConfig::validate`]. The [`Runner`](crate::Runner) validates
+    /// configurations up front and returns a `RunnerError` instead.
     pub fn new(
         config: SimConfig,
         traces: Vec<Box<dyn TraceSource>>,
-        mitigation: Box<dyn RowHammerMitigation>,
+        mitigation: &dyn MitigationFactory,
     ) -> Self {
         assert!(!traces.is_empty(), "at least one core is required");
-        let controller = MemoryController::new(config.dram.clone(), config.controller.clone(), mitigation);
+        let problems = config.validate();
+        assert!(problems.is_empty(), "invalid simulation configuration: {problems:?}");
+        let memory = MemorySystem::new(config.dram.clone(), config.controller.clone(), mitigation);
         let cores = traces
             .into_iter()
             .enumerate()
             .map(|(id, trace)| TraceCore::new(id, trace, config.core.clone(), &config.dram))
             .collect();
-        System { config, controller, cores }
+        System { config, memory, cores }
     }
 
     /// Number of cores.
     pub fn core_count(&self) -> usize {
         self.cores.len()
+    }
+
+    /// Number of memory-channel shards.
+    pub fn channel_count(&self) -> usize {
+        self.memory.channels()
     }
 
     /// Runs the simulation to completion and returns the measured result
@@ -126,10 +164,10 @@ impl System {
         let end = self.config.total_cycles();
         let mut now: Cycle = 0;
         let mut warm_core: Vec<CoreSnapshot> = vec![CoreSnapshot::default(); self.cores.len()];
-        let mut warm_ctrl = ControllerStats::default();
+        let mut warm_ctrl = self.memory.stats();
         let mut warm_energy = EnergyCounters::default();
-        let mut warm_mitigation = self.controller.mitigation_stats();
-        let mut warm_channel = self.controller.channel_stats();
+        let mut warm_mitigation = self.memory.mitigation_stats();
+        let mut warm_channel = self.memory.channel_stats();
         let mut warm_taken = warmup_end == 0;
 
         while now < end {
@@ -143,29 +181,29 @@ impl System {
                         writes: c.writes_issued(),
                     })
                     .collect();
-                warm_ctrl = self.controller.stats();
-                warm_energy = self.controller.energy_counters(0);
-                warm_mitigation = self.controller.mitigation_stats();
-                warm_channel = self.controller.channel_stats();
+                warm_ctrl = self.memory.stats();
+                warm_energy = self.memory.energy_counters(0);
+                warm_mitigation = self.memory.mitigation_stats();
+                warm_channel = self.memory.channel_stats();
                 warm_taken = true;
             }
 
-            for completion in self.controller.take_completions() {
+            for completion in self.memory.take_completions() {
                 self.cores[completion.core].note_completion(completion.id, completion.completion);
             }
             let mut earliest_core: Option<Cycle> = None;
             for core in &mut self.cores {
-                let wake = core.advance(now, &mut self.controller);
+                let wake = core.advance(now, &mut self.memory);
                 if let Some(w) = wake.or_else(|| core.next_wake()) {
                     earliest_core = Some(earliest_core.map_or(w, |e| e.min(w)));
                 }
             }
-            let controller_next = self.controller.tick(now);
+            let memory_next = self.memory.tick(now);
 
-            // Advance time: never past the next controller or core event, never
+            // Advance time: never past the next memory or core event, never
             // past the warmup boundary, and never by more than a bounded skip so
             // blocked-core wakeups are not missed.
-            let mut next = controller_next.max(now + 1);
+            let mut next = memory_next.max(now + 1);
             if let Some(c) = earliest_core {
                 next = next.min(c.max(now + 1));
             }
@@ -177,53 +215,30 @@ impl System {
 
         // Assemble the measured (post-warmup) result.
         let measured_cycles = end - warmup_end;
-        let ctrl = self.controller.stats().delta_since(&warm_ctrl);
-        let energy_now = self.controller.energy_counters(0);
-        let energy = EnergyCounters {
-            acts: energy_now.acts - warm_energy.acts,
-            pres: energy_now.pres - warm_energy.pres,
-            reads: energy_now.reads - warm_energy.reads,
-            writes: energy_now.writes - warm_energy.writes,
-            refs: energy_now.refs - warm_energy.refs,
-            elapsed_cycles: measured_cycles,
-        };
-        let mit_now = self.controller.mitigation_stats();
-        let mitigation = comet_mitigations::MitigationStats {
-            activations_observed: mit_now.activations_observed - warm_mitigation.activations_observed,
-            preventive_refreshes: mit_now.preventive_refreshes - warm_mitigation.preventive_refreshes,
-            aggressors_identified: mit_now.aggressors_identified - warm_mitigation.aggressors_identified,
-            early_rank_refreshes: mit_now.early_rank_refreshes - warm_mitigation.early_rank_refreshes,
-            counter_reads: mit_now.counter_reads - warm_mitigation.counter_reads,
-            counter_writes: mit_now.counter_writes - warm_mitigation.counter_writes,
-            throttled_activations: mit_now.throttled_activations - warm_mitigation.throttled_activations,
-            throttle_cycles: mit_now.throttle_cycles - warm_mitigation.throttle_cycles,
-            periodic_resets: mit_now.periodic_resets - warm_mitigation.periodic_resets,
-        };
-        let channel_now = self.controller.channel_stats();
+        let ctrl = self.memory.stats().delta_since(&warm_ctrl);
+        let mut energy = self.memory.energy_counters(0).delta_since(&warm_energy);
+        energy.elapsed_cycles = measured_cycles;
+        let mitigation = self.memory.mitigation_stats().delta_since(&warm_mitigation);
+        let channel_now = self.memory.channel_stats();
         let acts = channel_now.acts - warm_channel.acts;
 
         let timing = &self.config.dram.timing;
         let cpu_cycles = self.cores[0].dram_to_cpu(measured_cycles);
-        let per_core_instructions: Vec<u64> = self
-            .cores
-            .iter()
-            .zip(&warm_core)
-            .map(|(c, w)| c.instructions() - w.instructions)
-            .collect();
-        let per_core_ipc: Vec<f64> =
-            per_core_instructions.iter().map(|&i| i as f64 / cpu_cycles).collect();
-        let total_reads: u64 = self.cores.iter().zip(&warm_core).map(|(c, w)| c.reads_issued() - w.reads).sum();
-        let total_writes: u64 = self.cores.iter().zip(&warm_core).map(|(c, w)| c.writes_issued() - w.writes).sum();
+        let per_core_instructions: Vec<u64> =
+            self.cores.iter().zip(&warm_core).map(|(c, w)| c.instructions() - w.instructions).collect();
+        let per_core_ipc: Vec<f64> = per_core_instructions.iter().map(|&i| i as f64 / cpu_cycles).collect();
+        let total_reads: u64 =
+            self.cores.iter().zip(&warm_core).map(|(c, w)| c.reads_issued() - w.reads).sum();
+        let total_writes: u64 =
+            self.cores.iter().zip(&warm_core).map(|(c, w)| c.writes_issued() - w.writes).sum();
 
-        let energy_breakdown = self.config.dram.energy.breakdown(
-            &energy,
-            timing,
-            self.config.dram.geometry.ranks_per_channel,
-        );
+        // Background energy scales with every rank of every channel.
+        let total_ranks = self.config.dram.geometry.ranks_per_channel * self.config.dram.geometry.channels;
+        let energy_breakdown = self.config.dram.energy.breakdown(&energy, timing, total_ranks);
 
         RunResult {
             label: label.into(),
-            mechanism: self.controller.mitigation_name(),
+            mechanism: self.memory.mitigation_name(),
             cores: self.cores.len(),
             dram_cycles: measured_cycles,
             cpu_cycles,
@@ -245,18 +260,22 @@ impl System {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use comet_mitigations::NoMitigation;
+    use comet_mitigations::{FnFactory, NoMitigation};
     use comet_trace::{catalog, SyntheticTrace};
 
     fn trace(name: &str, seed: u64, dram: &DramConfig) -> Box<dyn TraceSource> {
         Box::new(SyntheticTrace::new(catalog::workload(name).unwrap(), dram.geometry.clone(), seed))
     }
 
+    fn baseline() -> FnFactory {
+        FnFactory::new("Baseline", |_channel| Box::new(NoMitigation::new()))
+    }
+
     #[test]
     fn single_core_run_produces_sane_metrics() {
         let config = SimConfig::quick_test();
         let t = trace("429.mcf", 1, &config.dram);
-        let system = System::new(config, vec![t], Box::new(NoMitigation::new()));
+        let system = System::new(config, vec![t], &baseline());
         let result = system.run("mcf-baseline");
         assert!(result.ipc > 0.05 && result.ipc < 4.0, "ipc = {}", result.ipc);
         assert!(result.reads > 100, "reads = {}", result.reads);
@@ -268,18 +287,10 @@ mod tests {
     #[test]
     fn low_intensity_workload_has_higher_ipc_than_high_intensity() {
         let config = SimConfig::quick_test();
-        let low = System::new(
-            config.clone(),
-            vec![trace("541.leela", 3, &config.dram)],
-            Box::new(NoMitigation::new()),
-        )
-        .run("low");
-        let high = System::new(
-            config.clone(),
-            vec![trace("bfs_ny", 3, &config.dram)],
-            Box::new(NoMitigation::new()),
-        )
-        .run("high");
+        let low =
+            System::new(config.clone(), vec![trace("541.leela", 3, &config.dram)], &baseline()).run("low");
+        let high =
+            System::new(config.clone(), vec![trace("bfs_ny", 3, &config.dram)], &baseline()).run("high");
         assert!(
             low.ipc > high.ipc,
             "low-intensity IPC {} must exceed high-intensity IPC {}",
@@ -294,7 +305,7 @@ mod tests {
         config.sim_cycles = 150_000;
         let traces: Vec<Box<dyn TraceSource>> =
             (0..8).map(|i| trace("450.soplex", i as u64, &config.dram)).collect();
-        let system = System::new(config, traces, Box::new(NoMitigation::new()));
+        let system = System::new(config, traces, &baseline());
         let result = system.run("soplex-x8");
         assert_eq!(result.cores, 8);
         assert_eq!(result.per_core_ipc.len(), 8);
@@ -310,5 +321,39 @@ mod tests {
         assert_eq!(quick.dram.timing.t_refi, full.dram.timing.t_refi);
         assert!(quick.dram.timing.t_refw < full.dram.timing.t_refw);
         assert!(quick.total_cycles() < full.total_cycles());
+    }
+
+    #[test]
+    fn with_channels_builds_one_shard_per_channel() {
+        let config = SimConfig::quick_test().with_channels(2);
+        assert_eq!(config.channels(), 2);
+        let t = trace("429.mcf", 1, &config.dram);
+        let system = System::new(config, vec![t], &baseline());
+        assert_eq!(system.channel_count(), 2);
+    }
+
+    #[test]
+    fn multi_channel_run_spreads_load_and_improves_bandwidth() {
+        let mut config = SimConfig::quick_test();
+        config.sim_cycles = 150_000;
+        // Eight memory-hungry cores saturate one channel; with four channels
+        // the same workload must retire at least as many instructions.
+        let one = {
+            let traces: Vec<Box<dyn TraceSource>> =
+                (0..8).map(|i| trace("bfs_ny", i as u64, &config.dram)).collect();
+            System::new(config.clone(), traces, &baseline()).run("one-channel")
+        };
+        let four_config = config.clone().with_channels(4);
+        let four = {
+            let traces: Vec<Box<dyn TraceSource>> =
+                (0..8).map(|i| trace("bfs_ny", i as u64, &four_config.dram)).collect();
+            System::new(four_config, traces, &baseline()).run("four-channels")
+        };
+        assert!(
+            four.ipc > one.ipc,
+            "four channels ({}) must outperform one ({}) for a bandwidth-bound mix",
+            four.ipc,
+            one.ipc
+        );
     }
 }

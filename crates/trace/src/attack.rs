@@ -75,11 +75,13 @@ impl AttackTrace {
     fn addr_for(&self, bank: usize, row: usize) -> DramAddr {
         let g = self.geometry();
         let banks_per_rank = g.banks_per_rank();
+        let channel = bank / g.banks_per_channel();
+        let in_channel = bank % g.banks_per_channel();
         DramAddr {
-            channel: 0,
-            rank: bank / banks_per_rank,
-            bank_group: (bank % banks_per_rank) / g.banks_per_bank_group,
-            bank: (bank % banks_per_rank) % g.banks_per_bank_group,
+            channel,
+            rank: in_channel / banks_per_rank,
+            bank_group: (in_channel % banks_per_rank) / g.banks_per_bank_group,
+            bank: (in_channel % banks_per_rank) % g.banks_per_bank_group,
             row: row % g.rows_per_bank,
             column: 0,
         }
@@ -88,7 +90,9 @@ impl AttackTrace {
 
 impl TraceSource for AttackTrace {
     fn next_record(&mut self) -> TraceRecord {
-        let banks = self.geometry().banks_per_channel();
+        // Attacks sweep every bank of every channel, so each per-channel
+        // tracker shard faces the same adversarial pressure.
+        let banks = self.geometry().total_banks();
         let addr = match self.kind {
             AttackKind::Traditional { rows_per_bank } => {
                 // Round-robin over (bank, aggressor row) pairs; aggressors are spaced
@@ -168,11 +172,8 @@ mod tests {
         let mut t = AttackTrace::new(AttackKind::CometTargeted { rows_per_bank }, g.clone(), 0);
         let addrs = decode(&mut t, rows_per_bank * 8);
         let first_bank = addrs[0].flat_bank(&g);
-        let rows_in_first_bank: HashSet<usize> = addrs
-            .iter()
-            .filter(|a| a.flat_bank(&g) == first_bank)
-            .map(|a| a.row)
-            .collect();
+        let rows_in_first_bank: HashSet<usize> =
+            addrs.iter().filter(|a| a.flat_bank(&g) == first_bank).map(|a| a.row).collect();
         assert!(rows_in_first_bank.len() > 128, "must exceed RAT capacity");
     }
 
@@ -199,13 +200,17 @@ mod tests {
     #[test]
     fn attack_names_are_stable() {
         let g = DramGeometry::paper_default();
-        assert_eq!(AttackTrace::new(AttackKind::Traditional { rows_per_bank: 1 }, g.clone(), 0).name(), "attack-traditional");
+        assert_eq!(
+            AttackTrace::new(AttackKind::Traditional { rows_per_bank: 1 }, g.clone(), 0).name(),
+            "attack-traditional"
+        );
         assert_eq!(
             AttackTrace::new(AttackKind::CometTargeted { rows_per_bank: 1 }, g.clone(), 0).name(),
             "attack-comet-targeted"
         );
         assert_eq!(
-            AttackTrace::new(AttackKind::HydraTargeted { groups_per_bank: 1, rows_per_group: 128 }, g, 0).name(),
+            AttackTrace::new(AttackKind::HydraTargeted { groups_per_bank: 1, rows_per_group: 128 }, g, 0)
+                .name(),
             "attack-hydra-targeted"
         );
     }

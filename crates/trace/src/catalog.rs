@@ -146,12 +146,8 @@ pub fn workload(name: &str) -> Option<WorkloadProfile> {
     } else {
         None
     }?;
-    let bandwidth = HIGH
-        .iter()
-        .chain(MEDIUM.iter())
-        .chain(LOW.iter())
-        .find(|&&(n, _)| n == name)
-        .map(|&(_, bw)| bw)?;
+    let bandwidth =
+        HIGH.iter().chain(MEDIUM.iter()).chain(LOW.iter()).find(|&&(n, _)| n == name).map(|&(_, bw)| bw)?;
     Some(build_profile(name, bandwidth, class))
 }
 
@@ -232,8 +228,10 @@ mod tests {
     #[test]
     fn bandwidth_ordering_roughly_follows_rbmpki_within_class() {
         let high = workloads_in_class(MemoryIntensity::High);
-        let max_bw = high.iter().cloned().max_by(|a, b| a.bandwidth_mbps.total_cmp(&b.bandwidth_mbps)).unwrap();
-        let min_bw = high.iter().cloned().min_by(|a, b| a.bandwidth_mbps.total_cmp(&b.bandwidth_mbps)).unwrap();
+        let max_bw =
+            high.iter().cloned().max_by(|a, b| a.bandwidth_mbps.total_cmp(&b.bandwidth_mbps)).unwrap();
+        let min_bw =
+            high.iter().cloned().min_by(|a, b| a.bandwidth_mbps.total_cmp(&b.bandwidth_mbps)).unwrap();
         assert!(max_bw.rbmpki >= min_bw.rbmpki);
     }
 }

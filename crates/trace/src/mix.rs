@@ -35,10 +35,7 @@ impl MultiCoreMix {
 /// Returns `None` if the workload is not in the Table 3 catalog.
 pub fn homogeneous_mix(workload_name: &str, cores: usize) -> Option<MultiCoreMix> {
     let profile = catalog::workload(workload_name)?;
-    Some(MultiCoreMix {
-        name: format!("{workload_name}-x{cores}"),
-        cores: vec![profile; cores],
-    })
+    Some(MultiCoreMix { name: format!("{workload_name}-x{cores}"), cores: vec![profile; cores] })
 }
 
 /// All homogeneous 8-core mixes the paper evaluates (one per catalog workload

@@ -42,7 +42,10 @@ impl SyntheticTrace {
         let problems = profile.validate();
         assert!(problems.is_empty(), "invalid workload profile: {problems:?}");
         let mut rng = SmallRng::seed_from_u64(seed);
-        let banks = geometry.banks_per_channel();
+        // Streams spread over every bank of every channel so multi-channel
+        // systems see balanced load (identical to the per-channel behaviour
+        // when `geometry.channels == 1`).
+        let banks = geometry.total_banks();
         let footprint = profile.footprint_rows_per_bank.min(geometry.rows_per_bank);
         let streams = (0..profile.streams)
             .map(|_| StreamState {
@@ -85,10 +88,12 @@ impl SyntheticTrace {
     fn dram_addr(&self, s: StreamState) -> DramAddr {
         let g = self.geometry();
         let banks_per_rank = g.banks_per_rank();
-        let rank = s.bank / banks_per_rank;
-        let in_rank = s.bank % banks_per_rank;
+        let channel = s.bank / g.banks_per_channel();
+        let in_channel = s.bank % g.banks_per_channel();
+        let rank = in_channel / banks_per_rank;
+        let in_rank = in_channel % banks_per_rank;
         DramAddr {
-            channel: 0,
+            channel,
             rank,
             bank_group: in_rank / g.banks_per_bank_group,
             bank: in_rank % g.banks_per_bank_group,
@@ -105,7 +110,7 @@ impl TraceSource for SyntheticTrace {
         let stream_index = self.rng.gen_range(0..self.streams.len());
         let row_hit = self.rng.gen_bool(self.profile.row_locality);
         {
-            let banks = g.banks_per_channel();
+            let banks = g.total_banks();
             let columns = g.columns_per_row;
             let stream = &mut self.streams[stream_index];
             if row_hit {
@@ -156,10 +161,7 @@ mod tests {
         let (trace, records) = generate("519.lbm", 50_000, 1);
         let mean: f64 = records.iter().map(|r| r.gap as f64).sum::<f64>() / records.len() as f64;
         let expected = trace.profile().mean_gap();
-        assert!(
-            (mean - expected).abs() / expected < 0.1,
-            "mean gap {mean} vs expected {expected}"
-        );
+        assert!((mean - expected).abs() / expected < 0.1, "mean gap {mean} vs expected {expected}");
     }
 
     #[test]

@@ -24,15 +24,18 @@ fn main() {
     let attacks = [
         ("traditional hammer", AttackKind::Traditional { rows_per_bank: 8 }),
         ("RAT-thrashing (CoMeT-targeted)", AttackKind::CometTargeted { rows_per_bank: 512 }),
-        ("group-spray (Hydra-targeted)", AttackKind::HydraTargeted { groups_per_bank: 64, rows_per_group: 128 }),
+        (
+            "group-spray (Hydra-targeted)",
+            AttackKind::HydraTargeted { groups_per_bank: 64, rows_per_group: 128 },
+        ),
     ];
-    let mechanisms = [MechanismKind::Comet, MechanismKind::Graphene, MechanismKind::Hydra, MechanismKind::Para];
+    let mechanisms =
+        [MechanismKind::Comet, MechanismKind::Graphene, MechanismKind::Hydra, MechanismKind::Para];
 
     for (attack_name, attack) in attacks {
         println!("== Attack: {attack_name} ==");
-        let unprotected = runner
-            .run_with_attacker(benign, attack, MechanismKind::Baseline, nrh)
-            .expect("catalog workload");
+        let unprotected =
+            runner.run_with_attacker(benign, attack, MechanismKind::Baseline, nrh).expect("catalog workload");
         println!(
             "  {:<12} benign IPC {:.3} (no protection, bitflips possible!)",
             "Baseline", unprotected.per_core_ipc[0]

@@ -56,10 +56,7 @@ fn main() {
             history_length: 256,
             eprt_percent: 25,
         };
-        println!(
-            "  NRAT={rat_entries:<4} -> normalized IPC {:.4}",
-            evaluate(&runner, &workloads, kind, nrh)
-        );
+        println!("  NRAT={rat_entries:<4} -> normalized IPC {:.4}", evaluate(&runner, &workloads, kind, nrh));
     }
 
     println!("\nReset period divisor k (NPR = NRH / (k+1)):");

@@ -36,7 +36,10 @@ fn main() {
         println!("  activations observed    : {}", comet.mitigation.activations_observed);
         println!("  preventive refreshes    : {}", comet.mitigation.preventive_refreshes);
         println!("  early rank refreshes    : {}", comet.mitigation.early_rank_refreshes);
-        println!("  avg read latency        : {:.1} ns (baseline {:.1} ns)", comet.avg_read_latency_ns, baseline.avg_read_latency_ns);
+        println!(
+            "  avg read latency        : {:.1} ns (baseline {:.1} ns)",
+            comet.avg_read_latency_ns, baseline.avg_read_latency_ns
+        );
         println!();
     }
 

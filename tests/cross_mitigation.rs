@@ -88,7 +88,10 @@ fn area_advantage_over_graphene_grows_as_threshold_drops() {
     let ratio_1k = area::graphene_report(1000).area_mm2 / area::comet_report(1000).area_mm2;
     let ratio_125 = area::graphene_report(125).area_mm2 / area::comet_report(125).area_mm2;
     assert!(ratio_1k > 3.0);
-    assert!(ratio_125 > ratio_1k * 4.0, "Graphene/CoMeT ratio must explode at low NRH: {ratio_125} vs {ratio_1k}");
+    assert!(
+        ratio_125 > ratio_1k * 4.0,
+        "Graphene/CoMeT ratio must explode at low NRH: {ratio_125} vs {ratio_1k}"
+    );
 }
 
 #[test]
@@ -101,7 +104,8 @@ fn mechanism_storage_bits_agree_with_analytic_model() {
     let timing = TimingParams::ddr4_2400();
     for nrh in [1000u64, 125] {
         // CoMeT's live structure and the area model must agree on storage.
-        let comet = comet::core::Comet::new(comet::core::CometConfig::for_threshold(nrh, &timing), geometry.clone());
+        let comet =
+            comet::core::Comet::new(comet::core::CometConfig::for_threshold(nrh, &timing), geometry.clone());
         let live_kib = comet.storage_bits() as f64 / 8.0 / 1024.0;
         let model_kib = area::comet_report(nrh).storage_kib;
         let gap = (live_kib - model_kib).abs() / model_kib;

@@ -135,7 +135,12 @@ fn full_system_attack_generates_sufficient_preventive_refreshes() {
     let runner = Runner::new(SimConfig::quick_test());
     let nrh = 250;
     let result = runner
-        .run_with_attacker("511.povray", AttackKind::Traditional { rows_per_bank: 4 }, MechanismKind::Comet, nrh)
+        .run_with_attacker(
+            "511.povray",
+            AttackKind::Traditional { rows_per_bank: 4 },
+            MechanismKind::Comet,
+            nrh,
+        )
         .unwrap();
     let stats = result.mitigation;
     assert!(stats.activations_observed > 1000, "the attack must generate activations");

@@ -1,0 +1,161 @@
+//! Offline stand-in for the [`criterion`](https://docs.rs/criterion) benchmark
+//! harness.
+//!
+//! Implements the macro and builder surface the workspace's benches use
+//! (`criterion_group!`, `criterion_main!`, `Criterion::bench_function`,
+//! `benchmark_group`, `sample_size`, `Bencher::iter`, `black_box`) with a
+//! simple wall-clock measurement loop: each benchmark is warmed up once, then
+//! timed over a fixed per-sample budget, and the mean time per iteration is
+//! printed. No statistics, plotting, or comparison with previous runs.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Per-sample time budget. Small enough that full bench suites stay quick,
+/// large enough to average out scheduler noise for ns-scale bodies.
+const SAMPLE_BUDGET: Duration = Duration::from_millis(20);
+
+/// The benchmark driver handed to every target function.
+pub struct Criterion {
+    sample_count: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_count: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark (builder style).
+    pub fn sample_size(mut self, count: usize) -> Self {
+        self.sample_count = count.max(1);
+        self
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, name: impl AsRef<str>, mut body: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(name.as_ref(), self.sample_count, &mut body);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.to_string(), sample_count: self.sample_count, _parent: self }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_count: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples for benchmarks in this group.
+    pub fn sample_size(&mut self, count: usize) -> &mut Self {
+        self.sample_count = count.max(1);
+        self
+    }
+
+    /// Runs a benchmark within the group.
+    pub fn bench_function<F>(&mut self, name: impl AsRef<str>, mut body: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&format!("{}/{}", self.name, name.as_ref()), self.sample_count, &mut body);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; nothing to flush).
+    pub fn finish(&mut self) {}
+}
+
+/// Passed to the benchmark body; `iter` runs and times the closure.
+pub struct Bencher {
+    iterations_done: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `body`, running it repeatedly until the sample budget is spent.
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut body: F) {
+        // One untimed warmup call.
+        black_box(body());
+        let started = Instant::now();
+        let mut iterations: u64 = 0;
+        while started.elapsed() < SAMPLE_BUDGET {
+            black_box(body());
+            iterations += 1;
+        }
+        self.iterations_done += iterations;
+        self.elapsed += started.elapsed();
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(name: &str, samples: usize, body: &mut F) {
+    let mut bencher = Bencher { iterations_done: 0, elapsed: Duration::ZERO };
+    for _ in 0..samples {
+        body(&mut bencher);
+    }
+    if bencher.iterations_done == 0 {
+        println!("{name:<48} (no iterations executed)");
+        return;
+    }
+    let per_iter_ns = bencher.elapsed.as_nanos() as f64 / bencher.iterations_done as f64;
+    println!("{name:<48} {per_iter_ns:>14.1} ns/iter ({} iters)", bencher.iterations_done);
+}
+
+/// Declares a benchmark group; mirrors criterion's macro forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`, running every listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_body_and_counts_iterations() {
+        let mut c = Criterion::default().sample_size(1);
+        let mut calls = 0u64;
+        c.bench_function("noop", |b| b.iter(|| calls += 1));
+        assert!(calls > 0, "the benchmark body must actually run");
+    }
+
+    #[test]
+    fn groups_prefix_names_and_finish_cleanly() {
+        let mut c = Criterion::default().sample_size(1);
+        let mut group = c.benchmark_group("g");
+        group.sample_size(1).bench_function("inner", |b| b.iter(|| black_box(1 + 1)));
+        group.finish();
+    }
+}

@@ -1,0 +1,184 @@
+//! Offline stand-in for [`proptest`](https://docs.rs/proptest).
+//!
+//! Supports the subset this workspace's property tests use: the `proptest!`
+//! macro over `arg in strategy` parameters, range and `any::<T>()` strategies,
+//! `collection::vec`, and the `prop_assert!` / `prop_assert_eq!` macros.
+//! Failing cases are reported with their deterministic case seed but are not
+//! shrunk. The case count defaults to 64 and can be overridden with the
+//! `PROPTEST_CASES` environment variable.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SampleUniform, SeedableRng};
+use std::ops::Range;
+
+/// A source of random values for one test case.
+pub type TestRng = SmallRng;
+
+/// Something that can produce random values of a given type.
+pub trait Strategy {
+    /// The type of value produced.
+    type Value;
+
+    /// Samples one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<T: SampleUniform> Strategy for Range<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary {
+    /// Produces an unconstrained random value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Strategy wrapper returned by [`any`].
+pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The unconstrained strategy for `T`.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Strategy producing `Vec`s with lengths drawn from a range.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Produces vectors of `element`-strategy values with a length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rng.gen_range(self.size.clone());
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Number of cases each property runs (`PROPTEST_CASES` overrides).
+pub fn case_count() -> u64 {
+    std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(64)
+}
+
+/// Runs `body` once per case with a deterministic per-case RNG.
+pub fn run_cases<F: FnMut(&mut TestRng)>(test_name: &str, mut body: F) {
+    // Deterministic per-test seeding (FNV-1a over the name) keeps failures
+    // reproducible across runs and machines.
+    let mut name_hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in test_name.bytes() {
+        name_hash ^= byte as u64;
+        name_hash = name_hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    for case in 0..case_count() {
+        let seed = name_hash ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut rng = TestRng::seed_from_u64(seed);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&mut rng)));
+        if let Err(payload) = outcome {
+            eprintln!("proptest {test_name}: case {case} (seed {seed:#x}) failed");
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+/// Commonly used items, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{any, prop_assert, prop_assert_eq, proptest, Strategy};
+}
+
+/// Declares property tests: each `arg in strategy` parameter is freshly
+/// sampled for every case.
+#[macro_export]
+macro_rules! proptest {
+    ($( $(#[$attr:meta])* fn $name:ident( $($arg:ident in $strategy:expr),+ $(,)? ) $body:block )*) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                $crate::run_cases(stringify!($name), |case_rng| {
+                    $(let $arg = $crate::Strategy::sample(&($strategy), case_rng);)+
+                    $body
+                });
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property (stand-in: plain `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property (stand-in: plain `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        /// The macro samples every declared parameter each case.
+        #[test]
+        fn sampled_values_respect_their_strategies(
+            x in 5u64..10,
+            flag in any::<bool>(),
+            items in collection::vec(0u32..4, 1..16),
+        ) {
+            prop_assert!((5..10).contains(&x));
+            let _covered: bool = flag;
+            prop_assert!(!items.is_empty() && items.len() < 16);
+            prop_assert!(items.iter().all(|&v| v < 4));
+        }
+    }
+
+    #[test]
+    fn case_count_is_positive() {
+        prop_assert!(super::case_count() > 0);
+    }
+}

@@ -1,0 +1,178 @@
+//! Offline stand-in for the [`rand`](https://docs.rs/rand) crate.
+//!
+//! Implements the exact API surface this workspace uses — `SmallRng`,
+//! `SeedableRng::seed_from_u64`, `Rng::gen_range` over integer and float
+//! ranges, and `Rng::gen_bool` — on top of xoshiro256** seeded via splitmix64
+//! (the same generator family real `rand` uses for `SmallRng` on 64-bit
+//! targets). Streams are deterministic per seed, which is all the simulator
+//! requires; they do not bit-match the real crate.
+
+use std::ops::Range;
+
+/// Random number generators seedable from a `u64`.
+pub trait SeedableRng: Sized {
+    /// Creates a generator whose stream is fully determined by `state`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Sampling interface: the subset of `rand::Rng` the workspace uses.
+pub trait Rng {
+    /// Produces the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Samples uniformly from `range` (half-open).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
+        T::sample(self, range)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not within `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool probability {p} outside [0, 1]");
+        self.sample_f64() < p
+    }
+
+    /// Samples a uniform `f64` in `[0, 1)`.
+    fn sample_f64(&mut self) -> f64 {
+        // 53 random mantissa bits, the standard conversion.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Types that can be sampled uniformly from a half-open range.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Samples uniformly from `range` using `rng`.
+    fn sample<R: Rng + ?Sized>(rng: &mut R, range: Range<Self>) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample<R: Rng + ?Sized>(rng: &mut R, range: Range<Self>) -> Self {
+                assert!(range.start < range.end, "gen_range called with an empty range");
+                let span = (range.end as u128 - range.start as u128) as u64;
+                // Debiased multiply-shift (Lemire); the rejection loop is
+                // entered with negligible probability for the small spans the
+                // simulator samples.
+                let mut x = rng.next_u64();
+                let mut m = (x as u128) * (span as u128);
+                let mut low = m as u64;
+                if low < span {
+                    let threshold = span.wrapping_neg() % span;
+                    while low < threshold {
+                        x = rng.next_u64();
+                        m = (x as u128) * (span as u128);
+                        low = m as u64;
+                    }
+                }
+                range.start + ((m >> 64) as u64) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize);
+
+impl SampleUniform for f64 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R, range: Range<Self>) -> Self {
+        assert!(range.start < range.end, "gen_range called with an empty range");
+        let span = range.end - range.start;
+        let sample = range.start + rng.sample_f64() * span;
+        // Guard against rounding up to the excluded endpoint.
+        if sample >= range.end {
+            range.start
+        } else {
+            sample
+        }
+    }
+}
+
+/// Generator implementations.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// A small, fast, deterministic PRNG (xoshiro256**).
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct SmallRng {
+        state: [u64; 4],
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(state: u64) -> Self {
+            // Expand the seed with splitmix64, as recommended by the xoshiro
+            // authors (and done by rand_xoshiro).
+            let mut seeder = state;
+            let mut next = || {
+                seeder = seeder.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = seeder;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            SmallRng { state: [next(), next(), next(), next()] }
+        }
+    }
+
+    impl Rng for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.state[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.state[1] << 17;
+            self.state[2] ^= self.state[0];
+            self.state[3] ^= self.state[1];
+            self.state[1] ^= self.state[2];
+            self.state[0] ^= self.state[3];
+            self.state[2] ^= t;
+            self.state[3] = self.state[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn streams_are_deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        let mut c = SmallRng::seed_from_u64(43);
+        let xs: Vec<u64> = (0..100).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..100).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..100).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds_and_covers() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let v = rng.gen_range(0usize..10);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all values of a small range must appear");
+        for _ in 0..1000 {
+            let f = rng.gen_range(f64::EPSILON..1.0);
+            assert!((f64::EPSILON..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "got {hits} hits for p=0.25");
+        assert!((0..100).all(|_| !rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+}

@@ -1,0 +1,201 @@
+//! Offline stand-in for [`serde`](https://serde.rs).
+//!
+//! The build environment for this repository has no access to crates.io, so
+//! this crate re-implements the tiny slice of serde the workspace actually
+//! uses: a self-describing [`Value`] tree, a [`Serialize`] trait producing it,
+//! a no-op [`Deserialize`] marker, and `#[derive(Serialize, Deserialize)]`
+//! macros (re-exported from `serde_derive`). `serde_json` renders the value
+//! tree as JSON.
+//!
+//! The API intentionally mirrors real serde's import paths
+//! (`use serde::{Deserialize, Serialize};`, `#[serde(skip)]`) so the
+//! simulation crates compile unchanged against either implementation.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A self-describing serialized value, the common currency between
+/// [`Serialize`] implementations and format writers such as `serde_json`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// An unsigned integer.
+    UInt(u64),
+    /// A signed integer.
+    Int(i64),
+    /// A floating-point number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence (JSON array).
+    Seq(Vec<Value>),
+    /// An ordered map with string keys (JSON object). Field order is the
+    /// declaration order, matching serde's struct serialization.
+    Map(Vec<(String, Value)>),
+}
+
+/// Types that can be converted into a [`Value`] tree.
+pub trait Serialize {
+    /// Converts `self` into a self-describing value.
+    fn to_value(&self) -> Value;
+}
+
+/// Marker trait mirroring serde's `Deserialize`.
+///
+/// Nothing in this workspace parses serialized data back, so the derive
+/// expands to an empty impl; the trait exists only so `use serde::Deserialize`
+/// and `#[derive(Deserialize)]` keep compiling.
+pub trait Deserialize {}
+
+macro_rules! impl_serialize_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+        impl Deserialize for $t {}
+    )*};
+}
+
+macro_rules! impl_serialize_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+        impl Deserialize for $t {}
+    )*};
+}
+
+impl_serialize_uint!(u8, u16, u32, u64, usize);
+impl_serialize_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+impl Deserialize for f64 {}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self as f64)
+    }
+}
+impl Deserialize for f32 {}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+impl Deserialize for String {}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+impl Deserialize for char {}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {}
+
+impl<T: Serialize> Serialize for std::collections::VecDeque<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for std::collections::VecDeque<T> {}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+macro_rules! impl_serialize_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {}
+    )*};
+}
+
+impl_serialize_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_serialize_to_expected_variants() {
+        assert_eq!(5u32.to_value(), Value::UInt(5));
+        assert_eq!((-3i64).to_value(), Value::Int(-3));
+        assert_eq!(1.5f64.to_value(), Value::Float(1.5));
+        assert_eq!(true.to_value(), Value::Bool(true));
+        assert_eq!("hi".to_string().to_value(), Value::Str("hi".into()));
+    }
+
+    #[test]
+    fn containers_serialize_recursively() {
+        assert_eq!(vec![1u64, 2].to_value(), Value::Seq(vec![Value::UInt(1), Value::UInt(2)]));
+        assert_eq!(
+            ("a".to_string(), 2.0f64).to_value(),
+            Value::Seq(vec![Value::Str("a".into()), Value::Float(2.0)])
+        );
+        assert_eq!(Option::<u64>::None.to_value(), Value::Null);
+        assert_eq!(Some(7u64).to_value(), Value::UInt(7));
+    }
+}

@@ -1,0 +1,300 @@
+//! Derive macros for the offline `serde` stand-in.
+//!
+//! Implemented directly on `proc_macro::TokenStream` (no `syn`/`quote`, which
+//! are unavailable offline). The parser covers exactly the shapes this
+//! workspace uses: non-generic structs with named fields, tuple structs, unit
+//! structs, and enums with unit / tuple / struct variants. The only field
+//! attribute honoured is `#[serde(skip)]`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` by generating a `to_value` implementation that
+/// mirrors serde's externally-tagged JSON data model.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(message) => return compile_error(&message),
+    };
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let entries = named_field_entries(fields, "&self.");
+            format!("::serde::Value::Map(vec![{entries}])")
+        }
+        Shape::TupleStruct(arity) => tuple_struct_body(*arity),
+        Shape::UnitStruct => "::serde::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let arms: String = variants.iter().map(|v| variant_arm(&item.name, v)).collect();
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}",
+        name = item.name
+    )
+    .parse()
+    .expect("generated Serialize impl parses")
+}
+
+/// Derives the no-op `serde::Deserialize` marker impl.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(message) => return compile_error(&message),
+    };
+    format!("impl ::serde::Deserialize for {} {{}}", item.name)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+fn compile_error(message: &str) -> TokenStream {
+    format!("compile_error!({message:?});").parse().expect("compile_error parses")
+}
+
+/// One named field: its identifier and whether `#[serde(skip)]` was present.
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum Shape {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut index = 0;
+    skip_attributes_and_visibility(&tokens, &mut index);
+
+    let keyword = match tokens.get(index) {
+        Some(TokenTree::Ident(ident)) => ident.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    index += 1;
+    let name = match tokens.get(index) {
+        Some(TokenTree::Ident(ident)) => ident.to_string(),
+        other => return Err(format!("expected item name, found {other:?}")),
+    };
+    index += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(index) {
+        if p.as_char() == '<' {
+            return Err(format!("derive stand-in does not support generic type `{name}`"));
+        }
+    }
+
+    let body = tokens.get(index).cloned();
+    match keyword.as_str() {
+        "struct" => match body {
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => {
+                Ok(Item { name, shape: Shape::NamedStruct(parse_named_fields(group.stream())) })
+            }
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Parenthesis => {
+                let arity = split_top_level(group.stream()).len();
+                Ok(Item { name, shape: Shape::TupleStruct(arity) })
+            }
+            _ => Ok(Item { name, shape: Shape::UnitStruct }),
+        },
+        "enum" => match body {
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => {
+                Ok(Item { name, shape: Shape::Enum(parse_variants(group.stream())) })
+            }
+            other => Err(format!("expected enum body, found {other:?}")),
+        },
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+/// Advances `index` past leading outer attributes and a `pub` / `pub(...)`
+/// visibility qualifier.
+fn skip_attributes_and_visibility(tokens: &[TokenTree], index: &mut usize) {
+    loop {
+        match tokens.get(*index) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *index += 2; // `#` plus the bracketed attribute group
+            }
+            Some(TokenTree::Ident(ident)) if ident.to_string() == "pub" => {
+                *index += 1;
+                if let Some(TokenTree::Group(group)) = tokens.get(*index) {
+                    if group.delimiter() == Delimiter::Parenthesis {
+                        *index += 1;
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Splits a token stream into chunks separated by top-level commas.
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut chunks = Vec::new();
+    let mut current = Vec::new();
+    for token in stream {
+        match &token {
+            TokenTree::Punct(p) if p.as_char() == ',' => {
+                if !current.is_empty() {
+                    chunks.push(std::mem::take(&mut current));
+                }
+            }
+            _ => current.push(token),
+        }
+    }
+    if !current.is_empty() {
+        chunks.push(current);
+    }
+    chunks
+}
+
+/// Whether an attribute group (the `[...]` contents) is `serde(skip)` or any
+/// `serde(...)` list containing `skip`.
+fn attribute_is_serde_skip(group: &proc_macro::Group) -> bool {
+    let mut tokens = group.stream().into_iter();
+    match tokens.next() {
+        Some(TokenTree::Ident(ident)) if ident.to_string() == "serde" => {}
+        _ => return false,
+    }
+    match tokens.next() {
+        Some(TokenTree::Group(args)) => {
+            args.stream().into_iter().any(|t| matches!(&t, TokenTree::Ident(i) if i.to_string() == "skip"))
+        }
+        _ => false,
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    split_top_level(stream)
+        .into_iter()
+        .filter_map(|chunk| {
+            let mut skip = false;
+            let mut tokens = chunk.into_iter().peekable();
+            loop {
+                match tokens.peek() {
+                    Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                        tokens.next();
+                        if let Some(TokenTree::Group(group)) = tokens.next() {
+                            skip |= attribute_is_serde_skip(&group);
+                        }
+                    }
+                    Some(TokenTree::Ident(ident)) if ident.to_string() == "pub" => {
+                        tokens.next();
+                        if let Some(TokenTree::Group(g)) = tokens.peek() {
+                            if g.delimiter() == Delimiter::Parenthesis {
+                                tokens.next();
+                            }
+                        }
+                    }
+                    _ => break,
+                }
+            }
+            match tokens.next() {
+                Some(TokenTree::Ident(ident)) => Some(Field { name: ident.to_string(), skip }),
+                _ => None,
+            }
+        })
+        .collect()
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    split_top_level(stream)
+        .into_iter()
+        .filter_map(|chunk| {
+            let mut tokens = chunk.into_iter().peekable();
+            // Skip attributes on the variant.
+            while matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+                tokens.next();
+                tokens.next();
+            }
+            let name = match tokens.next() {
+                Some(TokenTree::Ident(ident)) => ident.to_string(),
+                _ => return None,
+            };
+            let shape = match tokens.next() {
+                Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => {
+                    VariantShape::Named(parse_named_fields(group.stream()))
+                }
+                Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Parenthesis => {
+                    VariantShape::Tuple(split_top_level(group.stream()).len())
+                }
+                _ => VariantShape::Unit,
+            };
+            Some(Variant { name, shape })
+        })
+        .collect()
+}
+
+/// `("a".to_string(), to_value(&self.a)), ...` for the non-skipped fields.
+/// `prefix` is prepended to each field name to form the access expression.
+fn named_field_entries(fields: &[Field], prefix: &str) -> String {
+    fields
+        .iter()
+        .filter(|f| !f.skip)
+        .map(|f| {
+            format!("({name:?}.to_string(), ::serde::Serialize::to_value({prefix}{name})),", name = f.name)
+        })
+        .collect()
+}
+
+fn tuple_struct_body(arity: usize) -> String {
+    if arity == 1 {
+        // Newtype structs serialize transparently, like serde.
+        return "::serde::Serialize::to_value(&self.0)".to_string();
+    }
+    let elements: String = (0..arity).map(|i| format!("::serde::Serialize::to_value(&self.{i}),")).collect();
+    format!("::serde::Value::Seq(vec![{elements}])")
+}
+
+fn variant_arm(enum_name: &str, variant: &Variant) -> String {
+    let vname = &variant.name;
+    match &variant.shape {
+        VariantShape::Unit => {
+            format!("{enum_name}::{vname} => ::serde::Value::Str({vname:?}.to_string()),")
+        }
+        VariantShape::Tuple(arity) => {
+            let bindings: Vec<String> = (0..*arity).map(|i| format!("v{i}")).collect();
+            let pattern = bindings.join(", ");
+            let inner = if *arity == 1 {
+                "::serde::Serialize::to_value(v0)".to_string()
+            } else {
+                let elements: String =
+                    bindings.iter().map(|b| format!("::serde::Serialize::to_value({b}),")).collect();
+                format!("::serde::Value::Seq(vec![{elements}])")
+            };
+            format!(
+                "{enum_name}::{vname}({pattern}) => \
+                 ::serde::Value::Map(vec![({vname:?}.to_string(), {inner})]),"
+            )
+        }
+        VariantShape::Named(fields) => {
+            // Only the serialized fields are destructured; `..` absorbs the rest.
+            let pattern: String =
+                fields.iter().filter(|f| !f.skip).map(|f| format!("{name}, ", name = f.name)).collect();
+            let entries = named_field_entries(fields, "");
+            format!(
+                "{enum_name}::{vname} {{ {pattern} .. }} => ::serde::Value::Map(vec![\
+                 ({vname:?}.to_string(), ::serde::Value::Map(vec![{entries}]))]),"
+            )
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! Offline stand-in for `serde_json`: serializes the [`serde::Value`] tree
+//! produced by the offline `serde` crate into JSON text.
+
+use serde::{Serialize, Value};
+
+/// Error type mirroring `serde_json::Error`.
+///
+/// Serialization of the in-memory value tree cannot fail, so this is never
+/// constructed; it exists to keep `Result`-shaped call sites compiling.
+#[derive(Debug)]
+pub struct Error(String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serializes `value` as compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), None, 0, &mut out);
+    Ok(out)
+}
+
+/// Serializes `value` as pretty-printed JSON (two-space indentation).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), Some(2), 0, &mut out);
+    Ok(out)
+}
+
+fn write_value(value: &Value, indent: Option<usize>, depth: usize, out: &mut String) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::UInt(n) => out.push_str(&n.to_string()),
+        Value::Int(n) => out.push_str(&n.to_string()),
+        Value::Float(x) => write_float(*x, out),
+        Value::Str(s) => write_string(s, out),
+        Value::Seq(items) => {
+            write_container(items.iter(), items.len(), ('[', ']'), indent, depth, out, |item, out| {
+                write_value(item, indent, depth + 1, out);
+            });
+        }
+        Value::Map(entries) => {
+            write_container(
+                entries.iter(),
+                entries.len(),
+                ('{', '}'),
+                indent,
+                depth,
+                out,
+                |(key, item), out| {
+                    write_string(key, out);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    write_value(item, indent, depth + 1, out);
+                },
+            );
+        }
+    }
+}
+
+fn write_container<I, T>(
+    items: I,
+    len: usize,
+    brackets: (char, char),
+    indent: Option<usize>,
+    depth: usize,
+    out: &mut String,
+    mut write_item: impl FnMut(T, &mut String),
+) where
+    I: Iterator<Item = T>,
+{
+    out.push(brackets.0);
+    if len == 0 {
+        out.push(brackets.1);
+        return;
+    }
+    for (index, item) in items.enumerate() {
+        if index > 0 {
+            out.push(',');
+        }
+        if let Some(width) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(width * (depth + 1)));
+        }
+        write_item(item, out);
+    }
+    if let Some(width) = indent {
+        out.push('\n');
+        out.push_str(&" ".repeat(width * depth));
+    }
+    out.push(brackets.1);
+}
+
+fn write_float(x: f64, out: &mut String) {
+    if x.is_finite() {
+        let text = format!("{x}");
+        out.push_str(&text);
+        // `{}` prints integral floats without a fractional part; JSON readers
+        // then see an integer, which is fine, but keep serde_json's habit of
+        // emitting `1.0` for clarity.
+        if !text.contains('.') && !text.contains('e') && !text.contains("inf") {
+            out.push_str(".0");
+        }
+    } else {
+        // serde_json rejects non-finite floats; render as null like its
+        // `json!` fallback behaviour to keep reporting robust.
+        out.push_str("null");
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_and_pretty_render_maps_and_seqs() {
+        let value = Value::Map(vec![
+            ("name".to_string(), Value::Str("x".to_string())),
+            ("items".to_string(), Value::Seq(vec![Value::UInt(1), Value::Float(2.5)])),
+        ]);
+        struct Wrapper(Value);
+        impl Serialize for Wrapper {
+            fn to_value(&self) -> Value {
+                self.0.clone()
+            }
+        }
+        let compact = to_string(&Wrapper(value.clone())).unwrap();
+        assert_eq!(compact, r#"{"name":"x","items":[1,2.5]}"#);
+        let pretty = to_string_pretty(&Wrapper(value)).unwrap();
+        assert!(pretty.contains("\n  \"name\": \"x\""));
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let mut out = String::new();
+        write_string("a\"b\\c\nd", &mut out);
+        assert_eq!(out, r#""a\"b\\c\nd""#);
+    }
+
+    #[test]
+    fn integral_floats_keep_a_fractional_part() {
+        let mut out = String::new();
+        write_float(3.0, &mut out);
+        assert_eq!(out, "3.0");
+    }
+}
