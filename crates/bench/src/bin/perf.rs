@@ -1,0 +1,347 @@
+//! Hot-path performance harness: times the fixed basket of sweep cells and
+//! records the result in `BENCH_hotpath.json`.
+//!
+//! Usage:
+//!
+//! ```text
+//! perf [--cells smoke|full|all] [--out FILE] [--label TEXT] [--before FILE]
+//! perf --check FILE [--max-regress PCT]
+//! perf --print-goldens
+//! ```
+//!
+//! * Default mode runs the requested basket(s), prints a per-cell table, and
+//!   (with `--out`) writes a JSON snapshot. `--before FILE` embeds the
+//!   headline numbers of an earlier snapshot and the resulting speedup.
+//! * `--check FILE` re-times the smoke basket and exits non-zero when the
+//!   measured accesses/sec fall more than `--max-regress` percent (default
+//!   30) below the `ci_reference_smoke_accesses_per_sec` recorded in FILE —
+//!   the CI bench-smoke regression gate.
+//! * `--print-goldens` runs the smoke basket and prints the golden checksum
+//!   table consumed by `crates/bench/tests/bitexact_hotpath.rs`.
+
+use comet_bench::hotpath::{run_basket, run_suite_smoke_serial, BasketResult, HotpathScope, SuiteResult};
+use comet_bench::{extract_json_number, extract_json_string};
+use serde::Serialize;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+#[derive(Debug, Clone, Serialize)]
+struct BeforeSummary {
+    label: String,
+    full_accesses_per_sec: Option<f64>,
+    smoke_accesses_per_sec: Option<f64>,
+    suite_wall_s: Option<f64>,
+}
+
+#[derive(Debug, Clone, Serialize)]
+struct Snapshot {
+    schema: &'static str,
+    label: String,
+    /// Headline metrics, duplicated at the top level so downstream tooling
+    /// (the CI gate, `--before`) can extract them without a JSON parser.
+    full_accesses_per_sec: Option<f64>,
+    smoke_accesses_per_sec: Option<f64>,
+    /// Wall-clock of the full experiment suite (smoke scope, serial) — the
+    /// macro benchmark; see `hotpath::run_suite_smoke_serial`.
+    suite_wall_s: Option<f64>,
+    /// The reference number the CI bench-smoke job regresses against.
+    ci_reference_smoke_accesses_per_sec: Option<f64>,
+    full: Option<BasketResult>,
+    smoke: Option<BasketResult>,
+    suite: Option<SuiteResult>,
+    before: Option<BeforeSummary>,
+    speedup_full: Option<f64>,
+    speedup_smoke: Option<f64>,
+    speedup_suite: Option<f64>,
+}
+
+struct Args {
+    scopes: Vec<HotpathScope>,
+    suite: bool,
+    out: Option<PathBuf>,
+    label: String,
+    before: Option<PathBuf>,
+    check: Option<PathBuf>,
+    max_regress_pct: f64,
+    print_goldens: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        scopes: vec![HotpathScope::Full],
+        suite: false,
+        out: None,
+        label: "hot-path basket".to_string(),
+        before: None,
+        check: None,
+        max_regress_pct: 30.0,
+        print_goldens: false,
+    };
+    let mut it = std::env::args().skip(1);
+    let value_for = |it: &mut dyn Iterator<Item = String>, flag: &str| {
+        it.next().unwrap_or_else(|| {
+            eprintln!("error: {flag} requires a value");
+            std::process::exit(2);
+        })
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--cells" => {
+                args.scopes = match value_for(&mut it, "--cells").as_str() {
+                    "smoke" => vec![HotpathScope::Smoke],
+                    "full" => vec![HotpathScope::Full],
+                    "all" => vec![HotpathScope::Full, HotpathScope::Smoke],
+                    other => {
+                        eprintln!("error: unknown --cells '{other}' (smoke|full|all)");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--out" => args.out = Some(PathBuf::from(value_for(&mut it, "--out"))),
+            "--label" => args.label = value_for(&mut it, "--label"),
+            "--before" => args.before = Some(PathBuf::from(value_for(&mut it, "--before"))),
+            "--check" => args.check = Some(PathBuf::from(value_for(&mut it, "--check"))),
+            "--max-regress" => {
+                let value = value_for(&mut it, "--max-regress");
+                args.max_regress_pct = value.parse().unwrap_or_else(|_| {
+                    eprintln!("error: invalid --max-regress '{value}'");
+                    std::process::exit(2);
+                });
+            }
+            "--suite" => args.suite = true,
+            "--print-goldens" => args.print_goldens = true,
+            "help" | "--help" | "-h" => {
+                println!(
+                    "usage: perf [--cells smoke|full|all] [--suite] [--out FILE] [--label TEXT] [--before FILE]"
+                );
+                println!("       perf --check FILE [--max-regress PCT]");
+                println!("       perf --print-goldens");
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("error: unknown argument '{other}'");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+fn print_basket(result: &BasketResult) {
+    println!("\n-- {} basket: {} cells --", result.scope, result.cells.len());
+    println!("{:<28} {:>10} {:>9} {:>14} {:>18}", "Cell", "accesses", "wall (s)", "accesses/sec", "checksum");
+    for cell in &result.cells {
+        println!(
+            "{:<28} {:>10} {:>9.3} {:>14.0} {:>18}",
+            cell.label,
+            cell.accesses,
+            cell.wall_s,
+            cell.accesses_per_sec,
+            format!("{:016x}", cell.checksum)
+        );
+    }
+    println!(
+        "total: {} accesses in {:.2} s  ->  {:.0} accesses/sec, {:.2} cells/sec",
+        result.accesses, result.wall_s, result.accesses_per_sec, result.cells_per_sec
+    );
+}
+
+fn run_check(path: &PathBuf, max_regress_pct: f64, out: Option<&PathBuf>) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("error: cannot read {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    };
+    let Some(reference) = extract_json_number(&text, "ci_reference_smoke_accesses_per_sec") else {
+        eprintln!("error: {} has no ci_reference_smoke_accesses_per_sec", path.display());
+        return ExitCode::from(2);
+    };
+    let current = match run_basket(HotpathScope::Smoke) {
+        Ok(result) => {
+            print_basket(&result);
+            if let Some(out) = out {
+                // Write a full snapshot (not a bare basket result) so the
+                // artifact can itself be fed back into --check / --before.
+                let snapshot = Snapshot {
+                    schema: "bench-hotpath/1",
+                    label: "bench-smoke gate measurement".to_string(),
+                    full_accesses_per_sec: None,
+                    smoke_accesses_per_sec: Some(result.accesses_per_sec),
+                    suite_wall_s: None,
+                    ci_reference_smoke_accesses_per_sec: Some(result.accesses_per_sec),
+                    full: None,
+                    smoke: Some(result.clone()),
+                    suite: None,
+                    before: None,
+                    speedup_full: None,
+                    speedup_smoke: None,
+                    speedup_suite: None,
+                };
+                match serde_json::to_string_pretty(&snapshot) {
+                    Ok(json) => {
+                        if let Err(e) = std::fs::write(out, json + "\n") {
+                            eprintln!("warning: cannot write {}: {e}", out.display());
+                        }
+                    }
+                    Err(e) => eprintln!("warning: cannot serialize smoke snapshot: {e}"),
+                }
+            }
+            result.accesses_per_sec
+        }
+        Err(e) => {
+            eprintln!("error: smoke basket failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let floor = reference * (1.0 - max_regress_pct / 100.0);
+    println!(
+        "\nbench-smoke gate: current {current:.0} accesses/sec vs reference {reference:.0} \
+         (floor {floor:.0}, max regression {max_regress_pct:.0}%)"
+    );
+    if current < floor {
+        eprintln!("FAIL: hot-path throughput regressed more than {max_regress_pct:.0}%");
+        return ExitCode::FAILURE;
+    }
+    println!("OK");
+    ExitCode::SUCCESS
+}
+
+fn print_goldens() -> ExitCode {
+    match run_basket(HotpathScope::Smoke) {
+        Ok(result) => {
+            println!("// Generated by `cargo run -p comet-bench --release --bin perf -- --print-goldens`.");
+            println!("const GOLDEN_SMOKE_CHECKSUMS: &[(&str, u64)] = &[");
+            for cell in &result.cells {
+                println!("    (\"{}\", 0x{:016x}),", cell.label, cell.checksum);
+            }
+            println!("];");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: smoke basket failed: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    if let Some(path) = &args.check {
+        return run_check(path, args.max_regress_pct, args.out.as_ref());
+    }
+    if args.print_goldens {
+        return print_goldens();
+    }
+
+    let mut snapshot = Snapshot {
+        schema: "bench-hotpath/1",
+        label: args.label.clone(),
+        full_accesses_per_sec: None,
+        smoke_accesses_per_sec: None,
+        suite_wall_s: None,
+        ci_reference_smoke_accesses_per_sec: None,
+        full: None,
+        smoke: None,
+        suite: None,
+        before: None,
+        speedup_full: None,
+        speedup_smoke: None,
+        speedup_suite: None,
+    };
+    for &scope in &args.scopes {
+        match run_basket(scope) {
+            Ok(result) => {
+                print_basket(&result);
+                match scope {
+                    HotpathScope::Full => {
+                        snapshot.full_accesses_per_sec = Some(result.accesses_per_sec);
+                        snapshot.full = Some(result);
+                    }
+                    HotpathScope::Smoke => {
+                        snapshot.smoke_accesses_per_sec = Some(result.accesses_per_sec);
+                        snapshot.ci_reference_smoke_accesses_per_sec = Some(result.accesses_per_sec);
+                        snapshot.smoke = Some(result);
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("error: {} basket failed: {e}", scope.name());
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if args.suite {
+        match run_suite_smoke_serial() {
+            Ok(result) => {
+                println!("\n-- experiment suite (smoke scope, serial): {:.2} s --", result.wall_s);
+                for t in &result.targets {
+                    println!("  {:<12} {:>7.2} s", t.name, t.wall_s);
+                }
+                snapshot.suite_wall_s = Some(result.wall_s);
+                snapshot.suite = Some(result);
+            }
+            Err(e) => {
+                eprintln!("error: experiment suite failed: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if let Some(path) = &args.before {
+        match std::fs::read_to_string(path) {
+            Ok(text) => {
+                let before = BeforeSummary {
+                    label: extract_json_string(&text, "label").unwrap_or_else(|| "before".to_string()),
+                    full_accesses_per_sec: extract_json_number(&text, "full_accesses_per_sec"),
+                    smoke_accesses_per_sec: extract_json_number(&text, "smoke_accesses_per_sec"),
+                    suite_wall_s: extract_json_number(&text, "suite_wall_s"),
+                };
+                let speedup = |now: Option<f64>, was: Option<f64>| match (now, was) {
+                    (Some(now), Some(was)) if was > 0.0 => Some(now / was),
+                    _ => None,
+                };
+                snapshot.speedup_full = speedup(snapshot.full_accesses_per_sec, before.full_accesses_per_sec);
+                snapshot.speedup_smoke =
+                    speedup(snapshot.smoke_accesses_per_sec, before.smoke_accesses_per_sec);
+                // Wall-clock speedup is before/after (lower is better).
+                snapshot.speedup_suite = match (before.suite_wall_s, snapshot.suite_wall_s) {
+                    (Some(was), Some(now)) if now > 0.0 => Some(was / now),
+                    _ => None,
+                };
+                if let Some(s) = snapshot.speedup_full {
+                    println!("\nspeedup vs '{}' (full basket): {s:.2}x", before.label);
+                }
+                if let Some(s) = snapshot.speedup_smoke {
+                    println!("speedup vs '{}' (smoke basket): {s:.2}x", before.label);
+                }
+                if let Some(s) = snapshot.speedup_suite {
+                    println!("speedup vs '{}' (experiment suite wall-clock): {s:.2}x", before.label);
+                }
+                snapshot.before = Some(before);
+            }
+            Err(e) => {
+                eprintln!("warning: cannot read --before {}: {e}", path.display());
+            }
+        }
+    }
+
+    if let Some(out) = &args.out {
+        match serde_json::to_string_pretty(&snapshot) {
+            Ok(json) => {
+                if let Err(e) = std::fs::write(out, json + "\n") {
+                    eprintln!("error: cannot write {}: {e}", out.display());
+                    return ExitCode::from(2);
+                }
+                println!("\nwrote {}", out.display());
+            }
+            Err(e) => {
+                eprintln!("error: cannot serialize snapshot: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -13,6 +13,8 @@
 
 use comet_sim::experiments::ExperimentScope;
 
+pub mod hotpath;
+
 /// Parses the `--scope` argument used by the experiments binary and benches.
 pub fn parse_scope(value: &str) -> Option<ExperimentScope> {
     match value {
@@ -26,6 +28,54 @@ pub fn parse_scope(value: &str) -> Option<ExperimentScope> {
 /// Formats a float with a fixed number of decimals for table output.
 pub fn fmt(value: f64, decimals: usize) -> String {
     format!("{value:.decimals$}")
+}
+
+/// Extracts the first number stored under `"key":` in a JSON document.
+///
+/// The offline `serde_json` stand-in has no deserializer, so the perf harness
+/// reads back the handful of scalar fields it needs (e.g. the CI reference
+/// throughput in `BENCH_hotpath.json`) with this minimal scanner. It only
+/// supports the flat `"key": <number>` shape the harness itself emits.
+pub fn extract_json_number(text: &str, key: &str) -> Option<f64> {
+    let raw = extract_json_raw(text, key)?;
+    raw.parse::<f64>().ok()
+}
+
+/// Extracts the first string stored under `"key":` in a JSON document.
+/// Escape sequences are not decoded (the harness never emits any in the
+/// fields it reads back).
+pub fn extract_json_string(text: &str, key: &str) -> Option<String> {
+    let raw = extract_json_raw(text, key)?;
+    let inner = raw.strip_prefix('"')?.strip_suffix('"')?;
+    Some(inner.to_string())
+}
+
+fn extract_json_raw(text: &str, key: &str) -> Option<String> {
+    let needle = format!("\"{key}\"");
+    let start = text.find(&needle)? + needle.len();
+    let rest = text[start..].trim_start().strip_prefix(':')?.trim_start();
+    let end = rest
+        .char_indices()
+        .scan(false, |in_string, (i, c)| {
+            if c == '"' {
+                if *in_string {
+                    return Some(Some(i + 1));
+                }
+                *in_string = true;
+            } else if !*in_string && (c == ',' || c == '}' || c == ']' || c.is_whitespace()) {
+                return Some(Some(i));
+            }
+            Some(None)
+        })
+        .flatten()
+        .next()
+        .unwrap_or(rest.len());
+    let raw = rest[..end].trim();
+    if raw.is_empty() {
+        None
+    } else {
+        Some(raw.to_string())
+    }
 }
 
 #[cfg(test)]
@@ -43,5 +93,21 @@ mod tests {
     #[test]
     fn fmt_rounds() {
         assert_eq!(fmt(0.12345, 3), "0.123");
+    }
+
+    #[test]
+    fn json_scalar_extraction() {
+        let text = r#"{
+  "label": "before: PR1",
+  "full_accesses_per_sec": 12345.6,
+  "nested": { "ci_reference_smoke_accesses_per_sec": 999 },
+  "missing_value": null
+}"#;
+        assert_eq!(extract_json_string(text, "label"), Some("before: PR1".to_string()));
+        assert_eq!(extract_json_number(text, "full_accesses_per_sec"), Some(12345.6));
+        assert_eq!(extract_json_number(text, "ci_reference_smoke_accesses_per_sec"), Some(999.0));
+        assert_eq!(extract_json_number(text, "nope"), None);
+        assert_eq!(extract_json_number(text, "missing_value"), None);
+        assert_eq!(extract_json_string(text, "full_accesses_per_sec"), None);
     }
 }

@@ -1,6 +1,10 @@
 //! The Count-Min Sketch (Cormode & Muthukrishnan, 2005) with conservative updates.
+//!
+//! `increment` and `raise_group_to` run once per simulated row activation, so
+//! they are written allocation-free: counter indices live in an inline
+//! fixed-size buffer ([`MAX_FUNCTIONS`] entries) instead of a heap `Vec`.
 
-use crate::hash::HashFamily;
+use crate::hash::{HashFamily, MAX_FUNCTIONS};
 use serde::{Deserialize, Serialize};
 
 /// A Count-Min Sketch: a `k × m` array of counters indexed by `k` hash
@@ -89,6 +93,19 @@ impl CountMinSketch {
         (0..self.rows()).map(move |r| r * columns + self.hashes.hash(r, item))
     }
 
+    /// Computes `item`'s counter-group indices into an inline buffer and
+    /// returns `(buffer, rows)` — the allocation-free form of
+    /// [`indices`](Self::indices) used on the per-activation hot path.
+    fn index_buf(&self, item: u64) -> ([usize; MAX_FUNCTIONS], usize) {
+        let rows = self.rows();
+        let columns = self.columns();
+        let mut buf = [0usize; MAX_FUNCTIONS];
+        for (r, slot) in buf.iter_mut().enumerate().take(rows) {
+            *slot = r * columns + self.hashes.hash(r, item);
+        }
+        (buf, rows)
+    }
+
     /// Estimated count of `item`: the minimum over its counter group.
     pub fn estimate(&self, item: u64) -> u64 {
         self.indices(item).map(|i| self.counters[i] as u64).min().unwrap_or(0)
@@ -100,10 +117,11 @@ impl CountMinSketch {
     /// are incremented; otherwise every counter of the group is incremented.
     /// Counters saturate at the cap if one was configured.
     pub fn increment(&mut self, item: u64, weight: u64) -> u64 {
-        let indices: Vec<usize> = self.indices(item).collect();
+        let (indices, rows) = self.index_buf(item);
+        let indices = &indices[..rows];
         let min = indices.iter().map(|&i| self.counters[i]).min().unwrap_or(0);
         let weight = weight.min(u32::MAX as u64) as u32;
-        for &i in &indices {
+        for &i in indices {
             if !self.conservative || self.counters[i] == min {
                 let mut next = self.counters[i].saturating_add(weight);
                 if let Some(cap) = self.cap {
@@ -112,7 +130,8 @@ impl CountMinSketch {
                 self.counters[i] = next;
             }
         }
-        self.estimate(item)
+        // Updated estimate, reusing the already-computed indices.
+        indices.iter().map(|&i| self.counters[i] as u64).min().unwrap_or(0)
     }
 
     /// Sets every counter in `item`'s group to at least `value` (used by CoMeT to
@@ -122,8 +141,8 @@ impl CountMinSketch {
             Some(cap) => value.min(cap),
             None => value,
         };
-        let indices: Vec<usize> = self.indices(item).collect();
-        for i in indices {
+        let (indices, rows) = self.index_buf(item);
+        for &i in &indices[..rows] {
             if self.counters[i] < value {
                 self.counters[i] = value;
             }

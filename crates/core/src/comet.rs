@@ -132,7 +132,6 @@ impl RowHammerMitigation for Comet {
         let npr = self.config.npr();
         let bank = self.bank_index(addr);
         let row = addr.row as u64;
-        let geometry = self.geometry.clone();
         let eprt = self.config.eprt_percent;
         let early_enabled = self.config.early_refresh_enabled;
         let tracker = &mut self.banks[bank];
@@ -165,13 +164,17 @@ impl RowHammerMitigation for Comet {
             return MitigationResponse::none();
         }
 
-        // The row is an aggressor: preventively refresh its victims.
+        // The row is an aggressor: preventively refresh its victims. (This
+        // branch runs at most once per NPR activations, so the victim list is
+        // the only allocation left on the activation path; the common
+        // below-threshold case above is allocation-free.)
         self.stats.aggressors_identified += 1;
-        let victims = addr.victim_rows(&geometry);
+        let victims = addr.victim_rows(&self.geometry);
         self.stats.preventive_refreshes += victims.len() as u64;
         let mut response = MitigationResponse::refresh(victims);
 
         // Pin the sketch counters at NPR (they are shared and must never be lowered).
+        let tracker = &mut self.banks[bank];
         tracker.ct.saturate(row);
 
         let mut early_refresh = false;

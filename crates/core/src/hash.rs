@@ -75,8 +75,46 @@ impl HashFamily {
     }
 
     /// The full index group for `item`: one bucket per function.
-    pub fn group(&self, item: u64) -> Vec<usize> {
-        (0..self.functions).map(|i| self.hash(i, item)).collect()
+    ///
+    /// Returns an inline fixed-size buffer (the family never exceeds
+    /// [`MAX_FUNCTIONS`] functions), so the per-activation hot path of the
+    /// trackers computes index groups without heap allocation. The result
+    /// dereferences to a slice.
+    pub fn group(&self, item: u64) -> IndexGroup {
+        let mut buf = [0usize; MAX_FUNCTIONS];
+        for (index, slot) in buf.iter_mut().enumerate().take(self.functions) {
+            *slot = self.hash(index, item);
+        }
+        IndexGroup { buf, len: self.functions }
+    }
+}
+
+/// Largest supported hash-function count (Figure 6 explores up to 8).
+pub const MAX_FUNCTIONS: usize = MULTIPLIERS.len();
+
+/// An allocation-free group of bucket indices, one per hash function.
+///
+/// Produced by [`HashFamily::group`]; behaves like a `&[usize]` via `Deref`.
+#[derive(Debug, Clone, Copy)]
+pub struct IndexGroup {
+    buf: [usize; MAX_FUNCTIONS],
+    len: usize,
+}
+
+impl std::ops::Deref for IndexGroup {
+    type Target = [usize];
+
+    fn deref(&self) -> &[usize] {
+        &self.buf[..self.len]
+    }
+}
+
+impl<'a> IntoIterator for &'a IndexGroup {
+    type Item = &'a usize;
+    type IntoIter = std::slice::Iter<'a, usize>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.buf[..self.len].iter()
     }
 }
 
@@ -108,6 +146,20 @@ mod tests {
         }
         // Almost all items should be mapped to distinct buckets by distinct functions.
         assert!(disagreements > 950, "only {disagreements} items had distinct buckets");
+    }
+
+    #[test]
+    fn group_matches_individual_hashes_and_needs_no_heap() {
+        let f = HashFamily::new(256, 8, 9);
+        let g = f.group(1234);
+        assert_eq!(g.len(), 8);
+        for (i, &bucket) in g.iter().enumerate() {
+            assert_eq!(bucket, f.hash(i, 1234));
+        }
+        // The buffer is a Copy value; slices and iteration work through Deref.
+        let copied = g;
+        assert_eq!(&copied[..], &g[..]);
+        assert_eq!((&g).into_iter().count(), 8);
     }
 
     #[test]

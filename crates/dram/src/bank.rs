@@ -107,6 +107,7 @@ impl Bank {
     ///
     /// Rank-level constraints (tRRD, tFAW, tRFC, bus contention) are handled by
     /// [`crate::rank::Rank`] and [`crate::channel::DramChannel`].
+    #[inline]
     pub fn earliest_issue(&self, cmd: CommandKind, now: Cycle, t: &TimingParams) -> Cycle {
         let mut earliest = now;
         let bump = |earliest: &mut Cycle, candidate: Option<Cycle>| {

@@ -77,6 +77,15 @@ impl RefreshScheduler {
     pub fn earliest_due(&self) -> Cycle {
         self.next_due.iter().copied().min().unwrap_or(Cycle::MAX)
     }
+
+    /// Earliest refresh deadline strictly after `now`, if any rank has one.
+    ///
+    /// Event-driven controllers use this to bound their next-event times: a
+    /// deadline arriving preempts other scheduling work, while ranks that are
+    /// *already* due are in hand and bounded by their own timing constraints.
+    pub fn earliest_due_after(&self, now: Cycle) -> Option<Cycle> {
+        self.next_due.iter().copied().filter(|&due| due > now).min()
+    }
 }
 
 #[cfg(test)]
@@ -150,5 +159,19 @@ mod tests {
         assert_eq!(s.earliest_due(), t.t_refi);
         s.note_refresh_issued(1);
         assert_eq!(s.earliest_due(), 2 * t.t_refi);
+    }
+
+    #[test]
+    fn earliest_due_after_skips_already_due_ranks() {
+        let t = TimingParams::ddr4_2400();
+        let mut s = sched();
+        // Both ranks due at tREFI; advance rank 1 only.
+        s.note_refresh_issued(1);
+        // At a cycle where rank 0 is already due, only rank 1's deadline counts.
+        assert_eq!(s.earliest_due_after(t.t_refi), Some(2 * t.t_refi));
+        // Before any deadline, the earliest is rank 0's.
+        assert_eq!(s.earliest_due_after(0), Some(t.t_refi));
+        // Past every deadline there is nothing left to wait for.
+        assert_eq!(s.earliest_due_after(3 * t.t_refi), None);
     }
 }

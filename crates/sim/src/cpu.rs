@@ -57,6 +57,11 @@ pub struct TraceCore {
     /// non-memory instructions; once the gap reaches zero only the memory access
     /// is left to hand over to the controller).
     pending: Option<TraceRecord>,
+    /// Whether the pending record's memory access was rejected by a full
+    /// controller queue. Such a core is woken by memory events only; the
+    /// wait it would have accumulated probing the queue every cycle is
+    /// accounted at the successful retry instead (see `advance`).
+    stalled_on_full_queue: bool,
     next_request_id: u64,
 }
 
@@ -81,6 +86,7 @@ impl TraceCore {
             writes_issued: 0,
             outstanding: VecDeque::new(),
             pending: None,
+            stalled_on_full_queue: false,
             next_request_id: 0,
         }
     }
@@ -139,7 +145,47 @@ impl TraceCore {
         if self.window_blocked() {
             return self.outstanding.front().and_then(|f| f.completion_cpu).map(|t| self.cpu_to_dram(t));
         }
-        Some(self.cpu_to_dram(self.clock_cpu))
+        Some(self.first_cycle_covering(self.clock_cpu))
+    }
+
+    /// DRAM cycle at which a core whose [`advance`](Self::advance) returned
+    /// `None` (blocked) next needs to run, or `None` when only a
+    /// memory-system event can unblock it — a read-data return for an
+    /// instruction window stalled on an unknown completion, or a freed queue
+    /// slot for a core stalled on a full controller queue. The simulation
+    /// loop wakes one cycle after every issued command, which is exactly
+    /// when those events become visible, so such cores need no wakeup of
+    /// their own: this is what lets the event-driven loop skip the
+    /// cycle-by-cycle retry probing of the dense reference loop.
+    pub fn blocked_wake(&self) -> Option<Cycle> {
+        if self.window_headroom() == 0 {
+            // Window full: runnable again once the oldest read's data is back.
+            return self
+                .outstanding
+                .front()
+                .and_then(|f| f.completion_cpu)
+                .map(|t| self.first_cycle_covering(t));
+        }
+        if self.stalled_on_full_queue {
+            None
+        } else {
+            // Conservative fallback (not reachable from `advance`'s `None`
+            // paths today): behave like `next_wake`.
+            Some(self.first_cycle_covering(self.clock_cpu))
+        }
+    }
+
+    /// First DRAM cycle `w` whose dispatch window in [`advance`](Self::advance)
+    /// (`until_cpu = dram_to_cpu(w + 1) - 1e-9`) covers the CPU-cycle
+    /// timestamp `t` — i.e. the earliest iteration at which a read completing
+    /// at `t` can retire. One cycle earlier than `cpu_to_dram(t)` rounds to
+    /// whenever `t` falls strictly inside a DRAM cycle.
+    fn first_cycle_covering(&self, t: f64) -> Cycle {
+        let mut w = ((t / self.cpu_cycles_per_dram_cycle).floor() as Cycle).saturating_sub(1);
+        while self.dram_to_cpu(w + 1) - 1e-9 < t {
+            w += 1;
+        }
+        w
     }
 
     /// Current number of instructions occupying the window past the oldest
@@ -181,29 +227,45 @@ impl TraceCore {
         true
     }
 
-    /// Advances the core up to DRAM cycle `now`, dispatching instructions and
+    /// Advances the core at DRAM cycle `now`, dispatching instructions and
     /// enqueueing memory requests into `memory` — a single controller or the
     /// sharded multi-channel memory system; requests carry their decoded
     /// channel in the address and the sink routes them.
+    ///
+    /// Memory accesses are handed over cycle-accurately (never before the
+    /// dispatch clock's cycle arrives), but the non-memory instructions of
+    /// the current trace record are dispatched as a whole, so the
+    /// instruction counters may run up to one record ahead of `now`.
     ///
     /// Returns the DRAM cycle at which the core next wants to act, or `None`
     /// when it is blocked waiting for a completion or controller queue space.
     pub fn advance(&mut self, now: Cycle, memory: &mut impl MemorySink) -> Option<Cycle> {
         let until_cpu = self.dram_to_cpu(now + 1) - 1e-9;
+        if self.stalled_on_full_queue {
+            // Since the enqueue failed, the core would have re-probed the
+            // full queue every cycle (the dense reference loop literally
+            // does, advancing the clock at each failed probe). Reconstruct
+            // that creep up to the last cycle the probe still failed, before
+            // any retirement below observes the clock.
+            self.clock_cpu = self.clock_cpu.max(self.dram_to_cpu(now.saturating_sub(1)));
+        }
         loop {
             self.retire_completed();
 
             let mut record = match self.pending.take() {
                 Some(r) => r,
-                None => {
-                    if self.clock_cpu > until_cpu {
-                        return Some(self.cpu_to_dram(self.clock_cpu));
-                    }
-                    self.trace.next_record()
-                }
+                None => self.trace.next_record(),
             };
 
-            // Dispatch the record's remaining non-memory instructions.
+            // Dispatch the record's remaining non-memory instructions. Only
+            // the instruction window paces this: the dispatch clock may run
+            // ahead of simulated time within the record, because nothing
+            // observes it until the memory-access handover below
+            // re-synchronizes with `now`. (The final clock value is the same
+            // chunk sum and completion-max sequence the cycle-by-cycle
+            // pacing produced, so simulated behavior is identical — the
+            // event-driven loop just gets one wakeup per record instead of
+            // one per cycle.)
             while record.gap > 0 {
                 if !self.resolve_window(until_cpu) {
                     self.pending = Some(record);
@@ -213,17 +275,13 @@ impl TraceCore {
                 self.instructions_dispatched += chunk;
                 self.clock_cpu += chunk as f64 / self.config.retire_width as f64;
                 record.gap -= chunk as u32;
-                if self.clock_cpu > until_cpu && record.gap > 0 {
-                    self.pending = Some(record);
-                    return Some(self.cpu_to_dram(self.clock_cpu));
-                }
             }
 
             // The memory access itself: only hand it over once simulated time has
             // caught up with the core's dispatch clock.
             if self.clock_cpu > until_cpu {
                 self.pending = Some(record);
-                return Some(self.cpu_to_dram(self.clock_cpu));
+                return Some(self.first_cycle_covering(self.clock_cpu));
             }
             if !self.resolve_window(until_cpu) {
                 self.pending = Some(record);
@@ -235,9 +293,11 @@ impl TraceCore {
             if !accepted {
                 // The core genuinely stalls here; account for the time spent waiting.
                 self.clock_cpu = self.clock_cpu.max(self.dram_to_cpu(now));
+                self.stalled_on_full_queue = true;
                 self.pending = Some(record);
                 return None;
             }
+            self.stalled_on_full_queue = false;
             if record.is_write {
                 self.writes_issued += 1;
             } else {

@@ -55,4 +55,4 @@ pub use metrics::{geometric_mean, normalized_distribution, DistributionSummary, 
 pub use registry::{MechanismRegistry, MechanismSpec, RegisteredFactory};
 pub use request::MemRequest;
 pub use runner::{MechanismKind, Runner, RunnerError};
-pub use system::{SimConfig, System};
+pub use system::{LoopMode, SimConfig, System};

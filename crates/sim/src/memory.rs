@@ -45,8 +45,19 @@ impl MemorySink for MemoryController {
 }
 
 /// The sharded multi-channel memory system.
+///
+/// `tick` is event-driven: each shard's returned next-event time is cached,
+/// and a shard is only stepped again once that time has arrived or a new
+/// request was routed to it. Idle channels therefore cost nothing while a
+/// busy sibling is stepped every cycle. The cached times are lower bounds on
+/// when the shard can make progress (the controller's contract), so skipping
+/// the intermediate ticks — which would mutate nothing — is bit-exact; the
+/// regression suite in `crates/bench/tests/bitexact_hotpath.rs` pins this.
 pub struct MemorySystem {
     shards: Vec<MemoryController>,
+    /// Per-shard cached next-event time: the shard is not ticked again before
+    /// this cycle unless [`enqueue`](MemorySink::enqueue) invalidates it.
+    next_event: Vec<Cycle>,
 }
 
 impl MemorySystem {
@@ -60,10 +71,11 @@ impl MemorySystem {
     pub fn new(dram: DramConfig, controller: ControllerConfig, mitigation: &dyn MitigationFactory) -> Self {
         let problems = dram.validate();
         assert!(problems.is_empty(), "invalid DRAM configuration: {problems:?}");
-        let shards = (0..dram.geometry.channels)
+        let shards: Vec<MemoryController> = (0..dram.geometry.channels)
             .map(|channel| MemoryController::new(dram.clone(), controller.clone(), mitigation.build(channel)))
             .collect();
-        MemorySystem { shards }
+        let next_event = vec![0; shards.len()];
+        MemorySystem { shards, next_event }
     }
 
     /// Number of channel shards.
@@ -87,29 +99,58 @@ impl MemorySystem {
     }
 
     /// The mitigation mechanism's name (identical across shards).
-    pub fn mitigation_name(&self) -> String {
+    pub fn mitigation_name(&self) -> &str {
         self.shards[0].mitigation_name()
     }
 
-    /// Attempts to issue at most one DRAM command per channel at cycle `now`.
+    /// Attempts to issue at most one DRAM command per channel whose cached
+    /// next-event time has arrived at cycle `now`.
     ///
     /// Returns a lower bound on the next cycle at which calling `tick` again
-    /// could make progress on *any* channel.
+    /// could make progress on *any* channel. Shards whose cached next-event
+    /// time is still in the future are skipped — an intermediate tick of an
+    /// idle shard cannot issue anything and mutates no state, so skipping it
+    /// leaves the simulated command stream unchanged.
     pub fn tick(&mut self, now: Cycle) -> Cycle {
-        self.shards.iter_mut().map(|shard| shard.tick(now)).min().expect("at least one channel shard")
+        let mut min_next = Cycle::MAX;
+        for (shard, next) in self.shards.iter_mut().zip(&mut self.next_event) {
+            if *next <= now {
+                *next = shard.tick(now);
+            }
+            min_next = min_next.min(*next);
+        }
+        min_next
+    }
+
+    /// Reference-mode variant of [`tick`](Self::tick): steps *every* shard
+    /// unconditionally, exactly like the pre-event-driven simulator did. The
+    /// equivalence tests run both variants and assert identical statistics,
+    /// which proves the cached next-event times sound.
+    pub fn tick_dense(&mut self, now: Cycle) -> Cycle {
+        let mut min_next = Cycle::MAX;
+        for (shard, next) in self.shards.iter_mut().zip(&mut self.next_event) {
+            *next = shard.tick(now);
+            min_next = min_next.min(*next);
+        }
+        min_next
     }
 
     /// Drains the reads completed since the last call, in channel order.
+    ///
+    /// Allocates a fresh `Vec` per call; the simulation loop uses
+    /// [`drain_completions_into`](Self::drain_completions_into) with a
+    /// reusable buffer instead.
     pub fn take_completions(&mut self) -> Vec<CompletedRead> {
-        match self.shards.len() {
-            1 => self.shards[0].take_completions(),
-            _ => {
-                let mut completions = Vec::new();
-                for shard in &mut self.shards {
-                    completions.extend(shard.take_completions());
-                }
-                completions
-            }
+        let mut completions = Vec::new();
+        self.drain_completions_into(&mut completions);
+        completions
+    }
+
+    /// Moves the reads completed since the last call into `out`, in channel
+    /// order, keeping every shard's internal buffer for reuse.
+    pub fn drain_completions_into(&mut self, out: &mut Vec<CompletedRead>) {
+        for shard in &mut self.shards {
+            shard.drain_completions_into(out);
         }
     }
 
@@ -176,7 +217,14 @@ impl MemorySink for MemorySystem {
     }
 
     fn enqueue(&mut self, request: MemRequest) -> bool {
-        self.shards[request.addr.channel].enqueue(request)
+        let channel = request.addr.channel;
+        let accepted = self.shards[channel].enqueue(request);
+        if accepted {
+            // The shard has new work: drop its cached next-event time so the
+            // next `tick` steps it again.
+            self.next_event[channel] = 0;
+        }
+        accepted
     }
 }
 

@@ -3,7 +3,7 @@
 
 use crate::metrics::RunResult;
 use crate::registry::MechanismRegistry;
-use crate::system::{SimConfig, System};
+use crate::system::{LoopMode, SimConfig, System};
 use comet_trace::{catalog, AttackKind, AttackTrace, SyntheticTrace, TraceSource};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
@@ -119,6 +119,7 @@ pub struct Runner {
     config: SimConfig,
     seed: u64,
     registry: Arc<MechanismRegistry>,
+    loop_mode: LoopMode,
 }
 
 impl Runner {
@@ -136,7 +137,15 @@ impl Runner {
 
     /// Creates a runner resolving mechanisms through a custom registry.
     pub fn with_registry(config: SimConfig, seed: u64, registry: Arc<MechanismRegistry>) -> Self {
-        Runner { config, seed, registry }
+        Runner { config, seed, registry, loop_mode: LoopMode::default() }
+    }
+
+    /// Selects the simulation-loop mode (builder style). Results are
+    /// bit-identical across modes; [`LoopMode::DenseReference`] exists for
+    /// the equivalence tests that prove exactly that.
+    pub fn with_loop_mode(mut self, mode: LoopMode) -> Self {
+        self.loop_mode = mode;
+        self
     }
 
     /// The simulation configuration in use.
@@ -185,7 +194,7 @@ impl Runner {
     ) -> Result<RunResult, RunnerError> {
         let config = self.validated_config()?.clone();
         let factory = self.registry.factory(kind, nrh, &config.dram, self.seed)?;
-        Ok(System::new(config, traces, &factory).run(label))
+        Ok(System::new(config, traces, &factory).run_with_mode(label, self.loop_mode))
     }
 
     /// Runs one single-core workload under `kind` at RowHammer threshold `nrh`.

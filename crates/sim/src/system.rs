@@ -106,6 +106,26 @@ impl Default for SimConfig {
     }
 }
 
+/// How [`System::run`] advances simulated time.
+///
+/// Both modes produce bit-identical simulation results: every command issues
+/// at the cycle the controllers' next-event bounds dictate, and the dense
+/// mode's extra intermediate steps are no-ops. The equivalence suite
+/// (`crates/bench/tests/bitexact_hotpath.rs`) runs the perf basket under both
+/// modes and asserts equal statistics, which keeps the bounds honest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LoopMode {
+    /// Jump straight to the next controller or core event; channel shards
+    /// whose cached next-event time has not arrived are not stepped. The
+    /// default, and several times faster.
+    #[default]
+    EventDriven,
+    /// The reference loop of the pre-event-driven simulator: every shard is
+    /// stepped at every iteration and time never advances by more than 512
+    /// cycles at once.
+    DenseReference,
+}
+
 /// Snapshot of per-core progress used to exclude warmup from the results.
 #[derive(Debug, Clone, Default)]
 struct CoreSnapshot {
@@ -158,8 +178,14 @@ impl System {
     }
 
     /// Runs the simulation to completion and returns the measured result
-    /// (warmup excluded).
-    pub fn run(mut self, label: impl Into<String>) -> RunResult {
+    /// (warmup excluded), advancing time event-driven.
+    pub fn run(self, label: impl Into<String>) -> RunResult {
+        self.run_with_mode(label, LoopMode::default())
+    }
+
+    /// Runs the simulation under an explicit [`LoopMode`]. Results are
+    /// bit-identical across modes; only wall-clock time differs.
+    pub fn run_with_mode(mut self, label: impl Into<String>, mode: LoopMode) -> RunResult {
         let warmup_end = self.config.warmup_cycles;
         let end = self.config.total_cycles();
         let mut now: Cycle = 0;
@@ -169,6 +195,8 @@ impl System {
         let mut warm_mitigation = self.memory.mitigation_stats();
         let mut warm_channel = self.memory.channel_stats();
         let mut warm_taken = warmup_end == 0;
+        // Reused across iterations so the loop allocates nothing per step.
+        let mut completions = Vec::new();
 
         while now < end {
             if !warm_taken && now >= warmup_end {
@@ -188,21 +216,41 @@ impl System {
                 warm_taken = true;
             }
 
-            for completion in self.memory.take_completions() {
+            completions.clear();
+            self.memory.drain_completions_into(&mut completions);
+            for completion in &completions {
                 self.cores[completion.core].note_completion(completion.id, completion.completion);
             }
             let mut earliest_core: Option<Cycle> = None;
             for core in &mut self.cores {
                 let wake = core.advance(now, &mut self.memory);
-                if let Some(w) = wake.or_else(|| core.next_wake()) {
+                // A core that `advance` left blocked contributes a wakeup only
+                // if it knows one (a pending read-data return); cores waiting
+                // on a memory-system event (unknown completion, full queue)
+                // are woken by the loop's next memory event instead.
+                if let Some(w) = wake.or_else(|| core.blocked_wake()) {
                     earliest_core = Some(earliest_core.map_or(w, |e| e.min(w)));
                 }
             }
-            let memory_next = self.memory.tick(now);
+            let memory_next = match mode {
+                LoopMode::EventDriven => self.memory.tick(now),
+                LoopMode::DenseReference => self.memory.tick_dense(now),
+            };
 
-            // Advance time: never past the next memory or core event, never
-            // past the warmup boundary, and never by more than a bounded skip so
-            // blocked-core wakeups are not missed.
+            // Advance time directly to the next memory or core event (never
+            // past the warmup boundary). The event times are *sound* lower
+            // bounds on when anything can happen: the memory system's
+            // next-event cache covers every shard, and each controller's
+            // wakeup covers its queues, timing constraints, and refresh
+            // deadlines (at worst every tREFI, which also bounds the cadence
+            // of the mitigations' periodic-reset hooks). Event-driven runs
+            // therefore cross memory-idle phases in a single step, without
+            // the bounded `now + 512` skip the reference loop keeps. Cores
+            // blocked on a full queue report no wakeup of their own: a slot
+            // only frees when the controller issues a column command, whose
+            // tick returns `now + 1`, so the loop re-runs the blocked core
+            // on the very next cycle — the same cycle the dense per-cycle
+            // retry probing would first succeed on.
             let mut next = memory_next.max(now + 1);
             if let Some(c) = earliest_core {
                 next = next.min(c.max(now + 1));
@@ -210,7 +258,10 @@ impl System {
             if !warm_taken {
                 next = next.min(warmup_end);
             }
-            now = next.min(now + 512).min(end);
+            now = match mode {
+                LoopMode::EventDriven => next.min(end),
+                LoopMode::DenseReference => next.min(now + 512).min(end),
+            };
         }
 
         // Assemble the measured (post-warmup) result.
@@ -238,7 +289,7 @@ impl System {
 
         RunResult {
             label: label.into(),
-            mechanism: self.memory.mitigation_name(),
+            mechanism: self.memory.mitigation_name().to_string(),
             cores: self.cores.len(),
             dram_cycles: measured_cycles,
             cpu_cycles,
