@@ -6,6 +6,7 @@
 //! ```text
 //! perf [--cells smoke|full|all] [--out FILE] [--label TEXT] [--before FILE]
 //! perf --check FILE [--max-regress PCT]
+//! perf --diff OLD.json NEW.json
 //! perf --print-goldens
 //! ```
 //!
@@ -16,11 +17,20 @@
 //!   measured accesses/sec fall more than `--max-regress` percent (default
 //!   30) below the `ci_reference_smoke_accesses_per_sec` recorded in FILE —
 //!   the CI bench-smoke regression gate.
-//! * `--print-goldens` runs the smoke basket and prints the golden checksum
-//!   table consumed by `crates/bench/tests/bitexact_hotpath.rs`.
+//! * `--diff OLD NEW` compares two snapshots without running anything: a
+//!   per-cell speedup table (Markdown, so it can be piped straight into a CI
+//!   job summary) plus basket, attack-cell, and suite aggregates.
+//! * `--print-goldens` runs the smoke basket and the FCFS stress cells and
+//!   prints the golden checksum tables consumed by
+//!   `crates/bench/tests/bitexact_hotpath.rs`.
 
-use comet_bench::hotpath::{run_basket, run_suite_smoke_serial, BasketResult, HotpathScope, SuiteResult};
-use comet_bench::{extract_json_number, extract_json_string};
+use comet_bench::hotpath::{
+    run_basket, run_cells, run_suite_smoke_serial, stress_basket, BasketResult, HotpathScope, SuiteResult,
+};
+use comet_bench::{
+    extract_json_number, extract_json_string, extract_scope_accesses_per_sec, extract_scope_cells,
+    CellSummary,
+};
 use serde::Serialize;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -62,6 +72,7 @@ struct Args {
     label: String,
     before: Option<PathBuf>,
     check: Option<PathBuf>,
+    diff: Option<(PathBuf, PathBuf)>,
     max_regress_pct: f64,
     print_goldens: bool,
 }
@@ -74,6 +85,7 @@ fn parse_args() -> Args {
         label: "hot-path basket".to_string(),
         before: None,
         check: None,
+        diff: None,
         max_regress_pct: 30.0,
         print_goldens: false,
     };
@@ -101,6 +113,11 @@ fn parse_args() -> Args {
             "--label" => args.label = value_for(&mut it, "--label"),
             "--before" => args.before = Some(PathBuf::from(value_for(&mut it, "--before"))),
             "--check" => args.check = Some(PathBuf::from(value_for(&mut it, "--check"))),
+            "--diff" => {
+                let old = PathBuf::from(value_for(&mut it, "--diff"));
+                let new = PathBuf::from(value_for(&mut it, "--diff"));
+                args.diff = Some((old, new));
+            }
             "--max-regress" => {
                 let value = value_for(&mut it, "--max-regress");
                 args.max_regress_pct = value.parse().unwrap_or_else(|_| {
@@ -115,6 +132,7 @@ fn parse_args() -> Args {
                     "usage: perf [--cells smoke|full|all] [--suite] [--out FILE] [--label TEXT] [--before FILE]"
                 );
                 println!("       perf --check FILE [--max-regress PCT]");
+                println!("       perf --diff OLD.json NEW.json");
                 println!("       perf --print-goldens");
                 std::process::exit(0);
             }
@@ -217,17 +235,140 @@ fn print_goldens() -> ExitCode {
                 println!("    (\"{}\", 0x{:016x}),", cell.label, cell.checksum);
             }
             println!("];");
-            ExitCode::SUCCESS
         }
         Err(e) => {
             eprintln!("error: smoke basket failed: {e}");
+            return ExitCode::from(2);
+        }
+    }
+    match run_cells(&stress_basket(), HotpathScope::Smoke) {
+        Ok(cells) => {
+            println!("const GOLDEN_STRESS_CHECKSUMS: &[(&str, u64)] = &[");
+            for cell in &cells {
+                println!("    (\"{}\", 0x{:016x}),", cell.label, cell.checksum);
+            }
+            println!("];");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: stress cells failed: {e}");
             ExitCode::from(2)
         }
     }
 }
 
+/// Geometric mean of per-cell speedups and the number of cells it covers
+/// (`None` when no cell has a usable, positive ratio). The count is returned
+/// alongside so reports never claim more samples than actually entered the
+/// mean — a zero speedup marks a degenerate old measurement and is dropped.
+fn geomean(speedups: &[f64]) -> Option<(f64, usize)> {
+    let positive: Vec<f64> = speedups.iter().copied().filter(|s| *s > 0.0).collect();
+    if positive.is_empty() {
+        return None;
+    }
+    let g = (positive.iter().map(|s| s.ln()).sum::<f64>() / positive.len() as f64).exp();
+    Some((g, positive.len()))
+}
+
+/// Compares two snapshots cell by cell and prints a Markdown speedup report
+/// (suitable for a terminal and for a CI job summary alike).
+fn run_diff(old_path: &PathBuf, new_path: &PathBuf) -> ExitCode {
+    let (old_text, new_text) = match (std::fs::read_to_string(old_path), std::fs::read_to_string(new_path)) {
+        (Ok(old), Ok(new)) => (old, new),
+        (Err(e), _) => {
+            eprintln!("error: cannot read {}: {e}", old_path.display());
+            return ExitCode::from(2);
+        }
+        (_, Err(e)) => {
+            eprintln!("error: cannot read {}: {e}", new_path.display());
+            return ExitCode::from(2);
+        }
+    };
+    let old_label = extract_json_string(&old_text, "label").unwrap_or_else(|| "old".to_string());
+    let new_label = extract_json_string(&new_text, "label").unwrap_or_else(|| "new".to_string());
+    println!("## perf diff");
+    println!();
+    println!("before: `{old_label}` — after: `{new_label}`");
+    let mut compared_anything = false;
+    for scope in ["full", "smoke"] {
+        let old_cells = extract_scope_cells(&old_text, scope);
+        let new_cells = extract_scope_cells(&new_text, scope);
+        if old_cells.is_empty() || new_cells.is_empty() {
+            continue;
+        }
+        compared_anything = true;
+        println!();
+        println!("### {scope} basket");
+        println!();
+        println!("| Cell | before acc/s | after acc/s | speedup |");
+        println!("|---|---:|---:|---:|");
+        let old_by_label: std::collections::HashMap<&str, &CellSummary> =
+            old_cells.iter().map(|c| (c.label.as_str(), c)).collect();
+        let mut speedups = Vec::new();
+        let mut attack_speedups = Vec::new();
+        for cell in &new_cells {
+            let Some(old) = old_by_label.get(cell.label.as_str()) else {
+                println!("| {} | — | {:.0} | new cell |", cell.label, cell.accesses_per_sec);
+                continue;
+            };
+            let speedup =
+                if old.accesses_per_sec > 0.0 { cell.accesses_per_sec / old.accesses_per_sec } else { 0.0 };
+            println!(
+                "| {} | {:.0} | {:.0} | {speedup:.2}x |",
+                cell.label, old.accesses_per_sec, cell.accesses_per_sec
+            );
+            speedups.push(speedup);
+            if cell.label.contains("+attack") {
+                attack_speedups.push(speedup);
+            }
+        }
+        for old in &old_cells {
+            if !new_cells.iter().any(|c| c.label == old.label) {
+                println!("| {} | {:.0} | — | removed |", old.label, old.accesses_per_sec);
+            }
+        }
+        println!();
+        if let (Some(old_agg), Some(new_agg)) = (
+            extract_scope_accesses_per_sec(&old_text, scope),
+            extract_scope_accesses_per_sec(&new_text, scope),
+        ) {
+            if old_agg > 0.0 {
+                println!(
+                    "- **{scope} basket aggregate: {:.2}x** ({old_agg:.0} → {new_agg:.0} acc/s)",
+                    new_agg / old_agg
+                );
+            }
+        }
+        if let Some((g, n)) = geomean(&speedups) {
+            println!("- per-cell speedup geomean: {g:.2}x over {n} cells");
+        }
+        if let Some((g, n)) = geomean(&attack_speedups) {
+            println!("- **attack-cell speedup geomean: {g:.2}x** over {n} cells");
+        }
+    }
+    match (extract_json_number(&old_text, "suite_wall_s"), extract_json_number(&new_text, "suite_wall_s")) {
+        (Some(old_wall), Some(new_wall)) if new_wall > 0.0 => {
+            println!();
+            println!(
+                "- experiment-suite wall-clock: {:.2}x ({old_wall:.1} s → {new_wall:.1} s)",
+                old_wall / new_wall
+            );
+            compared_anything = true;
+        }
+        _ => {}
+    }
+    if !compared_anything {
+        eprintln!("error: the snapshots share no basket or suite section to compare");
+        return ExitCode::from(2);
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args = parse_args();
+    if let Some((old, new)) = &args.diff {
+        return run_diff(old, new);
+    }
     if let Some(path) = &args.check {
         return run_check(path, args.max_regress_pct, args.out.as_ref());
     }

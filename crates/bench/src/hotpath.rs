@@ -87,7 +87,11 @@ impl CellWorkload {
     fn label(&self) -> String {
         match self {
             CellWorkload::Synthetic(name) => (*name).to_string(),
-            CellWorkload::Attack { benign, .. } => format!("{benign}+attack"),
+            // The historical basket only uses 4 rows per bank; its labels key
+            // the golden checksum table and the committed baseline, so the
+            // row count is spelled out only for the non-default stress cells.
+            CellWorkload::Attack { benign, rows_per_bank: 4 } => format!("{benign}+attack"),
+            CellWorkload::Attack { benign, rows_per_bank } => format!("{benign}+attack{rows_per_bank}"),
         }
     }
 }
@@ -101,17 +105,27 @@ pub struct HotpathCell {
     pub channels: usize,
     /// The RowHammer mitigation protecting every shard.
     pub mechanism: MechanismKind,
+    /// The RowHammer threshold the cell defends against
+    /// ([`HOTPATH_NRH`] for the historical basket).
+    pub nrh: u64,
 }
 
 impl HotpathCell {
-    /// Stable cell label, e.g. `429.mcf/ch2/CoMeT`.
+    /// Stable cell label, e.g. `429.mcf/ch2/CoMeT`. Cells at a non-default
+    /// threshold (the FCFS stress cells) get an `@nrh…` suffix so the
+    /// historical basket labels stay byte-identical.
     pub fn label(&self) -> String {
-        format!("{}/ch{}/{}", self.workload.label(), self.channels, self.mechanism.name())
+        let base = format!("{}/ch{}/{}", self.workload.label(), self.channels, self.mechanism.name());
+        if self.nrh == HOTPATH_NRH {
+            base
+        } else {
+            format!("{base}@nrh{}", self.nrh)
+        }
     }
 
     /// The RowHammer threshold this cell defends against.
     pub fn nrh(&self, _scope: HotpathScope) -> u64 {
-        HOTPATH_NRH
+        self.nrh
     }
 
     /// The simulation configuration this cell runs under `scope`.
@@ -173,8 +187,31 @@ pub fn basket(scope: HotpathScope) -> Vec<HotpathCell> {
     for &workload in workloads {
         for channels in [1usize, 2, 4] {
             for mechanism in mechanisms {
-                cells.push(HotpathCell { workload, channels, mechanism });
+                cells.push(HotpathCell { workload, channels, mechanism, nrh: HOTPATH_NRH });
             }
+        }
+    }
+    cells
+}
+
+/// RowHammer threshold of the FCFS stress cells: high enough that the
+/// trackers almost never fire, so the request queues stay saturated with
+/// demand traffic and the cells measure (and pin) pure FR-FCFS arbitration.
+pub const STRESS_NRH: u64 = 50_000;
+
+/// The FCFS-ordering stress cells: queue-saturating multi-bank attacks at a
+/// high RowHammer threshold. The attacker round-robins 16 aggressor rows per
+/// bank across every bank as fast as the protocol allows, keeping the
+/// 64-entry queues full of row conflicts spread over all lanes — the
+/// worst case for the per-bank scheduler's arbitration and exactly the
+/// regime where a FCFS-ordering bug would surface. The bit-exactness suite
+/// runs these under both loop modes and pins their golden checksums.
+pub fn stress_basket() -> Vec<HotpathCell> {
+    let workload = CellWorkload::Attack { benign: "bfs_ny", rows_per_bank: 16 };
+    let mut cells = Vec::new();
+    for channels in [1usize, 2] {
+        for mechanism in [MechanismKind::Baseline, MechanismKind::Comet] {
+            cells.push(HotpathCell { workload, channels, mechanism, nrh: STRESS_NRH });
         }
     }
     cells
@@ -278,8 +315,27 @@ pub struct BasketResult {
 pub fn run_basket(scope: HotpathScope) -> Result<BasketResult, RunnerError> {
     let cells = basket(scope);
     let started = Instant::now();
+    let results = run_cells(&cells, scope)?;
+    let wall_s = started.elapsed().as_secs_f64();
+    let accesses: u64 = results.iter().map(|r| r.accesses).sum();
+    Ok(BasketResult {
+        scope: scope.name().to_string(),
+        wall_s,
+        accesses,
+        accesses_per_sec: if wall_s > 0.0 { accesses as f64 / wall_s } else { 0.0 },
+        cells_per_sec: if wall_s > 0.0 { results.len() as f64 / wall_s } else { 0.0 },
+        cells: results,
+    })
+}
+
+/// Runs an arbitrary list of cells serially under `scope`, timing each.
+///
+/// # Errors
+///
+/// Propagates the first [`RunnerError`] a cell reports.
+pub fn run_cells(cells: &[HotpathCell], scope: HotpathScope) -> Result<Vec<CellResult>, RunnerError> {
     let mut results = Vec::with_capacity(cells.len());
-    for cell in &cells {
+    for cell in cells {
         let cell_start = Instant::now();
         let run = cell.run(scope)?;
         let wall_s = cell_start.elapsed().as_secs_f64();
@@ -295,16 +351,7 @@ pub fn run_basket(scope: HotpathScope) -> Result<BasketResult, RunnerError> {
             checksum: stats_checksum(&run),
         });
     }
-    let wall_s = started.elapsed().as_secs_f64();
-    let accesses: u64 = results.iter().map(|r| r.accesses).sum();
-    Ok(BasketResult {
-        scope: scope.name().to_string(),
-        wall_s,
-        accesses,
-        accesses_per_sec: if wall_s > 0.0 { accesses as f64 / wall_s } else { 0.0 },
-        cells_per_sec: if wall_s > 0.0 { results.len() as f64 / wall_s } else { 0.0 },
-        cells: results,
-    })
+    Ok(results)
 }
 
 /// Wall-clock timing of one experiment-suite target.

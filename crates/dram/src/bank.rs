@@ -162,6 +162,20 @@ impl Bank {
         if now < earliest {
             return Err(DramError::TimingViolation { cmd, now, earliest });
         }
+        self.issue_trusted(cmd, row, now, t);
+        Ok(())
+    }
+
+    /// [`issue`](Self::issue) for callers that already established legality
+    /// (the scheduler computes every command's earliest legal cycle before
+    /// issuing, so the checked path would re-derive the same constraints a
+    /// third time per command). Debug builds still verify both checks.
+    pub fn issue_trusted(&mut self, cmd: CommandKind, row: usize, now: Cycle, t: &TimingParams) {
+        debug_assert!(self.is_legal(cmd), "illegal {cmd:?} in state {:?}", self.state);
+        debug_assert!(
+            now >= self.earliest_issue(cmd, now, t),
+            "{cmd:?} issued at {now} before its earliest legal cycle"
+        );
         match cmd {
             CommandKind::Act => {
                 self.state = BankState::Opened { row };
@@ -201,7 +215,6 @@ impl Bank {
                 self.last_pre = Some(now + t.t_rfc);
             }
         }
-        Ok(())
     }
 }
 

@@ -124,8 +124,26 @@ impl DramChannel {
         if now < earliest {
             return Err(DramError::TimingViolation { cmd, now, earliest });
         }
+        if cmd == CommandKind::Ref && !self.ranks[addr.rank].all_banks_closed() {
+            return Err(DramError::IllegalState { cmd, state: "bank open during REF".to_string() });
+        }
+        self.issue_trusted(cmd, addr, now);
+        Ok(())
+    }
+
+    /// [`issue`](Self::issue) for callers that already established legality —
+    /// the memory controller's scheduler computes every command's earliest
+    /// legal cycle (and validates its address at enqueue) before issuing, so
+    /// the checked path would re-derive the same rank and bus constraints a
+    /// second time per command. Debug builds still verify everything.
+    pub fn issue_trusted(&mut self, cmd: CommandKind, addr: &DramAddr, now: Cycle) {
+        debug_assert!(addr.validate(&self.config.geometry).is_ok(), "invalid address {addr:?}");
+        debug_assert!(
+            now >= self.earliest_issue(cmd, addr, now),
+            "{cmd:?} issued at {now} before its earliest legal cycle"
+        );
         let t = self.config.timing.clone();
-        self.ranks[addr.rank].issue(cmd, addr.bank_group, addr.bank, addr.row, now, &t)?;
+        self.ranks[addr.rank].issue_trusted(cmd, addr.bank_group, addr.bank, addr.row, now, &t);
 
         match cmd {
             CommandKind::Act => {
@@ -159,7 +177,6 @@ impl DramChannel {
                 self.energy.refs += 1;
             }
         }
-        Ok(())
     }
 
     /// Cycle when the data for a read issued at `issue_cycle` is fully returned.

@@ -175,32 +175,52 @@ impl Rank {
         if now < earliest {
             return Err(DramError::TimingViolation { cmd, now, earliest });
         }
+        if cmd == CommandKind::Ref {
+            // All banks must be precharged; refresh makes the whole rank busy.
+            for b in &self.banks {
+                if b.open_row().is_some() {
+                    return Err(DramError::IllegalState { cmd, state: "bank open during REF".to_string() });
+                }
+            }
+        }
+        self.issue_trusted(cmd, bank_group, bank, row, now, t);
+        Ok(())
+    }
+
+    /// [`issue`](Self::issue) for callers that already established the
+    /// command's legality at `now` (the memory controller schedules every
+    /// command at a computed earliest legal cycle, making the checked path's
+    /// constraint re-derivation redundant). Debug builds still verify.
+    pub fn issue_trusted(
+        &mut self,
+        cmd: CommandKind,
+        bank_group: usize,
+        bank: usize,
+        row: usize,
+        now: Cycle,
+        t: &TimingParams,
+    ) {
+        debug_assert!(
+            now >= self.earliest_issue(cmd, bank_group, bank, now, t),
+            "{cmd:?} issued at {now} before its earliest legal cycle"
+        );
         let flat = self.flat_bank(bank_group, bank);
         match cmd {
             CommandKind::Ref => {
                 // All banks must be precharged; refresh makes the whole rank busy for tRFC.
-                for b in &mut self.banks {
-                    if b.open_row().is_some() {
-                        return Err(DramError::IllegalState {
-                            cmd,
-                            state: "bank open during REF".to_string(),
-                        });
-                    }
-                }
+                debug_assert!(self.all_banks_closed(), "bank open during REF");
                 self.busy_until = now + t.t_rfc;
                 self.ref_count += 1;
-                Ok(())
             }
             CommandKind::PreAll => {
                 for b in &mut self.banks {
                     if b.open_row().is_some() {
-                        b.issue(CommandKind::Pre, 0, now, t)?;
+                        b.issue_trusted(CommandKind::Pre, 0, now, t);
                     }
                 }
-                Ok(())
             }
             _ => {
-                self.banks[flat].issue(cmd, row, now, t)?;
+                self.banks[flat].issue_trusted(cmd, row, now, t);
                 match cmd {
                     CommandKind::Act => {
                         self.act_count += 1;
@@ -221,7 +241,6 @@ impl Rank {
                     }
                     _ => {}
                 }
-                Ok(())
             }
         }
     }

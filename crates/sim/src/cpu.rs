@@ -62,6 +62,10 @@ pub struct TraceCore {
     /// wait it would have accumulated probing the queue every cycle is
     /// accounted at the successful retry instead (see `advance`).
     stalled_on_full_queue: bool,
+    /// The pending record's already-decoded DRAM address, kept across
+    /// full-queue retries so the per-cycle re-probe skips the address-map
+    /// arithmetic (a stalled core retries every issued-command cycle).
+    pending_addr: Option<comet_dram::DramAddr>,
     next_request_id: u64,
 }
 
@@ -87,6 +91,7 @@ impl TraceCore {
             outstanding: VecDeque::new(),
             pending: None,
             stalled_on_full_queue: false,
+            pending_addr: None,
             next_request_id: 0,
         }
     }
@@ -287,7 +292,7 @@ impl TraceCore {
                 self.pending = Some(record);
                 return None;
             }
-            let addr = self.mapper.map(record.addr);
+            let addr = self.pending_addr.take().unwrap_or_else(|| self.mapper.map(record.addr));
             let accepted = memory.can_accept(&addr, record.is_write)
                 && memory.enqueue(MemRequest::new(self.next_request_id, self.id, addr, record.is_write, now));
             if !accepted {
@@ -295,6 +300,7 @@ impl TraceCore {
                 self.clock_cpu = self.clock_cpu.max(self.dram_to_cpu(now));
                 self.stalled_on_full_queue = true;
                 self.pending = Some(record);
+                self.pending_addr = Some(addr);
                 return None;
             }
             self.stalled_on_full_queue = false;

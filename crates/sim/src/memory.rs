@@ -190,6 +190,16 @@ impl MemorySystem {
         self.shards.iter().map(MemoryController::mitigation_stats).collect()
     }
 
+    /// Ready-set scheduler pressure per channel shard.
+    pub fn per_channel_scheduler_pressure(&self) -> Vec<crate::metrics::SchedulerPressure> {
+        self.shards.iter().map(MemoryController::scheduler_pressure).collect()
+    }
+
+    /// Per-bank queue depths (current and peak) per channel shard.
+    pub fn per_channel_bank_queue_depths(&self) -> Vec<Vec<crate::metrics::BankQueueDepth>> {
+        self.shards.iter().map(MemoryController::bank_queue_depths).collect()
+    }
+
     /// Raw channel command statistics aggregated across shards.
     pub fn channel_stats(&self) -> ChannelStats {
         self.shards

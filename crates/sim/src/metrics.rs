@@ -78,6 +78,55 @@ impl RunResult {
     }
 }
 
+/// Queue-pressure snapshot for one bank lane of one controller shard:
+/// current per-kind occupancy plus the peak combined depth ever observed.
+/// Lets sweeps report controller pressure per bank, not just per channel.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct BankQueueDepth {
+    /// Flat bank index within the channel.
+    pub bank: usize,
+    /// Demand reads currently queued in the lane.
+    pub queued_reads: u32,
+    /// Demand writes currently queued in the lane.
+    pub queued_writes: u32,
+    /// Highest combined (reads + writes) occupancy the lane ever reached.
+    pub depth_peak: u32,
+}
+
+/// Ready-set pressure counters of one controller shard's per-bank scheduler,
+/// accumulated over all demand-scheduling ticks.
+///
+/// "Ready" is counted per matured-candidate *evaluation*: each time an
+/// arbitration pass finds a candidate whose memoized earliest-legal-issue
+/// bound has matured and actually evaluates its timing (column, ACT, or PRE).
+/// A lane with matured candidates in several classes counts once per class,
+/// and candidates behind an issued command in the same tick are not counted
+/// (the pass stops at the issue) — so this measures arbitration *work*, the
+/// quantity the O(ready-banks) scheduler bounds, not queue occupancy (see
+/// [`BankQueueDepth`] for that).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct SchedulerPressure {
+    /// Demand-scheduling ticks performed (the arbitration runs once per).
+    pub demand_ticks: u64,
+    /// Matured-candidate evaluations summed over all demand ticks.
+    pub ready_lanes_sum: u64,
+    /// Most matured-candidate evaluations in any single demand tick.
+    pub ready_lanes_max: u32,
+    /// Largest number of banks with queued demand at any one time.
+    pub pending_lanes_max: u32,
+}
+
+impl SchedulerPressure {
+    /// Average matured-candidate evaluations per demand tick.
+    pub fn avg_ready_lanes(&self) -> f64 {
+        if self.demand_ticks == 0 {
+            0.0
+        } else {
+            self.ready_lanes_sum as f64 / self.demand_ticks as f64
+        }
+    }
+}
+
 /// Summary of a distribution of normalized values (one per workload), matching
 /// the way the paper reports box plots and GeoMean bars.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]

@@ -197,6 +197,15 @@ impl System {
         let mut warm_taken = warmup_end == 0;
         // Reused across iterations so the loop allocates nothing per step.
         let mut completions = Vec::new();
+        // Per-core wake memo: a core whose `advance` returned `Some(wake)`
+        // is waiting on its own dispatch clock, not on memory — every call
+        // before `wake` would re-derive the same answer without touching the
+        // memory system (completions only mark outstanding reads, which
+        // `note_completion` already did), so it is skipped verbatim.
+        // Blocked cores (`None`) are re-advanced every iteration: the loop
+        // wakes one cycle after each issued command, which is exactly when a
+        // freed queue slot or returned read becomes visible.
+        let mut core_wake: Vec<Option<Cycle>> = vec![Some(0); self.cores.len()];
 
         while now < end {
             if !warm_taken && now >= warmup_end {
@@ -222,8 +231,15 @@ impl System {
                 self.cores[completion.core].note_completion(completion.id, completion.completion);
             }
             let mut earliest_core: Option<Cycle> = None;
-            for core in &mut self.cores {
-                let wake = core.advance(now, &mut self.memory);
+            for (core, memo) in self.cores.iter_mut().zip(&mut core_wake) {
+                let wake = match *memo {
+                    Some(w) if now < w => Some(w),
+                    _ => {
+                        let wake = core.advance(now, &mut self.memory);
+                        *memo = wake;
+                        wake
+                    }
+                };
                 // A core that `advance` left blocked contributes a wakeup only
                 // if it knows one (a pending read-data return); cores waiting
                 // on a memory-system event (unknown completion, full queue)
