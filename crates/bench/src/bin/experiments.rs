@@ -3,21 +3,32 @@
 //! Usage:
 //!
 //! ```text
-//! experiments [--scope smoke|quick|full] [--out DIR] [--threads N | --serial] <target> [<target> ...]
+//! experiments [--scope smoke|quick|full] [--out DIR] [--threads N | --serial] [--cache DIR] <target> [<target> ...]
 //! experiments all
 //! ```
 //!
 //! Targets: `table1 table2 table3 table4 fig3 fig4 fig6 fig7 fig8 fig9 fig10
-//! fig11 fig12 fig13 fig14 fig15 fig16 fig17 fig18 highnrh ablation all`.
+//! fig11 fig12 fig13 fig14 fig15 fig16 fig17 fig18 highnrh ablation ranks all`.
 //!
 //! Each target prints a human-readable table and writes the raw series as JSON
-//! under the output directory (default `results/`). Simulation cells fan out
-//! over all cores by default (`--threads 1` / `--serial` forces the reference
-//! serial path, which produces bit-identical results); the wall-clock time of
-//! every target is reported.
+//! under the output directory (default `results/`).
+//!
+//! The binary is a thin client of the experiment service layer: every
+//! simulation cell runs through an in-process
+//! [`ExperimentService`](comet_service::ExperimentService), so cells shared
+//! between targets (e.g. unprotected baselines) are simulated once per
+//! invocation and `--cache DIR` makes the result cache persistent across
+//! invocations (same layout the `comet-serviced` daemon uses — point both at
+//! the same directory and they share warm results). `--threads 1` /
+//! `--serial` force the reference serial path, which produces bit-identical
+//! results; the wall-clock time of every target is reported.
+//!
+//! If any target fails, a per-target error summary is printed and the exit
+//! code is nonzero.
 
 use comet_bench::parse_scope;
-use comet_sim::experiments::{self, ExperimentScope, ParallelExecutor};
+use comet_service::ExperimentService;
+use comet_sim::experiments::{self, CellBackend, ExperimentScope, ParallelExecutor};
 use comet_sim::{RunnerError, SimConfig};
 use serde::Serialize;
 use std::fs;
@@ -28,6 +39,7 @@ struct Args {
     scope: ExperimentScope,
     out: PathBuf,
     executor: ParallelExecutor,
+    cache: Option<PathBuf>,
     targets: Vec<String>,
 }
 
@@ -35,6 +47,7 @@ fn parse_args() -> Args {
     let mut scope = ExperimentScope::Quick;
     let mut out = PathBuf::from("results");
     let mut executor = ParallelExecutor::new();
+    let mut cache = None;
     let mut targets = Vec::new();
     let mut args = std::env::args().skip(1).peekable();
     // An option's value must not itself look like an option; exiting instead
@@ -60,6 +73,9 @@ fn parse_args() -> Args {
             "--out" => {
                 out = PathBuf::from(value_for(&mut args, "--out"));
             }
+            "--cache" => {
+                cache = Some(PathBuf::from(value_for(&mut args, "--cache")));
+            }
             "--threads" => {
                 let value = value_for(&mut args, "--threads");
                 match value.parse::<usize>() {
@@ -76,8 +92,9 @@ fn parse_args() -> Args {
             "help" | "--help" | "-h" => {
                 println!("targets: table1 table2 table3 table4 fig3 fig4 fig6 fig7 fig8 fig9");
                 println!("         fig10 fig11 fig12 fig13 fig14 fig15 fig16 fig17 fig18");
-                println!("         highnrh ablation all");
+                println!("         highnrh ablation ranks all");
                 println!("options: --scope smoke|quick|full   --out DIR   --threads N   --serial");
+                println!("         --cache DIR   (persistent cell cache shared with comet-serviced)");
                 std::process::exit(0);
             }
             other => targets.push(other.to_string()),
@@ -86,7 +103,7 @@ fn parse_args() -> Args {
     if targets.is_empty() {
         targets.push("all".to_string());
     }
-    Args { scope, out, executor, targets }
+    Args { scope, out, executor, cache, targets }
 }
 
 fn save_json<T: Serialize>(out: &Path, name: &str, value: &T) {
@@ -178,17 +195,17 @@ fn table4(out: &Path) -> Result<(), RunnerError> {
     Ok(())
 }
 
-fn fig3(scope: ExperimentScope, out: &Path, executor: &ParallelExecutor) -> Result<(), RunnerError> {
+fn fig3(scope: ExperimentScope, out: &Path, backend: &dyn CellBackend) -> Result<(), RunnerError> {
     header("Figure 3: Hydra normalized IPC distribution vs RowHammer threshold");
-    let result = experiments::comparison::fig3_hydra_motivation(scope, executor)?;
+    let result = experiments::comparison::fig3_hydra_motivation(scope, backend)?;
     print_comparison(&result);
     save_json(out, "fig3", &result);
     Ok(())
 }
 
-fn fig4(scope: ExperimentScope, out: &Path, executor: &ParallelExecutor) -> Result<(), RunnerError> {
+fn fig4(scope: ExperimentScope, out: &Path, backend: &dyn CellBackend) -> Result<(), RunnerError> {
     header("Figure 4: performance / energy / area trade-off at NRH = 125");
-    let points = experiments::radar_fig4(scope, executor)?;
+    let points = experiments::radar_fig4(scope, backend)?;
     println!(
         "{:<12} {:>12} {:>12} {:>14} {:>12}",
         "Mechanism", "Perf ovh", "Energy ovh", "CPU area mm^2", "DRAM area %"
@@ -217,44 +234,44 @@ fn print_sweep(points: &[experiments::SweepPoint]) {
     }
 }
 
-fn fig6(scope: ExperimentScope, out: &Path, executor: &ParallelExecutor) -> Result<(), RunnerError> {
+fn fig6(scope: ExperimentScope, out: &Path, backend: &dyn CellBackend) -> Result<(), RunnerError> {
     header("Figure 6: Counter Table design sweep (NHash x NCounters)");
     for nrh in [1000u64, 125] {
         println!("\n-- NRH = {nrh} --");
-        let points = experiments::fig6_ct_sweep(scope, nrh, executor)?;
+        let points = experiments::fig6_ct_sweep(scope, nrh, backend)?;
         print_sweep(&points);
         save_json(out, &format!("fig6_nrh{nrh}"), &points);
     }
     Ok(())
 }
 
-fn fig7(scope: ExperimentScope, out: &Path, executor: &ParallelExecutor) -> Result<(), RunnerError> {
+fn fig7(scope: ExperimentScope, out: &Path, backend: &dyn CellBackend) -> Result<(), RunnerError> {
     header("Figure 7: Recent Aggressor Table size sweep");
-    let points = experiments::fig7_rat_sweep(scope, executor)?;
+    let points = experiments::fig7_rat_sweep(scope, backend)?;
     print_sweep(&points);
     save_json(out, "fig7", &points);
     Ok(())
 }
 
-fn fig8(scope: ExperimentScope, out: &Path, executor: &ParallelExecutor) -> Result<(), RunnerError> {
+fn fig8(scope: ExperimentScope, out: &Path, backend: &dyn CellBackend) -> Result<(), RunnerError> {
     header("Figure 8: early preventive refresh (EPRT x history length) sweep, 8-core, NRH = 125");
-    let points = experiments::fig8_eprt_sweep(scope, executor)?;
+    let points = experiments::fig8_eprt_sweep(scope, backend)?;
     print_sweep(&points);
     save_json(out, "fig8", &points);
     Ok(())
 }
 
-fn fig9(scope: ExperimentScope, out: &Path, executor: &ParallelExecutor) -> Result<(), RunnerError> {
+fn fig9(scope: ExperimentScope, out: &Path, backend: &dyn CellBackend) -> Result<(), RunnerError> {
     header("Figure 9: counter reset period (k) sweep");
-    let points = experiments::fig9_k_sweep(scope, executor)?;
+    let points = experiments::fig9_k_sweep(scope, backend)?;
     print_sweep(&points);
     save_json(out, "fig9", &points);
     Ok(())
 }
 
-fn fig10_11(scope: ExperimentScope, out: &Path, executor: &ParallelExecutor) -> Result<(), RunnerError> {
+fn fig10_11(scope: ExperimentScope, out: &Path, backend: &dyn CellBackend) -> Result<(), RunnerError> {
     header("Figures 10 & 11: CoMeT single-core normalized IPC and DRAM energy");
-    let result = experiments::fig10_fig11_singlecore(scope, executor)?;
+    let result = experiments::fig10_fig11_singlecore(scope, backend)?;
     println!("{:>6} {:>18} {:>20}", "NRH", "IPC geomean", "Energy geomean");
     for ((nrh, ipc), (_, energy)) in result.ipc_geomean.iter().zip(&result.energy_geomean) {
         println!("{:>6} {:>18.4} {:>20.4}", nrh, ipc, energy);
@@ -289,17 +306,17 @@ fn print_comparison(result: &experiments::ComparisonResult) {
     }
 }
 
-fn fig12_14(scope: ExperimentScope, out: &Path, executor: &ParallelExecutor) -> Result<(), RunnerError> {
+fn fig12_14(scope: ExperimentScope, out: &Path, backend: &dyn CellBackend) -> Result<(), RunnerError> {
     header("Figures 12 & 14: single-core comparison against state-of-the-art mitigations");
-    let result = experiments::fig12_fig14_comparison(scope, executor)?;
+    let result = experiments::fig12_fig14_comparison(scope, backend)?;
     print_comparison(&result);
     save_json(out, "fig12_fig14", &result);
     Ok(())
 }
 
-fn fig13_15(scope: ExperimentScope, out: &Path, executor: &ParallelExecutor) -> Result<(), RunnerError> {
+fn fig13_15(scope: ExperimentScope, out: &Path, backend: &dyn CellBackend) -> Result<(), RunnerError> {
     header("Figures 13 & 15: 8-core weighted speedup and DRAM energy comparison");
-    let result = experiments::fig13_fig15_multicore(scope, executor)?;
+    let result = experiments::fig13_fig15_multicore(scope, backend)?;
     println!("{:<12} {:>6} {:>14} {:>14} {:>14}", "Mechanism", "NRH", "WS geomean", "WS min", "Energy geo");
     for cell in &result.cells {
         println!(
@@ -315,9 +332,9 @@ fn fig13_15(scope: ExperimentScope, out: &Path, executor: &ParallelExecutor) -> 
     Ok(())
 }
 
-fn fig16(scope: ExperimentScope, out: &Path, executor: &ParallelExecutor) -> Result<(), RunnerError> {
+fn fig16(scope: ExperimentScope, out: &Path, backend: &dyn CellBackend) -> Result<(), RunnerError> {
     header("Figure 16: benign performance under RowHammer attacks");
-    let result = experiments::fig16_adversarial(scope, executor)?;
+    let result = experiments::fig16_adversarial(scope, backend)?;
     println!("(a) traditional attack, NRH = 500");
     for cell in &result.traditional {
         println!(
@@ -347,17 +364,17 @@ fn fig17(out: &Path) -> Result<(), RunnerError> {
     Ok(())
 }
 
-fn fig18(scope: ExperimentScope, out: &Path, executor: &ParallelExecutor) -> Result<(), RunnerError> {
+fn fig18(scope: ExperimentScope, out: &Path, backend: &dyn CellBackend) -> Result<(), RunnerError> {
     header("Figure 18: CoMeT vs BlockHammer normalized IPC");
-    let result = experiments::comparison::fig18_blockhammer(scope, executor)?;
+    let result = experiments::comparison::fig18_blockhammer(scope, backend)?;
     print_comparison(&result);
     save_json(out, "fig18", &result);
     Ok(())
 }
 
-fn highnrh(scope: ExperimentScope, out: &Path, executor: &ParallelExecutor) -> Result<(), RunnerError> {
+fn highnrh(scope: ExperimentScope, out: &Path, backend: &dyn CellBackend) -> Result<(), RunnerError> {
     header("Section 8.4: CoMeT at high RowHammer thresholds (2000, 4000)");
-    let result = experiments::singlecore::high_threshold_singlecore(scope, executor)?;
+    let result = experiments::singlecore::high_threshold_singlecore(scope, backend)?;
     for (nrh, geomean) in &result.ipc_geomean {
         println!("NRH = {nrh}: normalized IPC geomean = {geomean:.5}");
     }
@@ -365,97 +382,145 @@ fn highnrh(scope: ExperimentScope, out: &Path, executor: &ParallelExecutor) -> R
     Ok(())
 }
 
-fn ablation(scope: ExperimentScope, out: &Path, executor: &ParallelExecutor) -> Result<(), RunnerError> {
+fn ablation(scope: ExperimentScope, out: &Path, backend: &dyn CellBackend) -> Result<(), RunnerError> {
     header("Ablation: RAT and early preventive refresh contributions at NRH = 125");
-    let points = experiments::sweeps::ablation(scope, 125, executor)?;
+    let points = experiments::sweeps::ablation(scope, 125, backend)?;
     print_sweep(&points);
     save_json(out, "ablation", &points);
+    Ok(())
+}
+
+fn ranks(scope: ExperimentScope, out: &Path, backend: &dyn CellBackend) -> Result<(), RunnerError> {
+    header("Rank sweep: tracker pressure vs rank parallelism (1/2/4 ranks per channel)");
+    let result = experiments::rank_sweep(scope, backend)?;
+    println!(
+        "{:>6} {:>6} {:>16} {:>18} {:>14} {:>14} {:>12} {:>14}",
+        "Ranks",
+        "NRH",
+        "Norm. IPC (geo)",
+        "Norm. energy (geo)",
+        "Prev/kACT",
+        "Aggr/kACT",
+        "EarlyRank",
+        "Read lat ns"
+    );
+    for p in &result.points {
+        println!(
+            "{:>6} {:>6} {:>16.4} {:>18.4} {:>14.3} {:>14.3} {:>12} {:>14.2}",
+            p.ranks,
+            p.nrh,
+            p.normalized_ipc_geomean,
+            p.normalized_energy_geomean,
+            p.preventive_per_kilo_act,
+            p.aggressors_per_kilo_act,
+            p.early_rank_refreshes,
+            p.avg_read_latency_ns
+        );
+    }
+    save_json(out, "ranks", &result);
     Ok(())
 }
 
 fn main() {
     let args = parse_args();
     let scope = args.scope;
-    let executor = args.executor;
+    // The binary is a thin client of the service layer: an in-process
+    // ExperimentService fronts the executor, so cells shared between targets
+    // simulate once, and --cache makes that reuse persistent.
+    let service = match &args.cache {
+        Some(dir) => match ExperimentService::with_cache_dir(args.executor, dir) {
+            Ok(service) => service,
+            Err(error) => {
+                eprintln!("error: could not open cache dir {}: {error}", dir.display());
+                std::process::exit(1);
+            }
+        },
+        None => ExperimentService::new(args.executor),
+    };
     println!(
-        "CoMeT reproduction experiments — scope: {:?}, workloads: {}, worker threads: {}, output: {}",
+        "CoMeT reproduction experiments — scope: {:?}, workloads: {}, worker threads: {}, output: {}{}",
         scope,
         scope.workloads().len(),
-        executor.threads(),
-        args.out.display()
+        service.threads(),
+        args.out.display(),
+        match &args.cache {
+            Some(dir) =>
+                format!(", cache: {} ({} cells warm)", dir.display(), service.stats().loaded_from_disk),
+            None => String::new(),
+        }
     );
 
+    let backend: &dyn CellBackend = &service;
+    let out: &Path = &args.out;
+    // The single target table: aliases (what the user may type), the display
+    // name, and the handler. Dispatch, help validation, and the
+    // unknown-target check all derive from this one list, so a new target
+    // cannot be runnable yet "unknown" (or vice versa).
+    type TargetEntry<'a> =
+        (&'static [&'static str], &'static str, Box<dyn FnMut() -> Result<(), RunnerError> + 'a>);
+    let mut table: Vec<TargetEntry<'_>> = vec![
+        (&["table1"], "table1", Box::new(move || table1(out))),
+        (&["table2"], "table2", Box::new(move || table2(out))),
+        (&["table3"], "table3", Box::new(move || table3(out))),
+        (&["table4"], "table4", Box::new(move || table4(out))),
+        (&["fig17"], "fig17", Box::new(move || fig17(out))),
+        (&["fig3"], "fig3", Box::new(move || fig3(scope, out, backend))),
+        (&["fig4"], "fig4", Box::new(move || fig4(scope, out, backend))),
+        (&["fig6"], "fig6", Box::new(move || fig6(scope, out, backend))),
+        (&["fig7"], "fig7", Box::new(move || fig7(scope, out, backend))),
+        (&["fig8"], "fig8", Box::new(move || fig8(scope, out, backend))),
+        (&["fig9"], "fig9", Box::new(move || fig9(scope, out, backend))),
+        (&["fig10", "fig11"], "fig10_11", Box::new(move || fig10_11(scope, out, backend))),
+        (&["fig12", "fig14"], "fig12_14", Box::new(move || fig12_14(scope, out, backend))),
+        (&["fig13", "fig15"], "fig13_15", Box::new(move || fig13_15(scope, out, backend))),
+        (&["fig16"], "fig16", Box::new(move || fig16(scope, out, backend))),
+        (&["fig18"], "fig18", Box::new(move || fig18(scope, out, backend))),
+        (&["highnrh"], "highnrh", Box::new(move || highnrh(scope, out, backend))),
+        (&["ablation"], "ablation", Box::new(move || ablation(scope, out, backend))),
+        (&["ranks"], "ranks", Box::new(move || ranks(scope, out, backend))),
+    ];
+
     let run_all = args.targets.iter().any(|t| t == "all");
-    let wants = |name: &str| run_all || args.targets.iter().any(|t| t == name);
-    let mut failures = 0u32;
-    let mut timed = |name: &str, run: &mut dyn FnMut() -> Result<(), RunnerError>| {
+    let mut failures: Vec<(&'static str, RunnerError)> = Vec::new();
+    for (aliases, name, run) in &mut table {
+        if !run_all && !aliases.iter().any(|alias| args.targets.iter().any(|t| t == alias)) {
+            continue;
+        }
         let started = Instant::now();
         match run() {
             Ok(()) => println!("[{name}: {:.2} s]", started.elapsed().as_secs_f64()),
             Err(error) => {
                 eprintln!("error: target {name} failed: {error}");
-                failures += 1;
+                failures.push((name, error));
             }
         }
-    };
+    }
 
-    if wants("table1") {
-        timed("table1", &mut || table1(&args.out));
-    }
-    if wants("table2") {
-        timed("table2", &mut || table2(&args.out));
-    }
-    if wants("table3") {
-        timed("table3", &mut || table3(&args.out));
-    }
-    if wants("table4") {
-        timed("table4", &mut || table4(&args.out));
-    }
-    if wants("fig17") {
-        timed("fig17", &mut || fig17(&args.out));
-    }
-    if wants("fig3") {
-        timed("fig3", &mut || fig3(scope, &args.out, &executor));
-    }
-    if wants("fig4") {
-        timed("fig4", &mut || fig4(scope, &args.out, &executor));
-    }
-    if wants("fig6") {
-        timed("fig6", &mut || fig6(scope, &args.out, &executor));
-    }
-    if wants("fig7") {
-        timed("fig7", &mut || fig7(scope, &args.out, &executor));
-    }
-    if wants("fig8") {
-        timed("fig8", &mut || fig8(scope, &args.out, &executor));
-    }
-    if wants("fig9") {
-        timed("fig9", &mut || fig9(scope, &args.out, &executor));
-    }
-    if wants("fig10") || wants("fig11") {
-        timed("fig10_11", &mut || fig10_11(scope, &args.out, &executor));
-    }
-    if wants("fig12") || wants("fig14") {
-        timed("fig12_14", &mut || fig12_14(scope, &args.out, &executor));
-    }
-    if wants("fig13") || wants("fig15") {
-        timed("fig13_15", &mut || fig13_15(scope, &args.out, &executor));
-    }
-    if wants("fig16") {
-        timed("fig16", &mut || fig16(scope, &args.out, &executor));
-    }
-    if wants("fig18") {
-        timed("fig18", &mut || fig18(scope, &args.out, &executor));
-    }
-    if wants("highnrh") {
-        timed("highnrh", &mut || highnrh(scope, &args.out, &executor));
-    }
-    if wants("ablation") {
-        timed("ablation", &mut || ablation(scope, &args.out, &executor));
-    }
-    if failures > 0 {
-        eprintln!("\n{failures} target(s) failed.");
+    let stats = service.stats();
+    println!(
+        "\nCell cache: {} requested, {} simulated, {} cache hits, {} shared in-batch ({:.1}% served without a fresh run)",
+        stats.cells_requested,
+        stats.simulated,
+        stats.cache_hits,
+        stats.batch_shared,
+        100.0 * stats.hit_rate()
+    );
+
+    let unknown: Vec<&String> = args
+        .targets
+        .iter()
+        .filter(|t| *t != "all" && !table.iter().any(|(aliases, _, _)| aliases.contains(&t.as_str())))
+        .collect();
+
+    if !failures.is_empty() || !unknown.is_empty() {
+        eprintln!("\n{} target(s) failed:", failures.len() + unknown.len());
+        for (name, error) in &failures {
+            eprintln!("  {name}: {error}");
+        }
+        for name in &unknown {
+            eprintln!("  {name}: unknown target (see `experiments help`)");
+        }
         std::process::exit(1);
     }
-    println!("\nDone. JSON series written to {}", args.out.display());
+    println!("Done. JSON series written to {}", args.out.display());
 }

@@ -1,0 +1,198 @@
+//! CLI client for the `comet-serviced` experiment daemon.
+//!
+//! ```text
+//! service --socket PATH submit [--scope smoke|quick|full] [--targets fig9,ranks]
+//!         [--priority N] [--id N] [--out FILE] [--expect-min-hit-rate X]
+//! service --socket PATH ping
+//! service --socket PATH stats
+//! service --socket PATH shutdown
+//! ```
+//!
+//! `submit` sends one `run` request, waits for the response, and prints a
+//! one-line summary (wall seconds, cells, cache hits, simulated count, hit
+//! rate). `--out FILE` saves the full response JSON (per-target datasets
+//! included). `--expect-min-hit-rate X` exits with status 3 if the request
+//! was served below the given cache-hit rate — the CI smoke job uses this to
+//! assert that a resubmitted sweep is served from cache.
+
+#[cfg(unix)]
+fn main() {
+    unix::main();
+}
+
+#[cfg(not(unix))]
+fn main() {
+    eprintln!("error: the service client requires Unix-domain sockets");
+    std::process::exit(2);
+}
+
+#[cfg(unix)]
+mod unix {
+    use comet_service::json;
+    use std::io::{BufRead, BufReader, Write};
+    use std::os::unix::net::UnixStream;
+    use std::path::PathBuf;
+
+    struct Args {
+        socket: PathBuf,
+        command: String,
+        scope: String,
+        targets: Vec<String>,
+        priority: i64,
+        id: u64,
+        out: Option<PathBuf>,
+        expect_min_hit_rate: Option<f64>,
+    }
+
+    fn parse_args() -> Args {
+        let mut socket = None;
+        let mut command = None;
+        let mut scope = "smoke".to_string();
+        let mut targets = vec!["fig9".to_string()];
+        let mut priority = 0i64;
+        let mut id = std::process::id() as u64;
+        let mut out = None;
+        let mut expect_min_hit_rate = None;
+        let mut iter = std::env::args().skip(1);
+        while let Some(arg) = iter.next() {
+            let mut value = |flag: &str| {
+                iter.next().unwrap_or_else(|| {
+                    eprintln!("error: {flag} requires a value");
+                    std::process::exit(2);
+                })
+            };
+            match arg.as_str() {
+                "--socket" => socket = Some(PathBuf::from(value("--socket"))),
+                "--scope" => scope = value("--scope"),
+                "--targets" => {
+                    targets = value("--targets").split(',').map(|t| t.trim().to_string()).collect()
+                }
+                "--priority" => {
+                    priority = value("--priority").parse().unwrap_or_else(|_| {
+                        eprintln!("error: invalid --priority");
+                        std::process::exit(2);
+                    })
+                }
+                "--id" => {
+                    id = value("--id").parse().unwrap_or_else(|_| {
+                        eprintln!("error: invalid --id");
+                        std::process::exit(2);
+                    })
+                }
+                "--out" => out = Some(PathBuf::from(value("--out"))),
+                "--expect-min-hit-rate" => {
+                    expect_min_hit_rate = Some(value("--expect-min-hit-rate").parse().unwrap_or_else(|_| {
+                        eprintln!("error: invalid --expect-min-hit-rate");
+                        std::process::exit(2);
+                    }))
+                }
+                "--help" | "-h" => {
+                    println!(
+                        "usage: service --socket PATH <submit|ping|stats|shutdown> [--scope S] [--targets a,b] [--priority N] [--id N] [--out FILE] [--expect-min-hit-rate X]"
+                    );
+                    std::process::exit(0);
+                }
+                other if command.is_none() && !other.starts_with('-') => command = Some(other.to_string()),
+                other => {
+                    eprintln!("error: unknown argument {other:?}");
+                    std::process::exit(2);
+                }
+            }
+        }
+        let socket = socket.unwrap_or_else(|| {
+            eprintln!("error: --socket PATH is required");
+            std::process::exit(2);
+        });
+        let command = command.unwrap_or_else(|| {
+            eprintln!("error: a command (submit|ping|stats|shutdown) is required");
+            std::process::exit(2);
+        });
+        Args { socket, command, scope, targets, priority, id, out, expect_min_hit_rate }
+    }
+
+    fn request_line(args: &Args) -> String {
+        match args.command.as_str() {
+            "submit" => {
+                let targets: Vec<String> = args.targets.iter().map(|t| format!("\"{t}\"")).collect();
+                format!(
+                    "{{\"op\":\"run\",\"id\":{},\"scope\":\"{}\",\"targets\":[{}],\"priority\":{}}}",
+                    args.id,
+                    args.scope,
+                    targets.join(","),
+                    args.priority
+                )
+            }
+            "ping" | "stats" | "shutdown" => {
+                format!("{{\"op\":\"{}\",\"id\":{}}}", args.command, args.id)
+            }
+            other => {
+                eprintln!("error: unknown command {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    pub fn main() {
+        let args = parse_args();
+        let line = request_line(&args);
+
+        let stream = UnixStream::connect(&args.socket).unwrap_or_else(|error| {
+            eprintln!("error: could not connect to {}: {error}", args.socket.display());
+            std::process::exit(1);
+        });
+        let mut writer = stream.try_clone().expect("socket clone");
+        writeln!(writer, "{line}").expect("request write");
+        writer.flush().expect("request flush");
+
+        let mut response = String::new();
+        BufReader::new(stream).read_line(&mut response).expect("response read");
+        let response = response.trim().to_string();
+        if response.is_empty() {
+            eprintln!("error: daemon closed the connection without a response");
+            std::process::exit(1);
+        }
+        if let Some(path) = &args.out {
+            std::fs::write(path, format!("{response}\n")).unwrap_or_else(|error| {
+                eprintln!("error: could not write {}: {error}", path.display());
+                std::process::exit(1);
+            });
+        }
+
+        let value = json::parse(&response).unwrap_or_else(|error| {
+            eprintln!("error: unparseable response ({error}): {response}");
+            std::process::exit(1);
+        });
+        let ok = matches!(json::get(&value, "ok"), Some(serde::Value::Bool(true)));
+        if !ok {
+            let message = json::get(&value, "error").and_then(json::as_str).unwrap_or("unknown error");
+            eprintln!("error: daemon refused the request: {message}");
+            std::process::exit(1);
+        }
+
+        match args.command.as_str() {
+            "submit" => {
+                let wall_s = json::get(&value, "wall_s").and_then(json::as_f64).unwrap_or(0.0);
+                let stats = json::get(&value, "stats");
+                let stat =
+                    |name: &str| stats.and_then(|s| json::get(s, name)).and_then(json::as_f64).unwrap_or(0.0);
+                let hit_rate = stat("hit_rate");
+                println!(
+                    "ok id={} wall_s={wall_s:.3} cells={} cache_hits={} batch_shared={} simulated={} hit_rate={hit_rate:.4}",
+                    args.id,
+                    stat("cells_requested"),
+                    stat("cache_hits"),
+                    stat("batch_shared"),
+                    stat("simulated"),
+                );
+                if let Some(minimum) = args.expect_min_hit_rate {
+                    if hit_rate + 1e-9 < minimum {
+                        eprintln!("error: hit rate {hit_rate:.4} below required {minimum:.4}");
+                        std::process::exit(3);
+                    }
+                }
+            }
+            "stats" => println!("{response}"),
+            _ => println!("ok id={}", args.id),
+        }
+    }
+}

@@ -70,6 +70,13 @@ impl DramGeometry {
         self
     }
 
+    /// Returns this geometry with the per-channel rank count replaced
+    /// (builder style) — the knob the rank-parallelism sweeps turn.
+    pub fn with_ranks(mut self, ranks_per_channel: usize) -> Self {
+        self.ranks_per_channel = ranks_per_channel;
+        self
+    }
+
     /// A deliberately tiny geometry for unit tests and doc examples, small
     /// enough that exhaustive row sweeps stay fast.
     pub fn tiny() -> Self {

@@ -1,0 +1,121 @@
+//! The experiment daemon binary.
+//!
+//! ```text
+//! comet-serviced [--socket PATH | --stdin] [--cache DIR] [--threads N] [--job-workers N]
+//! ```
+//!
+//! * `--socket PATH` — listen on a Unix-domain socket (the production mode;
+//!   pair it with the `service` client in `comet-bench`).
+//! * `--stdin` — serve a single session on stdin/stdout (the default; handy
+//!   for scripting and tests: `echo '{"op":"ping"}' | comet-serviced`).
+//! * `--cache DIR` — persist the result cache as JSON-lines segments under
+//!   `DIR` and pre-load whatever is already there.
+//! * `--threads N` — worker threads for cell simulation (default: all cores).
+//! * `--job-workers N` — concurrent sweep requests (default 1: strict
+//!   priority order across clients).
+
+use comet_service::{Daemon, ExperimentService};
+use comet_sim::experiments::ParallelExecutor;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+struct Args {
+    socket: Option<PathBuf>,
+    cache: Option<PathBuf>,
+    threads: Option<usize>,
+    job_workers: usize,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args { socket: None, cache: None, threads: None, job_workers: 1 };
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        let mut value = |flag: &str| {
+            iter.next().unwrap_or_else(|| {
+                eprintln!("error: {flag} requires a value");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--socket" => args.socket = Some(PathBuf::from(value("--socket"))),
+            "--stdin" => args.socket = None,
+            "--cache" => args.cache = Some(PathBuf::from(value("--cache"))),
+            "--threads" => match value("--threads").parse::<usize>() {
+                Ok(n) if n >= 1 => args.threads = Some(n),
+                _ => {
+                    eprintln!("error: invalid --threads value");
+                    std::process::exit(2);
+                }
+            },
+            "--job-workers" => match value("--job-workers").parse::<usize>() {
+                Ok(n) if n >= 1 => args.job_workers = n,
+                _ => {
+                    eprintln!("error: invalid --job-workers value");
+                    std::process::exit(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!(
+                    "usage: comet-serviced [--socket PATH | --stdin] [--cache DIR] [--threads N] [--job-workers N]"
+                );
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("error: unknown argument {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let executor = match args.threads {
+        Some(threads) => ParallelExecutor::with_threads(threads),
+        None => ParallelExecutor::new(),
+    };
+    let service = match &args.cache {
+        Some(dir) => match ExperimentService::with_cache_dir(executor, dir) {
+            Ok(service) => {
+                eprintln!(
+                    "comet-serviced: loaded {} cached cell(s) from {}",
+                    service.stats().loaded_from_disk,
+                    dir.display()
+                );
+                service
+            }
+            Err(error) => {
+                eprintln!("error: could not open cache dir {}: {error}", dir.display());
+                std::process::exit(1);
+            }
+        },
+        None => ExperimentService::new(executor),
+    };
+    let daemon = Daemon::new(Arc::new(service), args.job_workers);
+
+    let outcome = match &args.socket {
+        Some(path) => {
+            #[cfg(unix)]
+            {
+                eprintln!("comet-serviced: listening on {}", path.display());
+                daemon.serve_unix(path)
+            }
+            #[cfg(not(unix))]
+            {
+                let _ = path;
+                eprintln!("error: --socket requires a Unix platform; use --stdin");
+                std::process::exit(2);
+            }
+        }
+        None => {
+            let stdin = std::io::stdin();
+            let stdout = std::io::stdout();
+            daemon.serve_session(stdin.lock(), stdout.lock())
+        }
+    };
+    if let Err(error) = outcome {
+        eprintln!("comet-serviced: fatal: {error}");
+        std::process::exit(1);
+    }
+}

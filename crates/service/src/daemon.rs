@@ -1,0 +1,220 @@
+//! The long-running experiment daemon.
+//!
+//! Connections (Unix-domain socket, or a single stdin/stdout session) read
+//! one JSON request per line. `run` requests are enqueued on the shared
+//! priority [`JobQueue`] and executed by a worker pool; each connection
+//! blocks on its own request's completion before reading its next line, so
+//! the *queue* arbitrates between clients (higher-priority sweeps from one
+//! client overtake queued lower-priority sweeps from another) while each
+//! client stays strictly ordered. `ping` / `stats` / `shutdown` are answered
+//! inline without queueing.
+
+use crate::protocol::{self, Op, Request};
+use crate::queue::JobQueue;
+use crate::service::ExperimentService;
+use std::io::{BufRead, BufReader, Write};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+
+/// One queued `run` job: the request plus the channel its response goes to.
+struct Job {
+    request: Request,
+    reply: mpsc::Sender<String>,
+}
+
+/// The daemon: a shared service, a priority queue, and a worker pool.
+pub struct Daemon {
+    service: Arc<ExperimentService>,
+    queue: Arc<JobQueue<Job>>,
+    shutdown: Arc<AtomicBool>,
+    job_workers: usize,
+}
+
+impl Daemon {
+    /// A daemon over `service` with `job_workers` concurrent sweep executors.
+    /// One worker (the default for the binary) gives strict priority order;
+    /// more workers trade ordering for sweep-level concurrency (cell-level
+    /// work is still deduplicated by the service).
+    pub fn new(service: Arc<ExperimentService>, job_workers: usize) -> Self {
+        Daemon {
+            service,
+            queue: Arc::new(JobQueue::new()),
+            shutdown: Arc::new(AtomicBool::new(false)),
+            job_workers: job_workers.max(1),
+        }
+    }
+
+    /// The shared service (for tests and in-process callers).
+    pub fn service(&self) -> &Arc<ExperimentService> {
+        &self.service
+    }
+
+    /// Whether `shutdown` has been requested.
+    pub fn is_shutdown(&self) -> bool {
+        self.shutdown.load(Ordering::Relaxed)
+    }
+
+    fn spawn_workers<'scope>(&self, scope: &'scope std::thread::Scope<'scope, '_>) {
+        for _ in 0..self.job_workers {
+            let queue = self.queue.clone();
+            let service = self.service.clone();
+            scope.spawn(move || {
+                while let Some(job) = queue.pop() {
+                    // A panicking simulation must not kill the worker: the
+                    // service's claim guard has already released the cell
+                    // claims during unwind, so catching here turns the panic
+                    // into an error response and keeps the queue draining.
+                    let request = job.request;
+                    let id = request.id;
+                    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        protocol::handle_request(&service, &request).0
+                    }));
+                    let line = outcome.unwrap_or_else(|_| {
+                        protocol::error_response(id, "internal error: request execution panicked")
+                    });
+                    // A dropped receiver (client hung up) is not an error.
+                    let _ = job.reply.send(line);
+                }
+            });
+        }
+    }
+
+    /// Handles one connection's request stream until EOF or shutdown.
+    fn handle_connection(&self, reader: impl BufRead, mut writer: impl Write) -> std::io::Result<()> {
+        for line in reader.lines() {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let response = match protocol::parse_request(&line) {
+                Err(message) => protocol::error_response(0, &message),
+                Ok(request) => match &request.op {
+                    Op::Run { priority, .. } => {
+                        let priority = *priority;
+                        let (tx, rx) = mpsc::channel();
+                        if self.queue.push(Job { request, reply: tx }, priority) {
+                            rx.recv()
+                                .unwrap_or_else(|_| protocol::error_response(0, "worker dropped the request"))
+                        } else {
+                            protocol::error_response(request_id_hint(&line), "daemon is shutting down")
+                        }
+                    }
+                    Op::Shutdown => {
+                        let (line, _) = protocol::handle_request(&self.service, &request);
+                        self.shutdown.store(true, Ordering::Relaxed);
+                        self.queue.close();
+                        writeln!(writer, "{line}")?;
+                        writer.flush()?;
+                        return Ok(());
+                    }
+                    _ => protocol::handle_request(&self.service, &request).0,
+                },
+            };
+            writeln!(writer, "{response}")?;
+            writer.flush()?;
+            if self.is_shutdown() {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    /// Serves a single session on arbitrary reader/writer pairs (stdin mode,
+    /// and the in-process protocol tests). Returns on EOF or `shutdown`.
+    pub fn serve_session(&self, reader: impl BufRead, writer: impl Write) -> std::io::Result<()> {
+        std::thread::scope(|scope| {
+            self.spawn_workers(scope);
+            let outcome = self.handle_connection(reader, writer);
+            // EOF without an explicit shutdown still ends the session.
+            self.queue.close();
+            outcome
+        })
+    }
+
+    /// Binds `path` and serves Unix-socket connections until `shutdown`.
+    #[cfg(unix)]
+    pub fn serve_unix(&self, path: &std::path::Path) -> std::io::Result<()> {
+        use std::os::unix::net::UnixListener;
+        // A stale socket file from a previous run would make bind fail.
+        let _ = std::fs::remove_file(path);
+        let listener = UnixListener::bind(path)?;
+        std::thread::scope(|scope| {
+            self.spawn_workers(scope);
+            for connection in listener.incoming() {
+                // One connection at a time: connections multiplex through
+                // the priority queue, and the accept loop staying
+                // single-threaded keeps lifetime handling simple. Clients
+                // queue on connect. A connection-level IO error (client hung
+                // up mid-write) never kills the daemon.
+                let outcome = connection.and_then(|stream| {
+                    let reader = BufReader::new(stream.try_clone()?);
+                    self.handle_connection(reader, stream)
+                });
+                if let Err(error) = outcome {
+                    eprintln!("comet-serviced: connection error: {error}");
+                }
+                // Checked after handling so a `shutdown` request ends the
+                // accept loop without waiting for another connection.
+                if self.is_shutdown() {
+                    break;
+                }
+            }
+            self.queue.close();
+        });
+        let _ = std::fs::remove_file(path);
+        Ok(())
+    }
+}
+
+/// Best-effort id extraction for error paths where the request was parsed
+/// but can no longer be moved.
+fn request_id_hint(line: &str) -> u64 {
+    crate::json::parse(line)
+        .ok()
+        .and_then(|v| crate::json::get(&v, "id").and_then(crate::json::as_u64))
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use comet_sim::experiments::ParallelExecutor;
+
+    fn daemon() -> Daemon {
+        Daemon::new(Arc::new(ExperimentService::new(ParallelExecutor::new())), 1)
+    }
+
+    fn session(input: &str) -> Vec<String> {
+        let daemon = daemon();
+        let mut output = Vec::new();
+        daemon.serve_session(BufReader::new(input.as_bytes()), &mut output).unwrap();
+        String::from_utf8(output).unwrap().lines().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn ping_and_stats_answer_inline() {
+        let lines = session("{\"op\":\"ping\",\"id\":1}\n{\"op\":\"stats\",\"id\":2}\n");
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"pong\":true"), "{}", lines[0]);
+        assert!(lines[1].contains("\"cells_requested\":0"), "{}", lines[1]);
+    }
+
+    #[test]
+    fn malformed_lines_get_error_responses_and_do_not_kill_the_session() {
+        let lines = session("garbage\n{\"op\":\"ping\",\"id\":9}\n");
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"ok\":false"));
+        assert!(lines[1].contains("\"pong\":true"));
+    }
+
+    #[test]
+    fn run_requests_execute_through_the_queue() {
+        let lines = session(
+            "{\"op\":\"run\",\"id\":5,\"scope\":\"smoke\",\"targets\":[\"fig17\"]}\n{\"op\":\"shutdown\",\"id\":6}\n",
+        );
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"id\":5") && lines[0].contains("\"ok\":true"), "{}", lines[0]);
+        assert!(lines[0].contains("\"fig17\""), "{}", lines[0]);
+        assert!(lines[1].contains("\"shutdown\":true"), "{}", lines[1]);
+    }
+}

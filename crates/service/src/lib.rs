@@ -1,0 +1,50 @@
+//! # comet-service
+//!
+//! The long-running experiment service of the CoMeT reproduction: a daemon
+//! that accepts sweep requests over a line protocol (Unix socket or stdin),
+//! decomposes them into experiment cells through the plan/assemble API of
+//! [`comet_sim::experiments`], schedules novel cells onto the
+//! [`ParallelExecutor`](comet_sim::experiments::ParallelExecutor) via a
+//! priority job queue, deduplicates in-flight work across concurrent
+//! requests, and memoizes every completed cell in a content-addressed result
+//! cache persisted as JSON-lines segments.
+//!
+//! The cache key is the 128-bit FNV-1a hash of a canonical serialized form of
+//! the *full* cell identity — `SimConfig` (geometry, timing, energy,
+//! controller, core, cycle counts), seed, loop mode, workload placement,
+//! mechanism parameters, and RowHammer threshold — so a hit is, by
+//! construction, bit-identical to a fresh simulation of the same cell. Repeat
+//! sweeps are served entirely from cache; overlapping sweeps (e.g. the
+//! adversarial grids sharing attacked baselines) only simulate their novel
+//! cells.
+//!
+//! ## In-process example
+//!
+//! ```rust
+//! use comet_service::ExperimentService;
+//! use comet_sim::experiments::{CellBackend, CellSpec, ParallelExecutor};
+//! use comet_sim::{MechanismKind, Runner, SimConfig};
+//!
+//! let service = ExperimentService::new(ParallelExecutor::new());
+//! let runner = Runner::new(SimConfig::quick_test());
+//! let cells = vec![CellSpec::single("429.mcf", MechanismKind::Baseline, 1000)];
+//! let first = service.run_cells(&runner, &cells).unwrap();
+//! let again = service.run_cells(&runner, &cells).unwrap();
+//! assert_eq!(first[0].instructions, again[0].instructions);
+//! assert_eq!(service.stats().simulated, 1); // second call was a pure cache hit
+//! ```
+
+pub mod daemon;
+pub mod json;
+pub mod key;
+pub mod protocol;
+pub mod queue;
+pub mod service;
+pub mod store;
+pub mod targets;
+
+pub use daemon::Daemon;
+pub use key::{canonical_cell_form, cell_key, CellKey, KEY_SCHEMA};
+pub use queue::JobQueue;
+pub use service::{ExperimentService, ServiceStats};
+pub use store::{ResultStore, StoreReader};

@@ -1,0 +1,198 @@
+//! The daemon's line protocol: one JSON request per line in, one JSON
+//! response per line out.
+//!
+//! Requests:
+//!
+//! ```text
+//! {"op":"run","id":1,"scope":"smoke","targets":["fig9","ranks"],"priority":5}
+//! {"op":"stats","id":2}
+//! {"op":"ping","id":3}
+//! {"op":"shutdown","id":4}
+//! ```
+//!
+//! Responses always echo `id` (0 if absent) and carry `"ok"`. A `run`
+//! response reports the wall-clock seconds, the request's cache-counter
+//! delta (cells, cache_hits, simulated, hit_rate, …), and the per-target
+//! datasets under `"results"`.
+
+use crate::json;
+use crate::service::{ExperimentService, ServiceStats};
+use crate::targets;
+use comet_sim::experiments::ExperimentScope;
+use serde::Serialize;
+use std::time::Instant;
+
+/// A parsed request line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Client-chosen correlation id, echoed in the response.
+    pub id: u64,
+    /// The operation.
+    pub op: Op,
+}
+
+/// The operations the daemon understands.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Op {
+    /// Run experiment targets at a scope, with a queue priority.
+    Run {
+        /// Experiment scope (`smoke` / `quick` / `full`).
+        scope: ExperimentScope,
+        /// Target names (see [`targets::KNOWN_TARGETS`]).
+        targets: Vec<String>,
+        /// Queue priority: higher pops first.
+        priority: i64,
+    },
+    /// Report cumulative service statistics.
+    Stats,
+    /// Liveness check.
+    Ping,
+    /// Stop the daemon after answering.
+    Shutdown,
+}
+
+/// Parses one request line.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let value = json::parse(line).map_err(|e| e.to_string())?;
+    let id = json::get(&value, "id").and_then(json::as_u64).unwrap_or(0);
+    let op = json::get(&value, "op").and_then(json::as_str).ok_or("missing \"op\"")?;
+    let op = match op {
+        "run" => {
+            let scope = match json::get(&value, "scope").and_then(json::as_str).unwrap_or("smoke") {
+                "smoke" => ExperimentScope::Smoke,
+                "quick" => ExperimentScope::Quick,
+                "full" => ExperimentScope::Full,
+                other => return Err(format!("unknown scope {other:?}")),
+            };
+            let targets: Vec<String> = match json::get(&value, "targets").and_then(json::as_seq) {
+                Some(items) => items
+                    .iter()
+                    .map(|item| json::as_str(item).map(str::to_string).ok_or("targets must be strings"))
+                    .collect::<Result<_, _>>()?,
+                None => return Err("missing \"targets\"".to_string()),
+            };
+            if targets.is_empty() {
+                return Err("\"targets\" must not be empty".to_string());
+            }
+            for target in &targets {
+                if !targets::KNOWN_TARGETS.contains(&target.as_str()) {
+                    return Err(format!(
+                        "unknown target {target:?} (known: {})",
+                        targets::KNOWN_TARGETS.join(", ")
+                    ));
+                }
+            }
+            let priority = json::get(&value, "priority").and_then(json::as_i64).unwrap_or(0);
+            Op::Run { scope, targets, priority }
+        }
+        "stats" => Op::Stats,
+        "ping" => Op::Ping,
+        "shutdown" => Op::Shutdown,
+        other => return Err(format!("unknown op {other:?}")),
+    };
+    Ok(Request { id, op })
+}
+
+fn stats_json(stats: &ServiceStats) -> String {
+    // hit_rate is derived, so splice it next to the counter fields.
+    let counters = serde_json::to_string(stats).expect("value-tree serialization cannot fail");
+    let body = counters.strip_suffix('}').expect("object");
+    format!("{body},\"hit_rate\":{:.6}}}", stats.hit_rate())
+}
+
+/// An error response line.
+pub fn error_response(id: u64, message: &str) -> String {
+    struct W(serde::Value);
+    impl Serialize for W {
+        fn to_value(&self) -> serde::Value {
+            self.0.clone()
+        }
+    }
+    let value = serde::Value::Map(vec![
+        ("id".to_string(), serde::Value::UInt(id)),
+        ("ok".to_string(), serde::Value::Bool(false)),
+        ("error".to_string(), serde::Value::Str(message.to_string())),
+    ]);
+    serde_json::to_string(&W(value)).expect("value-tree serialization cannot fail")
+}
+
+/// Executes a `run` request against `service` and builds the response line.
+pub fn run_response(
+    service: &ExperimentService,
+    id: u64,
+    scope: ExperimentScope,
+    target_names: &[String],
+) -> String {
+    let before = service.stats();
+    let started = Instant::now();
+    let mut results = Vec::with_capacity(target_names.len());
+    for name in target_names {
+        match targets::run_target(name, scope, service) {
+            Ok(Some(json)) => results.push((name.as_str(), json)),
+            Ok(None) => return error_response(id, &format!("unknown target {name:?}")),
+            Err(error) => return error_response(id, &format!("target {name} failed: {error}")),
+        }
+    }
+    let wall_s = started.elapsed().as_secs_f64();
+    let delta = service.stats().delta_since(&before);
+    let results_json: Vec<String> = results.iter().map(|(name, json)| format!("\"{name}\":{json}")).collect();
+    format!(
+        "{{\"id\":{id},\"ok\":true,\"wall_s\":{wall_s:.6},\"stats\":{},\"results\":{{{}}}}}",
+        stats_json(&delta),
+        results_json.join(",")
+    )
+}
+
+/// Handles one already-parsed request, returning the response line and
+/// whether the daemon should shut down afterwards.
+pub fn handle_request(service: &ExperimentService, request: &Request) -> (String, bool) {
+    match &request.op {
+        Op::Run { scope, targets, .. } => (run_response(service, request.id, *scope, targets), false),
+        Op::Stats => {
+            let stats = service.stats();
+            let line = format!(
+                "{{\"id\":{},\"ok\":true,\"stats\":{},\"cached_cells\":{}}}",
+                request.id,
+                stats_json(&stats),
+                service.cached_cells()
+            );
+            (line, false)
+        }
+        Op::Ping => (format!("{{\"id\":{},\"ok\":true,\"pong\":true}}", request.id), false),
+        Op::Shutdown => (format!("{{\"id\":{},\"ok\":true,\"shutdown\":true}}", request.id), true),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_run_requests() {
+        let request =
+            parse_request(r#"{"op":"run","id":7,"scope":"smoke","targets":["fig9"],"priority":-3}"#).unwrap();
+        assert_eq!(request.id, 7);
+        assert_eq!(
+            request.op,
+            Op::Run { scope: ExperimentScope::Smoke, targets: vec!["fig9".to_string()], priority: -3 }
+        );
+    }
+
+    #[test]
+    fn defaults_and_errors() {
+        assert_eq!(parse_request(r#"{"op":"ping"}"#).unwrap(), Request { id: 0, op: Op::Ping });
+        assert!(parse_request("not json").is_err());
+        assert!(parse_request(r#"{"id":1}"#).is_err());
+        assert!(parse_request(r#"{"op":"run","targets":[]}"#).is_err());
+        assert!(parse_request(r#"{"op":"run","targets":["nope"]}"#).is_err());
+        assert!(parse_request(r#"{"op":"run","scope":"huge","targets":["fig9"]}"#).is_err());
+    }
+
+    #[test]
+    fn error_responses_are_parseable_json() {
+        let line = error_response(3, "bad \"thing\"");
+        let value = json::parse(&line).unwrap();
+        assert_eq!(json::get(&value, "ok"), Some(&serde::Value::Bool(false)));
+        assert_eq!(json::as_str(json::get(&value, "error").unwrap()), Some("bad \"thing\""));
+    }
+}

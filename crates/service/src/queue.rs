@@ -1,0 +1,147 @@
+//! A blocking priority job queue for the experiment daemon.
+//!
+//! Jobs pop highest-priority first; ties break FIFO by arrival sequence, so
+//! equal-priority sweeps are served in submission order. `pop` blocks until a
+//! job is available or the queue is closed (drain-then-`None`), which is the
+//! worker-thread shutdown signal.
+
+use std::collections::BinaryHeap;
+use std::sync::{Condvar, Mutex};
+
+struct Entry<T> {
+    priority: i64,
+    seq: u64,
+    job: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.priority == other.priority && self.seq == other.seq
+    }
+}
+impl<T> Eq for Entry<T> {}
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Max-heap: higher priority first, then earlier sequence.
+        self.priority.cmp(&other.priority).then(other.seq.cmp(&self.seq))
+    }
+}
+
+struct Inner<T> {
+    heap: BinaryHeap<Entry<T>>,
+    next_seq: u64,
+    closed: bool,
+}
+
+/// A thread-safe blocking priority queue.
+pub struct JobQueue<T> {
+    inner: Mutex<Inner<T>>,
+    cv: Condvar,
+}
+
+impl<T> Default for JobQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> JobQueue<T> {
+    /// An empty, open queue.
+    pub fn new() -> Self {
+        JobQueue {
+            inner: Mutex::new(Inner { heap: BinaryHeap::new(), next_seq: 0, closed: false }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Enqueues `job`. Returns `false` (dropping the job) if the queue is closed.
+    pub fn push(&self, job: T, priority: i64) -> bool {
+        let mut inner = self.inner.lock().expect("queue lock");
+        if inner.closed {
+            return false;
+        }
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        inner.heap.push(Entry { priority, seq, job });
+        self.cv.notify_one();
+        true
+    }
+
+    /// Blocks until a job is available (returning the highest-priority one)
+    /// or the queue is closed and drained (returning `None`).
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock().expect("queue lock");
+        loop {
+            if let Some(entry) = inner.heap.pop() {
+                return Some(entry.job);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.cv.wait(inner).expect("queue lock");
+        }
+    }
+
+    /// Closes the queue: future pushes are rejected, poppers drain what is
+    /// left and then receive `None`.
+    pub fn close(&self) {
+        self.inner.lock().expect("queue lock").closed = true;
+        self.cv.notify_all();
+    }
+
+    /// Jobs currently queued.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("queue lock").heap.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_by_priority_then_fifo() {
+        let queue = JobQueue::new();
+        assert!(queue.push("low", 1));
+        assert!(queue.push("high", 10));
+        assert!(queue.push("mid-a", 5));
+        assert!(queue.push("mid-b", 5));
+        assert_eq!(queue.pop(), Some("high"));
+        assert_eq!(queue.pop(), Some("mid-a"));
+        assert_eq!(queue.pop(), Some("mid-b"));
+        assert_eq!(queue.pop(), Some("low"));
+    }
+
+    #[test]
+    fn close_drains_then_returns_none() {
+        let queue = JobQueue::new();
+        queue.push(1, 0);
+        queue.close();
+        assert!(!queue.push(2, 0), "closed queue rejects pushes");
+        assert_eq!(queue.pop(), Some(1));
+        assert_eq!(queue.pop(), None);
+    }
+
+    #[test]
+    fn blocking_pop_wakes_on_push() {
+        use std::sync::Arc;
+        let queue = Arc::new(JobQueue::new());
+        let popper = {
+            let queue = queue.clone();
+            std::thread::spawn(move || queue.pop())
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        queue.push(42, 0);
+        assert_eq!(popper.join().unwrap(), Some(42));
+    }
+}

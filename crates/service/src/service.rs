@@ -1,0 +1,384 @@
+//! The caching experiment service: a [`CellBackend`] that memoizes every
+//! completed cell in a content-addressed cache, deduplicates in-flight work
+//! across concurrent requests, and fans novel cells out over the existing
+//! [`ParallelExecutor`].
+//!
+//! Every cell resolves exactly one way:
+//!
+//! * **hit** — the key is `Ready` in the cache (memory, possibly loaded from
+//!   disk at startup): the stored result is returned, no simulation runs.
+//! * **owned miss** — this call claims the key (`Running`) and simulates it;
+//!   the result is inserted, persisted, and waiters are woken.
+//! * **in-flight** — another call owns the key: this call blocks on the
+//!   condition variable instead of re-simulating. If the owner fails, the
+//!   key is released and a waiter re-claims it (so an error in one request
+//!   never wedges another).
+//!
+//! Determinism makes all of this sound: a cell's result is a pure function
+//! of its key, so sharing a cached or in-flight result is bit-identical to
+//! re-running it.
+
+use crate::key::{cell_key, CellKey};
+use crate::store::ResultStore;
+use comet_sim::experiments::{CellBackend, CellSpec, ParallelExecutor};
+use comet_sim::{RunResult, Runner, RunnerError};
+use serde::Serialize;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// One cache slot: a completed result, or a claim by an in-flight request.
+#[derive(Debug, Clone)]
+enum Slot {
+    Ready(Arc<RunResult>),
+    Running,
+}
+
+/// Monotonic service counters. All relaxed: they are reporting, not
+/// synchronization (the cache mutex orders the data).
+#[derive(Debug, Default)]
+struct Counters {
+    cells_requested: AtomicU64,
+    cache_hits: AtomicU64,
+    batch_shared: AtomicU64,
+    inflight_waits: AtomicU64,
+    simulated: AtomicU64,
+    failed: AtomicU64,
+    loaded_from_disk: AtomicU64,
+}
+
+/// A point-in-time snapshot of the service counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct ServiceStats {
+    /// Cells requested across all `run_cells` calls (duplicates included).
+    pub cells_requested: u64,
+    /// Cells served from the completed-result cache.
+    pub cache_hits: u64,
+    /// Duplicate cells within a single batch, served from the batch's own runs.
+    pub batch_shared: u64,
+    /// Cells that waited on another request's in-flight simulation.
+    pub inflight_waits: u64,
+    /// Cells actually simulated.
+    pub simulated: u64,
+    /// Cell simulations that returned an error.
+    pub failed: u64,
+    /// Cache entries loaded from disk segments at startup.
+    pub loaded_from_disk: u64,
+}
+
+impl ServiceStats {
+    /// Fraction of requested cells served without a fresh simulation
+    /// *attempt*. Failed cells count as fresh attempts (they ran and
+    /// errored), so a batch full of failures reports a 0.0 rate rather than
+    /// masquerading as cache hits.
+    pub fn hit_rate(&self) -> f64 {
+        if self.cells_requested == 0 {
+            0.0
+        } else {
+            (1.0 - (self.simulated + self.failed) as f64 / self.cells_requested as f64).max(0.0)
+        }
+    }
+
+    /// Counter-wise difference (`self - earlier`), for per-request deltas.
+    pub fn delta_since(&self, earlier: &ServiceStats) -> ServiceStats {
+        ServiceStats {
+            cells_requested: self.cells_requested - earlier.cells_requested,
+            cache_hits: self.cache_hits - earlier.cache_hits,
+            batch_shared: self.batch_shared - earlier.batch_shared,
+            inflight_waits: self.inflight_waits - earlier.inflight_waits,
+            simulated: self.simulated - earlier.simulated,
+            failed: self.failed - earlier.failed,
+            loaded_from_disk: self.loaded_from_disk - earlier.loaded_from_disk,
+        }
+    }
+}
+
+/// The long-running experiment service. Cheap to share (`Arc`) across
+/// connection handlers and job workers; all interior state is synchronized.
+pub struct ExperimentService {
+    executor: ParallelExecutor,
+    cache: Mutex<HashMap<CellKey, Slot>>,
+    cv: Condvar,
+    store: Option<Mutex<ResultStore>>,
+    counters: Counters,
+}
+
+impl std::fmt::Debug for ExperimentService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExperimentService")
+            .field("threads", &self.executor.threads())
+            .field("cached_cells", &self.cached_cells())
+            .field("persistent", &self.store.is_some())
+            .finish()
+    }
+}
+
+impl ExperimentService {
+    /// An in-memory service (no persistence) over `executor`.
+    pub fn new(executor: ParallelExecutor) -> Self {
+        ExperimentService {
+            executor,
+            cache: Mutex::new(HashMap::new()),
+            cv: Condvar::new(),
+            store: None,
+            counters: Counters::default(),
+        }
+    }
+
+    /// A persistent service: existing segments under `dir` are streamed into
+    /// the in-memory cache, and every newly completed cell is appended.
+    pub fn with_cache_dir(
+        executor: ParallelExecutor,
+        dir: impl Into<std::path::PathBuf>,
+    ) -> std::io::Result<Self> {
+        let service = Self::new(executor);
+        let store = ResultStore::open(dir)?;
+        let mut loaded = 0u64;
+        {
+            let mut cache = service.cache.lock().expect("cache lock");
+            for (key, result) in store.stream()? {
+                // Last write wins (a later segment may re-record a key, e.g.
+                // two processes sharing the directory), and only unique keys
+                // count as loaded cells.
+                if cache.insert(key, Slot::Ready(Arc::new(result))).is_none() {
+                    loaded += 1;
+                }
+            }
+        }
+        service.counters.loaded_from_disk.store(loaded, Ordering::Relaxed);
+        Ok(ExperimentService { store: Some(Mutex::new(store)), ..service })
+    }
+
+    /// Worker threads of the underlying executor.
+    pub fn threads(&self) -> usize {
+        self.executor.threads()
+    }
+
+    /// Completed cells currently cached in memory.
+    pub fn cached_cells(&self) -> usize {
+        self.cache.lock().expect("cache lock").values().filter(|slot| matches!(slot, Slot::Ready(_))).count()
+    }
+
+    /// A snapshot of the service counters.
+    pub fn stats(&self) -> ServiceStats {
+        ServiceStats {
+            cells_requested: self.counters.cells_requested.load(Ordering::Relaxed),
+            cache_hits: self.counters.cache_hits.load(Ordering::Relaxed),
+            batch_shared: self.counters.batch_shared.load(Ordering::Relaxed),
+            inflight_waits: self.counters.inflight_waits.load(Ordering::Relaxed),
+            simulated: self.counters.simulated.load(Ordering::Relaxed),
+            failed: self.counters.failed.load(Ordering::Relaxed),
+            loaded_from_disk: self.counters.loaded_from_disk.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Looks one cell up without running anything.
+    pub fn peek(&self, runner: &Runner, cell: &CellSpec) -> Option<Arc<RunResult>> {
+        match self.cache.lock().expect("cache lock").get(&cell_key(runner, cell)) {
+            Some(Slot::Ready(result)) => Some(result.clone()),
+            _ => None,
+        }
+    }
+
+    /// Records `result` for `key` and wakes waiters. Persistence errors are
+    /// reported to stderr but never fail the request — the cache stays
+    /// correct in memory either way.
+    fn complete(&self, key: CellKey, result: Arc<RunResult>) {
+        self.cache.lock().expect("cache lock").insert(key, Slot::Ready(result.clone()));
+        self.cv.notify_all();
+        if let Some(store) = &self.store {
+            if let Err(error) = store.lock().expect("store lock").append(key, &result) {
+                eprintln!("comet-service: warning: could not persist cell {key}: {error}");
+            }
+        }
+    }
+
+    /// Releases a failed claim and wakes waiters so one of them can re-claim.
+    fn release(&self, key: CellKey) {
+        self.cache.lock().expect("cache lock").remove(&key);
+        self.cv.notify_all();
+    }
+}
+
+/// Unwind guard over the `Running` claims one `run_cells` call holds.
+///
+/// If a cell simulation panics, the panic propagates out of `run_cells` —
+/// but without this guard the call's claims would stay `Running` forever and
+/// every waiter (and every future request for those keys) would block
+/// indefinitely. The guard releases whatever tracked keys are still
+/// `Running` on drop, so waiters re-claim and re-run them; keys are
+/// untracked as they resolve, making the normal-path drop a no-op.
+struct ClaimGuard<'a> {
+    service: &'a ExperimentService,
+    keys: std::collections::HashSet<CellKey>,
+}
+
+impl<'a> ClaimGuard<'a> {
+    fn new(service: &'a ExperimentService) -> Self {
+        ClaimGuard { service, keys: std::collections::HashSet::new() }
+    }
+
+    fn track(&mut self, key: CellKey) {
+        self.keys.insert(key);
+    }
+
+    fn untrack(&mut self, key: CellKey) {
+        self.keys.remove(&key);
+    }
+}
+
+impl Drop for ClaimGuard<'_> {
+    fn drop(&mut self) {
+        if self.keys.is_empty() {
+            return;
+        }
+        // The panic happened outside the cache lock (simulation code), but
+        // recover from poisoning anyway: a wedged Drop here would defeat the
+        // guard's whole purpose.
+        let mut cache = match self.service.cache.lock() {
+            Ok(cache) => cache,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        for key in &self.keys {
+            if matches!(cache.get(key), Some(Slot::Running)) {
+                cache.remove(key);
+            }
+        }
+        drop(cache);
+        self.service.cv.notify_all();
+    }
+}
+
+impl CellBackend for ExperimentService {
+    fn run_cells(&self, runner: &Runner, cells: &[CellSpec]) -> Result<Vec<RunResult>, RunnerError> {
+        self.counters.cells_requested.fetch_add(cells.len() as u64, Ordering::Relaxed);
+        let keys: Vec<CellKey> = cells.iter().map(|cell| cell_key(runner, cell)).collect();
+        // First batch position of each unique key (for re-running reclaimed
+        // foreign cells and for error attribution).
+        let mut first_index: HashMap<CellKey, usize> = HashMap::with_capacity(keys.len());
+        for (index, &key) in keys.iter().enumerate() {
+            first_index.entry(key).or_insert(index);
+        }
+
+        let mut resolved: HashMap<CellKey, Arc<RunResult>> = HashMap::new();
+        // Lowest-batch-index error wins, matching the plain executor.
+        let mut first_error: Option<(usize, RunnerError)> = None;
+        let record_error = |slot: &mut Option<(usize, RunnerError)>, index: usize, error: RunnerError| {
+            if slot.as_ref().map(|(i, _)| index < *i).unwrap_or(true) {
+                *slot = Some((index, error));
+            }
+        };
+
+        // Claim phase: classify every unique key under one lock hold. Claims
+        // are tracked by an unwind guard so a panicking simulation releases
+        // them instead of wedging every waiter.
+        let mut claims = ClaimGuard::new(self);
+        let mut owned: Vec<(CellKey, usize)> = Vec::new();
+        let mut foreign: Vec<CellKey> = Vec::new();
+        {
+            let mut cache = self.cache.lock().expect("cache lock");
+            for (index, &key) in keys.iter().enumerate() {
+                if first_index[&key] != index {
+                    self.counters.batch_shared.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+                match cache.get(&key) {
+                    Some(Slot::Ready(result)) => {
+                        self.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
+                        resolved.insert(key, result.clone());
+                    }
+                    Some(Slot::Running) => {
+                        self.counters.inflight_waits.fetch_add(1, Ordering::Relaxed);
+                        foreign.push(key);
+                    }
+                    None => {
+                        cache.insert(key, Slot::Running);
+                        owned.push((key, index));
+                    }
+                }
+            }
+        }
+        for &(key, _) in &owned {
+            claims.track(key);
+        }
+
+        // Run phase: simulate every owned cell. Unlike `try_run`, failures do
+        // not abort the batch — completed siblings are still cached, and the
+        // failed keys are released for waiters.
+        if !owned.is_empty() {
+            let outcomes = self.executor.run(&owned, |_, &(_, index)| cells[index].run(runner));
+            for (&(key, index), outcome) in owned.iter().zip(outcomes) {
+                match outcome {
+                    Ok(result) => {
+                        self.counters.simulated.fetch_add(1, Ordering::Relaxed);
+                        let result = Arc::new(result);
+                        self.complete(key, result.clone());
+                        resolved.insert(key, result);
+                    }
+                    Err(error) => {
+                        self.counters.failed.fetch_add(1, Ordering::Relaxed);
+                        self.release(key);
+                        record_error(&mut first_error, index, error);
+                    }
+                }
+                // Resolved either way (Ready, or released for re-claim): the
+                // unwind guard must not touch a key another call may now own.
+                claims.untrack(key);
+            }
+        }
+
+        // Wait phase: block on foreign in-flight keys; re-claim and run any
+        // the owner released after failing.
+        let mut pending = foreign;
+        while !pending.is_empty() {
+            let mut reclaimed: Vec<CellKey> = Vec::new();
+            {
+                let mut cache = self.cache.lock().expect("cache lock");
+                loop {
+                    pending.retain(|&key| match cache.get(&key) {
+                        Some(Slot::Ready(result)) => {
+                            resolved.insert(key, result.clone());
+                            false
+                        }
+                        Some(Slot::Running) => true,
+                        None => {
+                            cache.insert(key, Slot::Running);
+                            reclaimed.push(key);
+                            false
+                        }
+                    });
+                    if pending.is_empty() || !reclaimed.is_empty() {
+                        break;
+                    }
+                    cache = self.cv.wait(cache).expect("cache lock");
+                }
+            }
+            for key in reclaimed {
+                claims.track(key);
+                let index = first_index[&key];
+                match cells[index].run(runner) {
+                    Ok(result) => {
+                        self.counters.simulated.fetch_add(1, Ordering::Relaxed);
+                        let result = Arc::new(result);
+                        self.complete(key, result.clone());
+                        resolved.insert(key, result);
+                    }
+                    Err(error) => {
+                        self.counters.failed.fetch_add(1, Ordering::Relaxed);
+                        self.release(key);
+                        record_error(&mut first_error, index, error);
+                    }
+                }
+                claims.untrack(key);
+            }
+        }
+
+        if let Some((_, error)) = first_error {
+            return Err(error);
+        }
+        Ok(keys
+            .iter()
+            .map(|key| resolved.get(key).expect("every non-failed key resolved").as_ref().clone())
+            .collect())
+    }
+}

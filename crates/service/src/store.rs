@@ -1,0 +1,279 @@
+//! On-disk persistence for the result cache: JSON-lines segments plus a
+//! streaming reader, so a warm cache survives service restarts.
+//!
+//! Layout: `<dir>/segment-NNNNNN.jsonl`, one `{"key": "<32 hex>", "result":
+//! {…}}` object per line, appended in completion order and rotated every
+//! [`SEGMENT_CAPACITY`] entries. Segments are append-only and fsync-free by
+//! design — a torn final line (crash mid-append) is detected by the parser
+//! and skipped, costing one re-simulation, never a wrong result.
+//!
+//! Reading back reconstructs [`RunResult`] field by field from the parsed
+//! value tree. The two `#[serde(skip)]` fields (`energy_breakdown`,
+//! `controller`) are not serialized and come back as defaults; every
+//! experiment assembly works off the serialized fields only, so cached and
+//! fresh results are interchangeable where the service hands them out.
+
+use crate::json;
+use crate::key::CellKey;
+use comet_sim::RunResult;
+use serde::Value;
+use std::fs::{self, File, OpenOptions};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+/// Entries per segment file before rotating to a new one.
+pub const SEGMENT_CAPACITY: usize = 512;
+
+/// Append-only content-addressed result store.
+#[derive(Debug)]
+pub struct ResultStore {
+    dir: PathBuf,
+    writer: Option<BufWriter<File>>,
+    segment_index: u64,
+    entries_in_segment: usize,
+}
+
+impl ResultStore {
+    /// Opens (creating if needed) the store directory. Existing segments are
+    /// left untouched; new entries go to a fresh segment after the highest
+    /// existing index. Use [`stream`](Self::stream) to load what's already
+    /// there.
+    pub fn open(dir: impl Into<PathBuf>) -> std::io::Result<ResultStore> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        let segment_index = segment_files(&dir)?.last().map(|(index, _)| index + 1).unwrap_or(0);
+        Ok(ResultStore { dir, writer: None, segment_index, entries_in_segment: 0 })
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Appends one completed cell. Flushed per entry so a reader (or a
+    /// restart) sees every fully written line.
+    pub fn append(&mut self, key: CellKey, result: &RunResult) -> std::io::Result<()> {
+        if self.writer.is_none() || self.entries_in_segment >= SEGMENT_CAPACITY {
+            let path = self.dir.join(format!("segment-{:06}.jsonl", self.segment_index));
+            let file = OpenOptions::new().create(true).append(true).open(path)?;
+            self.writer = Some(BufWriter::new(file));
+            self.segment_index += 1;
+            self.entries_in_segment = 0;
+        }
+        let writer = self.writer.as_mut().expect("writer opened above");
+        let result_json = serde_json::to_string(result).expect("value-tree serialization cannot fail");
+        writeln!(writer, "{{\"key\":\"{key}\",\"result\":{result_json}}}")?;
+        writer.flush()?;
+        self.entries_in_segment += 1;
+        Ok(())
+    }
+
+    /// Streams every persisted entry across all segments, in write order.
+    /// Malformed lines (torn tail writes) are counted, not propagated.
+    pub fn stream(&self) -> std::io::Result<StoreReader> {
+        let files = segment_files(&self.dir)?;
+        Ok(StoreReader { files, current: None, skipped: 0 })
+    }
+}
+
+/// Segment files under `dir`, sorted by index.
+fn segment_files(dir: &Path) -> std::io::Result<Vec<(u64, PathBuf)>> {
+    let mut files = Vec::new();
+    if !dir.exists() {
+        return Ok(files);
+    }
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        let name = match path.file_name().and_then(|n| n.to_str()) {
+            Some(name) => name,
+            None => continue,
+        };
+        if let Some(index) = name.strip_prefix("segment-").and_then(|rest| rest.strip_suffix(".jsonl")) {
+            if let Ok(index) = index.parse::<u64>() {
+                files.push((index, path));
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// Streaming reader over a store's segments: yields `(key, result)` pairs one
+/// line at a time without materializing whole segments.
+#[derive(Debug)]
+pub struct StoreReader {
+    files: Vec<(u64, PathBuf)>,
+    current: Option<std::io::Lines<BufReader<File>>>,
+    skipped: usize,
+}
+
+impl StoreReader {
+    /// Lines that failed to parse so far (torn writes, foreign files).
+    pub fn skipped(&self) -> usize {
+        self.skipped
+    }
+}
+
+impl Iterator for StoreReader {
+    type Item = (CellKey, RunResult);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if let Some(lines) = &mut self.current {
+                for line in lines.by_ref() {
+                    let line = match line {
+                        Ok(line) => line,
+                        Err(_) => {
+                            self.skipped += 1;
+                            continue;
+                        }
+                    };
+                    if line.trim().is_empty() {
+                        continue;
+                    }
+                    match parse_entry(&line) {
+                        Some(entry) => return Some(entry),
+                        None => self.skipped += 1,
+                    }
+                }
+                self.current = None;
+            }
+            if self.files.is_empty() {
+                return None;
+            }
+            let (_, path) = self.files.remove(0);
+            match File::open(&path) {
+                Ok(file) => self.current = Some(BufReader::new(file).lines()),
+                Err(_) => self.skipped += 1,
+            }
+        }
+    }
+}
+
+fn parse_entry(line: &str) -> Option<(CellKey, RunResult)> {
+    let value = json::parse(line).ok()?;
+    let key = CellKey::from_hex(json::as_str(json::get(&value, "key")?)?)?;
+    let result = run_result_from_value(json::get(&value, "result")?)?;
+    Some((key, result))
+}
+
+/// Reconstructs a [`RunResult`] from its serialized value tree. Returns
+/// `None` if any serialized field is missing or mistyped (the entry is then
+/// treated as corrupt and skipped). Skipped-at-serialization fields come back
+/// as their defaults.
+pub fn run_result_from_value(value: &Value) -> Option<RunResult> {
+    let field = |name: &str| json::get(value, name);
+    let mitigation_value = field("mitigation")?;
+    let mitigation = comet_mitigation_stats_from_value(mitigation_value)?;
+    Some(RunResult {
+        label: json::as_str(field("label")?)?.to_string(),
+        mechanism: json::as_str(field("mechanism")?)?.to_string(),
+        cores: json::as_u64(field("cores")?)? as usize,
+        dram_cycles: json::as_u64(field("dram_cycles")?)?,
+        cpu_cycles: json::as_f64(field("cpu_cycles")?)?,
+        instructions: json::as_u64(field("instructions")?)?,
+        per_core_ipc: json::as_seq(field("per_core_ipc")?)?
+            .iter()
+            .map(json::as_f64)
+            .collect::<Option<_>>()?,
+        ipc: json::as_f64(field("ipc")?)?,
+        reads: json::as_u64(field("reads")?)?,
+        writes: json::as_u64(field("writes")?)?,
+        activations: json::as_u64(field("activations")?)?,
+        avg_read_latency_ns: json::as_f64(field("avg_read_latency_ns")?)?,
+        energy_nj: json::as_f64(field("energy_nj")?)?,
+        energy_breakdown: Default::default(),
+        controller: Default::default(),
+        mitigation,
+    })
+}
+
+fn comet_mitigation_stats_from_value(value: &Value) -> Option<comet_mitigations::MitigationStats> {
+    let get = |name: &str| json::get(value, name).and_then(json::as_u64);
+    Some(comet_mitigations::MitigationStats {
+        activations_observed: get("activations_observed")?,
+        preventive_refreshes: get("preventive_refreshes")?,
+        aggressors_identified: get("aggressors_identified")?,
+        early_rank_refreshes: get("early_rank_refreshes")?,
+        counter_reads: get("counter_reads")?,
+        counter_writes: get("counter_writes")?,
+        throttled_activations: get("throttled_activations")?,
+        throttle_cycles: get("throttle_cycles")?,
+        periodic_resets: get("periodic_resets")?,
+    })
+}
+
+/// Serializes `result` the same way the store does — the canonical
+/// cached-result projection used by the bit-exactness tests.
+pub fn result_projection(result: &RunResult) -> String {
+    serde_json::to_string(result).expect("value-tree serialization cannot fail")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use comet_sim::{MechanismKind, Runner, SimConfig};
+
+    fn sample_result() -> RunResult {
+        Runner::new(SimConfig::quick_test())
+            .run_single_core("429.mcf", MechanismKind::Baseline, 1000)
+            .unwrap()
+    }
+
+    #[test]
+    fn round_trips_a_real_run_result_bit_exactly() {
+        let result = sample_result();
+        let json_text = result_projection(&result);
+        let parsed = json::parse(&json_text).unwrap();
+        let rebuilt = run_result_from_value(&parsed).expect("reconstruction succeeds");
+        assert_eq!(result_projection(&rebuilt), json_text, "projection must round-trip bit-exactly");
+    }
+
+    #[test]
+    fn segments_rotate_and_stream_back_in_order() {
+        let dir = std::env::temp_dir().join(format!("comet-store-test-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let result = sample_result();
+        {
+            let mut store = ResultStore::open(&dir).unwrap();
+            for i in 0..(SEGMENT_CAPACITY + 3) as u128 {
+                store.append(CellKey(i), &result).unwrap();
+            }
+        }
+        assert_eq!(segment_files(&dir).unwrap().len(), 2, "rotation after SEGMENT_CAPACITY entries");
+
+        // Reopen: entries stream back in write order, new appends go to a new segment.
+        let mut store = ResultStore::open(&dir).unwrap();
+        let entries: Vec<_> = store.stream().unwrap().collect();
+        assert_eq!(entries.len(), SEGMENT_CAPACITY + 3);
+        assert_eq!(entries[0].0, CellKey(0));
+        assert_eq!(entries.last().unwrap().0, CellKey((SEGMENT_CAPACITY + 2) as u128));
+        store.append(CellKey(9999), &result).unwrap();
+        assert_eq!(store.stream().unwrap().count(), SEGMENT_CAPACITY + 4);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_lines_are_skipped_not_fatal() {
+        let dir = std::env::temp_dir().join(format!("comet-store-torn-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let result = sample_result();
+        {
+            let mut store = ResultStore::open(&dir).unwrap();
+            store.append(CellKey(1), &result).unwrap();
+        }
+        // Simulate a crash mid-append: a truncated trailing line.
+        let (_, path) = segment_files(&dir).unwrap()[0].clone();
+        let mut file = OpenOptions::new().append(true).open(&path).unwrap();
+        write!(file, "{{\"key\":\"00000000000000000000000000000002\",\"result\":{{\"label\":\"tor").unwrap();
+        drop(file);
+
+        let store = ResultStore::open(&dir).unwrap();
+        let mut reader = store.stream().unwrap();
+        let entries: Vec<_> = reader.by_ref().collect();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].0, CellKey(1));
+        assert_eq!(reader.skipped(), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,72 @@
+//! Named experiment targets the service can run.
+//!
+//! Each target is a plan → run → assemble pipeline from
+//! [`comet_sim::experiments`], executed through whatever [`CellBackend`] the
+//! caller provides (the caching service, or a plain executor), and serialized
+//! to JSON for the wire.
+
+use comet_sim::experiments::{self, CellBackend, ExperimentScope};
+use comet_sim::RunnerError;
+use serde::Serialize;
+
+/// Every target name `run_target` accepts.
+pub const KNOWN_TARGETS: &[&str] = &[
+    "fig3", "fig4", "fig6", "fig7", "fig8", "fig9", "fig10_11", "fig12_14", "fig13_15", "fig16", "fig17",
+    "fig18", "highnrh", "ablation", "ranks",
+];
+
+fn to_json<T: Serialize>(value: &T) -> String {
+    serde_json::to_string(value).expect("value-tree serialization cannot fail")
+}
+
+/// Runs one named target through `backend` and returns its dataset as a JSON
+/// string, or `Ok(None)` for an unknown target name.
+pub fn run_target(
+    name: &str,
+    scope: ExperimentScope,
+    backend: &dyn CellBackend,
+) -> Result<Option<String>, RunnerError> {
+    let json = match name {
+        "fig3" => to_json(&experiments::comparison::fig3_hydra_motivation(scope, backend)?),
+        "fig4" => to_json(&experiments::radar_fig4(scope, backend)?),
+        "fig6" => {
+            let high = experiments::fig6_ct_sweep(scope, 1000, backend)?;
+            let low = experiments::fig6_ct_sweep(scope, 125, backend)?;
+            format!("{{\"nrh1000\":{},\"nrh125\":{}}}", to_json(&high), to_json(&low))
+        }
+        "fig7" => to_json(&experiments::fig7_rat_sweep(scope, backend)?),
+        "fig8" => to_json(&experiments::fig8_eprt_sweep(scope, backend)?),
+        "fig9" => to_json(&experiments::fig9_k_sweep(scope, backend)?),
+        "fig10_11" => to_json(&experiments::fig10_fig11_singlecore(scope, backend)?),
+        "fig12_14" => to_json(&experiments::fig12_fig14_comparison(scope, backend)?),
+        "fig13_15" => to_json(&experiments::fig13_fig15_multicore(scope, backend)?),
+        "fig16" => to_json(&experiments::fig16_adversarial(scope, backend)?),
+        "fig17" => to_json(&experiments::fig17_false_positive_rate(10_000, 125, 0xF17)),
+        "fig18" => to_json(&experiments::comparison::fig18_blockhammer(scope, backend)?),
+        "highnrh" => to_json(&experiments::singlecore::high_threshold_singlecore(scope, backend)?),
+        "ablation" => to_json(&experiments::sweeps::ablation(scope, 125, backend)?),
+        "ranks" => to_json(&experiments::rank_sweep(scope, backend)?),
+        _ => return Ok(None),
+    };
+    Ok(Some(json))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use comet_sim::experiments::ParallelExecutor;
+
+    #[test]
+    fn unknown_targets_are_none_not_errors() {
+        let executor = ParallelExecutor::serial();
+        assert!(run_target("nope", ExperimentScope::Smoke, &executor).unwrap().is_none());
+    }
+
+    #[test]
+    fn fig17_runs_and_serializes() {
+        let executor = ParallelExecutor::serial();
+        let json = run_target("fig17", ExperimentScope::Smoke, &executor).unwrap().unwrap();
+        assert!(json.starts_with('['), "{json}");
+        assert!(json.contains("unique_rows"));
+    }
+}

@@ -1,0 +1,96 @@
+//! Persistence suite: write segments, restart the service, and prove the
+//! reloaded cache serves the same bits without re-simulating.
+
+use comet_service::store::result_projection;
+use comet_service::ExperimentService;
+use comet_sim::experiments::{CellBackend, CellSpec, ExperimentScope, ParallelExecutor};
+use comet_sim::{MechanismKind, Runner};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let unique = COUNTER.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("comet-service-{tag}-{}-{unique}", std::process::id()))
+}
+
+fn smoke_runner() -> Runner {
+    Runner::new(ExperimentScope::Smoke.sim_config())
+}
+
+fn cells() -> Vec<CellSpec> {
+    vec![
+        CellSpec::single("429.mcf", MechanismKind::Baseline, 1000),
+        CellSpec::single("429.mcf", MechanismKind::Comet, 1000),
+        CellSpec::single("bfs_ny", MechanismKind::Comet, 125),
+    ]
+}
+
+#[test]
+fn cache_survives_a_service_restart() {
+    let dir = temp_dir("restart");
+    let _ = std::fs::remove_dir_all(&dir);
+    let runner = smoke_runner();
+    let cells = cells();
+
+    // First service lifetime: simulate and persist.
+    let first_projections: Vec<String> = {
+        let service = ExperimentService::with_cache_dir(ParallelExecutor::new(), &dir).unwrap();
+        let results = service.run_cells(&runner, &cells).unwrap();
+        assert_eq!(service.stats().simulated, cells.len() as u64);
+        results.iter().map(result_projection).collect()
+    };
+
+    // Second lifetime: the segments are streamed back in, and the same
+    // request is served entirely from the reloaded cache.
+    let service = ExperimentService::with_cache_dir(ParallelExecutor::new(), &dir).unwrap();
+    let stats = service.stats();
+    assert_eq!(stats.loaded_from_disk, cells.len() as u64, "every persisted cell reloads");
+    let results = service.run_cells(&runner, &cells).unwrap();
+    let warm = service.stats();
+    assert_eq!(warm.simulated, 0, "a restarted warm service must not re-simulate");
+    assert_eq!(warm.cache_hits, cells.len() as u64);
+    for (projection, result) in first_projections.iter().zip(&results) {
+        assert_eq!(projection, &result_projection(result), "persisted results round-trip bit-exactly");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn restart_only_accelerates_matching_identities() {
+    let dir = temp_dir("identity");
+    let _ = std::fs::remove_dir_all(&dir);
+    let cell = CellSpec::single("473.astar", MechanismKind::Baseline, 1000);
+    {
+        let service = ExperimentService::with_cache_dir(ParallelExecutor::new(), &dir).unwrap();
+        service.run_cells(&smoke_runner(), std::slice::from_ref(&cell)).unwrap();
+    }
+    let service = ExperimentService::with_cache_dir(ParallelExecutor::new(), &dir).unwrap();
+    assert_eq!(service.stats().loaded_from_disk, 1);
+    // A different seed misses even though the spec matches.
+    let other = Runner::with_seed(ExperimentScope::Smoke.sim_config(), 99);
+    service.run_cells(&other, std::slice::from_ref(&cell)).unwrap();
+    assert_eq!(service.stats().simulated, 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn persisted_segments_append_across_lifetimes() {
+    let dir = temp_dir("append");
+    let _ = std::fs::remove_dir_all(&dir);
+    let runner = smoke_runner();
+    let first = CellSpec::single("429.mcf", MechanismKind::Baseline, 1000);
+    let second = CellSpec::single("473.astar", MechanismKind::Baseline, 1000);
+    {
+        let service = ExperimentService::with_cache_dir(ParallelExecutor::new(), &dir).unwrap();
+        service.run_cells(&runner, std::slice::from_ref(&first)).unwrap();
+    }
+    {
+        let service = ExperimentService::with_cache_dir(ParallelExecutor::new(), &dir).unwrap();
+        service.run_cells(&runner, std::slice::from_ref(&second)).unwrap();
+        assert_eq!(service.stats().simulated, 1, "only the new cell simulates");
+    }
+    let service = ExperimentService::with_cache_dir(ParallelExecutor::new(), &dir).unwrap();
+    assert_eq!(service.stats().loaded_from_disk, 2, "both lifetimes' cells persist");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -71,7 +71,10 @@ use comet_mitigations::{MitigationResponse, RowHammerMitigation};
 use std::collections::VecDeque;
 
 /// Controller policy parameters (Table 2 of the paper).
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// `Serialize` feeds the experiment service's canonical cell-key encoding:
+/// every field here is part of a cached result's identity.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize)]
 pub struct ControllerConfig {
     /// Read queue capacity.
     pub read_queue_size: usize,

@@ -7,7 +7,10 @@ use comet_trace::{TraceRecord, TraceSource};
 use std::collections::VecDeque;
 
 /// Core model parameters (Table 2: 3.6 GHz, 4-wide issue, 128-entry window).
-#[derive(Debug, Clone, PartialEq)]
+///
+/// `Serialize` feeds the experiment service's canonical cell-key encoding:
+/// every field here is part of a cached result's identity.
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
 pub struct CoreConfig {
     /// CPU clock frequency in GHz.
     pub freq_ghz: f64,

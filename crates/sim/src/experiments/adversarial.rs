@@ -1,8 +1,8 @@
 //! Figure 16: performance of benign workloads running concurrently with
 //! RowHammer attacks (a traditional attack and mechanism-targeted attacks).
 
-use super::{run_grid, ExperimentScope, ParallelExecutor};
-use crate::metrics::{normalized_distribution, DistributionSummary};
+use super::{plan_grid, CellBackend, CellSpec, ExperimentScope, GridView};
+use crate::metrics::{normalized_distribution, DistributionSummary, RunResult};
 use crate::runner::{MechanismKind, Runner, RunnerError};
 use comet_trace::AttackKind;
 use serde::{Deserialize, Serialize};
@@ -37,54 +37,84 @@ fn attack_label(kind: AttackKind) -> String {
     }
 }
 
-/// Runs every (mechanism, attack, nrh) attack study over `workloads`,
-/// fanning the whole grid — protected runs and their attacked-baseline
-/// counterparts — out over `executor`.
+/// An attack-study cell grid as data: per-study attacked baselines followed
+/// by the per-study protected runs, both (study × workload) row-major.
+///
+/// The baseline is the same benign workload plus the same attacker on an
+/// unprotected system, so the normalization isolates the mitigation's cost
+/// (matching the paper, which normalizes to the no-mitigation system).
+/// Studies sharing an (attack, nrh) pair — e.g. every mechanism under the
+/// traditional attack — enumerate *identical* baseline cells; the plan does
+/// not deduplicate them, because every [`CellBackend`] already shares
+/// duplicate cells (in-batch for the plain executor, cross-request through
+/// the experiment service's result cache).
+#[derive(Debug, Clone)]
+pub struct AdversarialPlan {
+    workloads: Vec<String>,
+    studies: Vec<(MechanismKind, AttackKind, u64)>,
+    cells: Vec<CellSpec>,
+}
+
+impl AdversarialPlan {
+    /// Enumerates the grid for `studies` over `workloads`.
+    pub fn new(workloads: Vec<String>, studies: &[(MechanismKind, AttackKind, u64)]) -> Self {
+        let mut cells = Vec::new();
+        plan_grid(&mut cells, studies, &[()], &workloads, |&(_, attack, nrh), _, workload| {
+            CellSpec::attacked(workload, attack, MechanismKind::Baseline, nrh)
+        });
+        plan_grid(&mut cells, studies, &[()], &workloads, |&(mechanism, attack, nrh), _, workload| {
+            CellSpec::attacked(workload, attack, mechanism, nrh)
+        });
+        AdversarialPlan { workloads, studies: studies.to_vec(), cells }
+    }
+
+    /// Every cell of the plan, in the order `assemble` expects results.
+    pub fn cells(&self) -> &[CellSpec] {
+        &self.cells
+    }
+
+    /// Folds per-cell results (parallel to [`cells`](Self::cells)) into one
+    /// [`AdversarialCell`] per study.
+    pub fn assemble(&self, results: &[RunResult]) -> Vec<AdversarialCell> {
+        assert_eq!(results.len(), self.cells.len(), "one result per planned cell");
+        let grid = self.studies.len() * self.workloads.len();
+        let baselines = GridView::new(&results[..grid], 1, self.workloads.len());
+        let runs = GridView::new(&results[grid..], 1, self.workloads.len());
+
+        let mut out = Vec::with_capacity(self.studies.len());
+        for (s, &(mechanism, attack, _)) in self.studies.iter().enumerate() {
+            let mut values = Vec::new();
+            for (w, _) in self.workloads.iter().enumerate() {
+                let baseline = baselines.at(s, 0, w);
+                let run = runs.at(s, 0, w);
+                let benign_norm = if baseline.per_core_ipc[0] > 0.0 {
+                    run.per_core_ipc[0] / baseline.per_core_ipc[0]
+                } else {
+                    1.0
+                };
+                values.push(benign_norm);
+            }
+            out.push(AdversarialCell {
+                mechanism: mechanism.name().to_string(),
+                attack: attack_label(attack),
+                benign_ipc: normalized_distribution(&values),
+            });
+        }
+        out
+    }
+}
+
+/// Runs every (mechanism, attack, nrh) attack study over `workloads` through
+/// `backend`.
 fn attack_cells(
     runner: &Runner,
     workloads: &[String],
     studies: &[(MechanismKind, AttackKind, u64)],
-    executor: &ParallelExecutor,
+    backend: &dyn CellBackend,
 ) -> Result<Vec<AdversarialCell>, RunnerError> {
-    // The baseline is the same benign workload plus the same attacker on an
-    // unprotected system, so the normalization isolates the mitigation's cost
-    // (matching the paper, which normalizes to the no-mitigation system).
-    // Studies sharing an (attack, nrh) pair — e.g. every mechanism under the
-    // traditional attack — share their baseline runs.
-    let mut baseline_keys: Vec<(AttackKind, u64)> = Vec::new();
-    for &(_, attack, nrh) in studies {
-        if !baseline_keys.contains(&(attack, nrh)) {
-            baseline_keys.push((attack, nrh));
-        }
-    }
-    let baselines = run_grid(executor, &baseline_keys, &[()], workloads, |&(attack, nrh), _, workload| {
-        runner.run_with_attacker(workload, attack, MechanismKind::Baseline, nrh)
-    })?;
-    let runs = run_grid(executor, studies, &[()], workloads, |&(mechanism, attack, nrh), _, workload| {
-        runner.run_with_attacker(workload, attack, mechanism, nrh)
-    })?;
-
-    let mut cells = Vec::with_capacity(studies.len());
-    for (s, &(mechanism, attack, nrh)) in studies.iter().enumerate() {
-        let b = baseline_keys.iter().position(|&k| k == (attack, nrh)).expect("key collected above");
-        let mut values = Vec::new();
-        for (w, _) in workloads.iter().enumerate() {
-            let baseline = baselines.at(b, 0, w);
-            let run = runs.at(s, 0, w);
-            let benign_norm = if baseline.per_core_ipc[0] > 0.0 {
-                run.per_core_ipc[0] / baseline.per_core_ipc[0]
-            } else {
-                1.0
-            };
-            values.push(benign_norm);
-        }
-        cells.push(AdversarialCell {
-            mechanism: mechanism.name().to_string(),
-            attack: attack_label(attack),
-            benign_ipc: normalized_distribution(&values),
-        });
-    }
-    Ok(cells)
+    let plan = AdversarialPlan::new(workloads.to_vec(), studies);
+    let results = backend.run_cells(runner, plan.cells())?;
+    Ok(plan.assemble(&results))
 }
 
 /// Figure 16: (a) benign workloads + a traditional attack under every mechanism
@@ -92,7 +122,7 @@ fn attack_cells(
 /// Hydra at NRH = 125.
 pub fn fig16_adversarial(
     scope: ExperimentScope,
-    executor: &ParallelExecutor,
+    backend: &dyn CellBackend,
 ) -> Result<AdversarialResult, RunnerError> {
     let runner = Runner::new(scope.sim_config());
     // Attack studies focus on medium/high intensity benign workloads.
@@ -105,19 +135,20 @@ pub fn fig16_adversarial(
     };
     let traditional_studies: Vec<(MechanismKind, AttackKind, u64)> =
         mechanisms.iter().map(|&m| (m, traditional_attack, 500)).collect();
-    let traditional = attack_cells(&runner, &workloads, &traditional_studies, executor)?;
+    let traditional = attack_cells(&runner, &workloads, &traditional_studies, backend)?;
 
     let targeted_studies = [
         (MechanismKind::Comet, AttackKind::CometTargeted { rows_per_bank: 512 }, 125),
         (MechanismKind::Hydra, AttackKind::HydraTargeted { groups_per_bank: 64, rows_per_group: 128 }, 125),
     ];
-    let targeted = attack_cells(&runner, &workloads, &targeted_studies, executor)?;
+    let targeted = attack_cells(&runner, &workloads, &targeted_studies, backend)?;
 
     Ok(AdversarialResult { traditional, targeted })
 }
 
 #[cfg(test)]
 mod tests {
+    use super::super::ParallelExecutor;
     use super::*;
 
     #[test]
@@ -129,5 +160,18 @@ mod tests {
             assert!(cell.benign_ipc.geomean > 0.1, "{cell:?}");
             assert!(cell.benign_ipc.geomean <= 1.2, "{cell:?}");
         }
+    }
+
+    #[test]
+    fn shared_baselines_are_enumerated_per_study_and_deduped_by_the_backend() {
+        // Two studies under the same (attack, nrh): the plan enumerates the
+        // attacked baseline twice per workload; backends collapse them.
+        let attack = AttackKind::Traditional { rows_per_bank: 4 };
+        let studies = [(MechanismKind::Comet, attack, 500), (MechanismKind::Hydra, attack, 500)];
+        let plan = AdversarialPlan::new(vec!["429.mcf".to_string()], &studies);
+        let baselines: Vec<_> =
+            plan.cells().iter().filter(|c| c.mechanism == MechanismKind::Baseline).collect();
+        assert_eq!(baselines.len(), 2);
+        assert_eq!(baselines[0], baselines[1], "shared baselines must be identical specs");
     }
 }

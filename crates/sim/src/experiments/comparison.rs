@@ -2,8 +2,8 @@
 //! Figure 3 (Hydra's overhead), Figure 4 (the trade-off radar plot), and
 //! Figure 18 (CoMeT vs BlockHammer).
 
-use super::{run_grid, single_core_baselines, ExperimentScope, ParallelExecutor};
-use crate::metrics::{normalized_distribution, DistributionSummary};
+use super::{baseline_cells, plan_grid, CellBackend, CellSpec, ExperimentScope, GridView};
+use crate::metrics::{normalized_distribution, DistributionSummary, RunResult};
 use crate::runner::{MechanismKind, Runner, RunnerError};
 use serde::{Deserialize, Serialize};
 
@@ -36,75 +36,111 @@ impl ComparisonResult {
     }
 }
 
+/// The comparison cell grid as data: shared unprotected baselines
+/// (threshold × workload) followed by the (threshold × mechanism × workload)
+/// mechanism grid.
+#[derive(Debug, Clone)]
+pub struct ComparisonPlan {
+    workloads: Vec<String>,
+    mechanisms: Vec<MechanismKind>,
+    thresholds: Vec<u64>,
+    cells: Vec<CellSpec>,
+}
+
+impl ComparisonPlan {
+    /// Enumerates the grid for `mechanisms` over `scope`'s workloads.
+    pub fn new(scope: ExperimentScope, mechanisms: &[MechanismKind], thresholds: &[u64]) -> Self {
+        let workloads = scope.workloads();
+        let mut cells = Vec::new();
+        // Baselines are shared across mechanisms for a threshold.
+        baseline_cells(&mut cells, &workloads, thresholds);
+        plan_grid(&mut cells, thresholds, mechanisms, &workloads, |&nrh, &mechanism, workload| {
+            CellSpec::single(workload, mechanism, nrh)
+        });
+        ComparisonPlan { workloads, mechanisms: mechanisms.to_vec(), thresholds: thresholds.to_vec(), cells }
+    }
+
+    /// Every cell of the plan, in the order `assemble` expects results.
+    pub fn cells(&self) -> &[CellSpec] {
+        &self.cells
+    }
+
+    /// Folds per-cell results (parallel to [`cells`](Self::cells)) into the
+    /// figure dataset.
+    pub fn assemble(&self, results: &[RunResult]) -> ComparisonResult {
+        assert_eq!(results.len(), self.cells.len(), "one result per planned cell");
+        let baseline_len = self.thresholds.len() * self.workloads.len();
+        let baselines = GridView::new(&results[..baseline_len], 1, self.workloads.len());
+        let runs = GridView::new(&results[baseline_len..], self.mechanisms.len(), self.workloads.len());
+
+        let mut out = Vec::with_capacity(self.thresholds.len() * self.mechanisms.len());
+        for (t, &nrh) in self.thresholds.iter().enumerate() {
+            for (m, &mechanism) in self.mechanisms.iter().enumerate() {
+                let mut norm_ipc = Vec::new();
+                let mut norm_energy = Vec::new();
+                let mut per_workload = Vec::new();
+                for (w, workload) in self.workloads.iter().enumerate() {
+                    let baseline = baselines.at(t, 0, w);
+                    let run = runs.at(t, m, w);
+                    let ipc = run.normalized_ipc(baseline);
+                    norm_ipc.push(ipc);
+                    norm_energy.push(run.normalized_energy(baseline));
+                    per_workload.push((workload.clone(), ipc));
+                }
+                out.push(ComparisonCell {
+                    mechanism: mechanism.name().to_string(),
+                    nrh,
+                    ipc: normalized_distribution(&norm_ipc),
+                    energy: normalized_distribution(&norm_energy),
+                    per_workload_ipc: per_workload,
+                });
+            }
+        }
+        ComparisonResult { cells: out }
+    }
+}
+
 /// Runs the comparison for an arbitrary mechanism set (Figure 12/14 uses
 /// [`MechanismKind::comparison_set`], Figure 18 uses CoMeT vs BlockHammer,
 /// Figure 3 uses Hydra alone).
 ///
 /// Every (workload × mechanism × threshold) cell — and every shared baseline —
-/// is an independent simulation fanned out over `executor`; results are
-/// bit-identical to a serial run regardless of the worker count.
+/// is an independent simulation executed through `backend`; results are
+/// bit-identical regardless of worker count or cache state.
 pub fn comparison_for(
     scope: ExperimentScope,
     mechanisms: &[MechanismKind],
     thresholds: &[u64],
-    executor: &ParallelExecutor,
+    backend: &dyn CellBackend,
 ) -> Result<ComparisonResult, RunnerError> {
     let runner = Runner::new(scope.sim_config());
-    let workloads = scope.workloads();
-    // Baselines are shared across mechanisms for a threshold.
-    let baselines = single_core_baselines(&runner, &workloads, thresholds, executor)?;
-    let runs = run_grid(executor, thresholds, mechanisms, &workloads, |&nrh, &mechanism, workload| {
-        runner.run_single_core(workload, mechanism, nrh)
-    })?;
-
-    let mut out = Vec::with_capacity(thresholds.len() * mechanisms.len());
-    for (t, &nrh) in thresholds.iter().enumerate() {
-        for (m, &mechanism) in mechanisms.iter().enumerate() {
-            let mut norm_ipc = Vec::new();
-            let mut norm_energy = Vec::new();
-            let mut per_workload = Vec::new();
-            for (w, workload) in workloads.iter().enumerate() {
-                let baseline = baselines.at(t, 0, w);
-                let run = runs.at(t, m, w);
-                let ipc = run.normalized_ipc(baseline);
-                norm_ipc.push(ipc);
-                norm_energy.push(run.normalized_energy(baseline));
-                per_workload.push((workload.clone(), ipc));
-            }
-            out.push(ComparisonCell {
-                mechanism: mechanism.name().to_string(),
-                nrh,
-                ipc: normalized_distribution(&norm_ipc),
-                energy: normalized_distribution(&norm_energy),
-                per_workload_ipc: per_workload,
-            });
-        }
-    }
-    Ok(ComparisonResult { cells: out })
+    let plan = ComparisonPlan::new(scope, mechanisms, thresholds);
+    let results = backend.run_cells(&runner, plan.cells())?;
+    Ok(plan.assemble(&results))
 }
 
 /// Figures 12 and 14: Graphene, CoMeT, Hydra, REGA, and PARA across thresholds.
 pub fn fig12_fig14_comparison(
     scope: ExperimentScope,
-    executor: &ParallelExecutor,
+    backend: &dyn CellBackend,
 ) -> Result<ComparisonResult, RunnerError> {
-    comparison_for(scope, &MechanismKind::comparison_set(), &scope.thresholds(), executor)
+    comparison_for(scope, &MechanismKind::comparison_set(), &scope.thresholds(), backend)
 }
 
 /// Figure 3: Hydra's normalized IPC distribution across thresholds.
 pub fn fig3_hydra_motivation(
     scope: ExperimentScope,
-    executor: &ParallelExecutor,
+    backend: &dyn CellBackend,
 ) -> Result<ComparisonResult, RunnerError> {
-    comparison_for(scope, &[MechanismKind::Hydra], &scope.thresholds(), executor)
+    comparison_for(scope, &[MechanismKind::Hydra], &scope.thresholds(), backend)
 }
 
 /// Figure 18: CoMeT versus BlockHammer.
 pub fn fig18_blockhammer(
     scope: ExperimentScope,
-    executor: &ParallelExecutor,
+    backend: &dyn CellBackend,
 ) -> Result<ComparisonResult, RunnerError> {
-    comparison_for(scope, &[MechanismKind::Comet, MechanismKind::BlockHammer], &scope.thresholds(), executor)
+    comparison_for(scope, &[MechanismKind::Comet, MechanismKind::BlockHammer], &scope.thresholds(), backend)
 }
 
 /// One mechanism's position in the Figure 4 radar plot at NRH = 125.
@@ -123,12 +159,9 @@ pub struct RadarPoint {
 }
 
 /// Figure 4: the four-axis trade-off at NRH = 125 for all five mechanisms and CoMeT.
-pub fn radar_fig4(
-    scope: ExperimentScope,
-    executor: &ParallelExecutor,
-) -> Result<Vec<RadarPoint>, RunnerError> {
+pub fn radar_fig4(scope: ExperimentScope, backend: &dyn CellBackend) -> Result<Vec<RadarPoint>, RunnerError> {
     let nrh = 125;
-    let comparison = comparison_for(scope, &MechanismKind::comparison_set(), &[nrh], executor)?;
+    let comparison = comparison_for(scope, &MechanismKind::comparison_set(), &[nrh], backend)?;
     Ok(MechanismKind::comparison_set()
         .iter()
         .map(|&kind| {
@@ -154,6 +187,7 @@ pub fn radar_fig4(
 
 #[cfg(test)]
 mod tests {
+    use super::super::ParallelExecutor;
     use super::*;
 
     #[test]

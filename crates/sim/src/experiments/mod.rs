@@ -1,28 +1,41 @@
 //! Experiment harness: one module per group of tables/figures from the paper.
 //!
-//! Every experiment function returns a serializable data structure holding the
-//! rows/series of the corresponding table or figure; the `experiments` binary
-//! in `comet-bench` prints them as text tables and JSON. See DESIGN.md for the
-//! experiment index and EXPERIMENTS.md for paper-vs-measured numbers.
+//! Every experiment family is split in two:
+//!
+//! * a **plan** that enumerates the family's simulation grid as
+//!   [`CellSpec`] data (workload placement × mechanism × threshold), and
+//! * an **assembly** that folds the per-cell [`RunResult`]s back into the
+//!   family's figure/table data structure.
+//!
+//! Execution sits behind the [`CellBackend`] seam between the two: the plain
+//! [`ParallelExecutor`] fans the cells out and runs all of them, while the
+//! experiment service (crate `comet-service`) memoizes each cell in a
+//! content-addressed cache so repeat and overlapping sweeps only simulate
+//! novel cells. The `fig*` functions are thin plan → run → assemble wrappers,
+//! so both backends serve every experiment unchanged.
 
 pub mod adversarial;
+pub mod cells;
 pub mod comparison;
 pub mod fpr;
 pub mod multicore;
 pub mod parallel;
+pub mod ranks;
 pub mod singlecore;
 pub mod sweeps;
 
 pub use adversarial::{fig16_adversarial, AdversarialResult};
+pub use cells::{CellBackend, CellSpec, WorkloadSpec};
 pub use comparison::{fig12_fig14_comparison, radar_fig4, ComparisonResult, RadarPoint};
 pub use fpr::{fig17_false_positive_rate, FprPoint};
 pub use multicore::{fig13_fig15_multicore, MulticoreResult};
 pub use parallel::ParallelExecutor;
+pub use ranks::{rank_sweep, RankPoint, RankSweepResult};
 pub use singlecore::{fig10_fig11_singlecore, SingleCoreResult};
 pub use sweeps::{fig6_ct_sweep, fig7_rat_sweep, fig8_eprt_sweep, fig9_k_sweep, SweepPoint};
 
 use crate::metrics::RunResult;
-use crate::runner::{MechanismKind, Runner, RunnerError};
+use crate::runner::MechanismKind;
 use serde::{Deserialize, Serialize};
 
 /// Scope of an experiment run: which workloads and how much simulated time.
@@ -83,74 +96,82 @@ impl ExperimentScope {
     }
 }
 
-/// Results of a three-axis cell grid (outer × middle × inner), indexable by
-/// axis positions so consumers never track a manual running index.
+/// A borrowed view of a three-axis cell grid (outer × middle × inner),
+/// indexable by axis positions so assemblies never track a manual running
+/// index.
 ///
-/// Every experiment fans its simulations out as a grid — typically
-/// (threshold × mechanism × workload) — and then re-walks the same axes to
-/// aggregate. Keeping the fan-out order and the re-walk order in sync by hand
-/// is fragile; [`run_grid`] owns the layout and [`RunGrid::at`] is the only
-/// way results come back out.
-pub(crate) struct RunGrid<R> {
-    results: Vec<R>,
+/// Every experiment plan lays its cells out as one flat vector of
+/// row-major grids — typically (threshold × mechanism × workload) — and the
+/// assembly re-walks the same axes. Keeping the enumeration order and the
+/// re-walk order in sync by hand is fragile; [`plan_grid`] owns the layout
+/// and [`GridView::at`] is the only way results come back out.
+pub(crate) struct GridView<'a, R> {
+    results: &'a [R],
     middle_len: usize,
     inner_len: usize,
 }
 
-impl<R> RunGrid<R> {
+impl<'a, R> GridView<'a, R> {
+    /// Wraps `results` (one flat row-major grid) for indexed access.
+    pub(crate) fn new(results: &'a [R], middle_len: usize, inner_len: usize) -> Self {
+        GridView { results, middle_len: middle_len.max(1), inner_len: inner_len.max(1) }
+    }
+
     /// The result for `(outers[outer], middles[middle], inners[inner])`.
     pub(crate) fn at(&self, outer: usize, middle: usize, inner: usize) -> &R {
         &self.results[(outer * self.middle_len + middle) * self.inner_len + inner]
     }
 }
 
-/// Fans `work` over every `(outer, middle, inner)` cell via `executor` and
-/// returns the results as an indexable [`RunGrid`]. Deterministic: cell
-/// identity, not execution order, decides each result's position.
-pub(crate) fn run_grid<A: Sync, B: Sync, C: Sync, R: Send>(
-    executor: &ParallelExecutor,
+/// Enumerates the row-major (outer × middle × inner) grid of cells produced
+/// by `spec`, appending to `cells`. The matching [`GridView`] must be built
+/// with `middles.len()` / `inners.len()`.
+pub(crate) fn plan_grid<A, B, C>(
+    cells: &mut Vec<CellSpec>,
     outers: &[A],
     middles: &[B],
     inners: &[C],
-    work: impl Fn(&A, &B, &C) -> Result<R, RunnerError> + Sync,
-) -> Result<RunGrid<R>, RunnerError> {
-    let mut cells: Vec<(&A, &B, &C)> = Vec::with_capacity(outers.len() * middles.len() * inners.len());
+    spec: impl Fn(&A, &B, &C) -> CellSpec,
+) {
+    cells.reserve(outers.len() * middles.len() * inners.len());
     for outer in outers {
         for middle in middles {
             for inner in inners {
-                cells.push((outer, middle, inner));
+                cells.push(spec(outer, middle, inner));
             }
         }
     }
-    let results = executor.try_run(&cells, |_, &(outer, middle, inner)| work(outer, middle, inner))?;
-    Ok(RunGrid { results, middle_len: middles.len(), inner_len: inners.len() })
 }
 
-/// Unprotected-baseline runs for every `(threshold, workload)` pair, executed
-/// as one parallel wave; index with `at(t, 0, w)`.
-pub(crate) fn single_core_baselines(
-    runner: &Runner,
-    workloads: &[String],
-    thresholds: &[u64],
-    executor: &ParallelExecutor,
-) -> Result<RunGrid<RunResult>, RunnerError> {
-    run_grid(executor, thresholds, &[()], workloads, |&nrh, _, workload| {
-        runner.run_single_core(workload, MechanismKind::Baseline, nrh)
-    })
+/// Unprotected single-core baseline cells for every `(threshold, workload)`
+/// pair, row-major; view with `GridView::new(.., 1, workloads.len())`.
+pub(crate) fn baseline_cells(cells: &mut Vec<CellSpec>, workloads: &[String], thresholds: &[u64]) {
+    plan_grid(cells, thresholds, &[()], workloads, |&nrh, _, workload| {
+        CellSpec::single(workload, MechanismKind::Baseline, nrh)
+    });
 }
 
-/// Unprotected-baseline runs of homogeneous `cores`-copy mixes, one parallel
-/// wave, indexed like [`single_core_baselines`].
-pub(crate) fn homogeneous_baselines(
-    runner: &Runner,
+/// Unprotected homogeneous-mix baseline cells, laid out like
+/// [`baseline_cells`].
+pub(crate) fn homogeneous_baseline_cells(
+    cells: &mut Vec<CellSpec>,
     mixes: &[String],
     cores: usize,
     thresholds: &[u64],
-    executor: &ParallelExecutor,
-) -> Result<RunGrid<RunResult>, RunnerError> {
-    run_grid(executor, thresholds, &[()], mixes, |&nrh, _, workload| {
-        runner.run_homogeneous(workload, cores, MechanismKind::Baseline, nrh)
-    })
+) {
+    plan_grid(cells, thresholds, &[()], mixes, |&nrh, _, workload| {
+        CellSpec::homogeneous(workload, cores, MechanismKind::Baseline, nrh)
+    });
+}
+
+/// The per-kilo-activation preventive-refresh rate of one run — the headline
+/// tracker-pressure metric the sweeps report.
+pub(crate) fn preventive_per_kilo_act(run: &RunResult) -> f64 {
+    if run.mitigation.activations_observed == 0 {
+        0.0
+    } else {
+        1000.0 * run.mitigation.preventive_refreshes as f64 / run.mitigation.activations_observed as f64
+    }
 }
 
 #[cfg(test)]
@@ -177,5 +198,22 @@ mod tests {
                 assert!(comet_trace::catalog::workload(&name).is_some(), "{name} missing");
             }
         }
+    }
+
+    #[test]
+    fn plan_grid_and_grid_view_agree_on_layout() {
+        let mut cells = Vec::new();
+        let thresholds = [1000u64, 125];
+        let mechanisms = [MechanismKind::Comet, MechanismKind::Para, MechanismKind::Rega];
+        let workloads = ["a".to_string(), "b".to_string()];
+        plan_grid(&mut cells, &thresholds, &mechanisms, &workloads, |&nrh, &m, w| {
+            CellSpec::single(w.clone(), m, nrh)
+        });
+        assert_eq!(cells.len(), 2 * 3 * 2);
+        let view = GridView::new(&cells, mechanisms.len(), workloads.len());
+        let cell = view.at(1, 2, 0);
+        assert_eq!(cell.nrh, 125);
+        assert_eq!(cell.mechanism, MechanismKind::Rega);
+        assert_eq!(cell.workload, WorkloadSpec::Single { workload: "a".to_string() });
     }
 }

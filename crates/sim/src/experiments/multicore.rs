@@ -1,7 +1,7 @@
 //! Figures 13 and 15: 8-core weighted speedup and DRAM energy comparison.
 
-use super::{homogeneous_baselines, run_grid, ExperimentScope, ParallelExecutor};
-use crate::metrics::{normalized_distribution, DistributionSummary};
+use super::{homogeneous_baseline_cells, plan_grid, CellBackend, CellSpec, ExperimentScope, GridView};
+use crate::metrics::{normalized_distribution, DistributionSummary, RunResult};
 use crate::runner::{MechanismKind, Runner, RunnerError};
 use serde::{Deserialize, Serialize};
 
@@ -34,8 +34,87 @@ impl MulticoreResult {
     }
 }
 
+/// The multicore cell grid as data: homogeneous-mix baselines
+/// (threshold × mix) followed by the (threshold × mechanism × mix) grid.
+#[derive(Debug, Clone)]
+pub struct MulticorePlan {
+    mixes: Vec<String>,
+    mechanisms: Vec<MechanismKind>,
+    thresholds: Vec<u64>,
+    cores: usize,
+    cells: Vec<CellSpec>,
+}
+
+impl MulticorePlan {
+    /// Enumerates the grid for `mechanisms` on `cores`-copy mixes.
+    pub fn new(
+        scope: ExperimentScope,
+        mechanisms: &[MechanismKind],
+        thresholds: &[u64],
+        cores: usize,
+    ) -> Self {
+        // Pick the most memory-intensive workloads for the mixes: they are where
+        // multi-core contention (and tracker pressure) is visible.
+        let mixes: Vec<String> = comet_trace::mix::paper_eight_core_mixes()
+            .into_iter()
+            .take(scope.mix_count())
+            .map(|m| m.cores[0].name.clone())
+            .collect();
+        let mut cells = Vec::new();
+        homogeneous_baseline_cells(&mut cells, &mixes, cores, thresholds);
+        plan_grid(&mut cells, thresholds, mechanisms, &mixes, |&nrh, &mechanism, workload| {
+            CellSpec::homogeneous(workload, cores, mechanism, nrh)
+        });
+        MulticorePlan {
+            mixes,
+            mechanisms: mechanisms.to_vec(),
+            thresholds: thresholds.to_vec(),
+            cores,
+            cells,
+        }
+    }
+
+    /// Every cell of the plan, in the order `assemble` expects results.
+    pub fn cells(&self) -> &[CellSpec] {
+        &self.cells
+    }
+
+    /// Folds per-cell results (parallel to [`cells`](Self::cells)) into the
+    /// figure dataset.
+    pub fn assemble(&self, results: &[RunResult]) -> MulticoreResult {
+        assert_eq!(results.len(), self.cells.len(), "one result per planned cell");
+        let baseline_len = self.thresholds.len() * self.mixes.len();
+        let baselines = GridView::new(&results[..baseline_len], 1, self.mixes.len());
+        let runs = GridView::new(&results[baseline_len..], self.mechanisms.len(), self.mixes.len());
+
+        let mut out = Vec::with_capacity(self.thresholds.len() * self.mechanisms.len());
+        for (t, &nrh) in self.thresholds.iter().enumerate() {
+            for (m, &mechanism) in self.mechanisms.iter().enumerate() {
+                let mut norm_ws = Vec::new();
+                let mut norm_energy = Vec::new();
+                for (w, _) in self.mixes.iter().enumerate() {
+                    let baseline = baselines.at(t, 0, w);
+                    let run = runs.at(t, m, w);
+                    norm_ws.push(run.normalized_ipc(baseline));
+                    norm_energy.push(run.normalized_energy(baseline));
+                }
+                out.push(MulticoreCell {
+                    mechanism: mechanism.name().to_string(),
+                    nrh,
+                    weighted_speedup: normalized_distribution(&norm_ws),
+                    energy: normalized_distribution(&norm_energy),
+                });
+            }
+        }
+        MulticoreResult {
+            mixes: self.mixes.iter().map(|m| format!("{m}-x{}", self.cores)).collect(),
+            cells: out,
+        }
+    }
+}
+
 /// Runs the multicore comparison for the given mechanisms and thresholds,
-/// fanning every (mix × mechanism × threshold) simulation out over `executor`.
+/// executing every (mix × mechanism × threshold) cell through `backend`.
 ///
 /// The paper evaluates homogeneous 8-core mixes; for those, normalizing the
 /// weighted speedup to the baseline system is equivalent to normalizing the
@@ -45,54 +124,25 @@ pub fn multicore_for(
     mechanisms: &[MechanismKind],
     thresholds: &[u64],
     cores: usize,
-    executor: &ParallelExecutor,
+    backend: &dyn CellBackend,
 ) -> Result<MulticoreResult, RunnerError> {
     let runner = Runner::new(scope.sim_config());
-    // Pick the most memory-intensive workloads for the mixes: they are where
-    // multi-core contention (and tracker pressure) is visible.
-    let mixes: Vec<String> = comet_trace::mix::paper_eight_core_mixes()
-        .into_iter()
-        .take(scope.mix_count())
-        .map(|m| m.cores[0].name.clone())
-        .collect();
-
-    let baselines = homogeneous_baselines(&runner, &mixes, cores, thresholds, executor)?;
-    let runs = run_grid(executor, thresholds, mechanisms, &mixes, |&nrh, &mechanism, workload| {
-        runner.run_homogeneous(workload, cores, mechanism, nrh)
-    })?;
-
-    let mut out = Vec::with_capacity(thresholds.len() * mechanisms.len());
-    for (t, &nrh) in thresholds.iter().enumerate() {
-        for (m, &mechanism) in mechanisms.iter().enumerate() {
-            let mut norm_ws = Vec::new();
-            let mut norm_energy = Vec::new();
-            for (w, _) in mixes.iter().enumerate() {
-                let baseline = baselines.at(t, 0, w);
-                let run = runs.at(t, m, w);
-                norm_ws.push(run.normalized_ipc(baseline));
-                norm_energy.push(run.normalized_energy(baseline));
-            }
-            out.push(MulticoreCell {
-                mechanism: mechanism.name().to_string(),
-                nrh,
-                weighted_speedup: normalized_distribution(&norm_ws),
-                energy: normalized_distribution(&norm_energy),
-            });
-        }
-    }
-    Ok(MulticoreResult { mixes: mixes.iter().map(|m| format!("{m}-x{cores}")).collect(), cells: out })
+    let plan = MulticorePlan::new(scope, mechanisms, thresholds, cores);
+    let results = backend.run_cells(&runner, plan.cells())?;
+    Ok(plan.assemble(&results))
 }
 
 /// Figures 13 and 15: the five-mechanism comparison on 8-core mixes.
 pub fn fig13_fig15_multicore(
     scope: ExperimentScope,
-    executor: &ParallelExecutor,
+    backend: &dyn CellBackend,
 ) -> Result<MulticoreResult, RunnerError> {
-    multicore_for(scope, &MechanismKind::comparison_set(), &scope.thresholds(), 8, executor)
+    multicore_for(scope, &MechanismKind::comparison_set(), &scope.thresholds(), 8, backend)
 }
 
 #[cfg(test)]
 mod tests {
+    use super::super::ParallelExecutor;
     use super::*;
 
     #[test]

@@ -2,8 +2,10 @@
 //! Figure 8 (early preventive refresh), Figure 9 (reset period k), and the
 //! ablation studies listed in DESIGN.md.
 
-use super::{homogeneous_baselines, run_grid, single_core_baselines, ExperimentScope, ParallelExecutor};
-use crate::metrics::geometric_mean;
+use super::{
+    baseline_cells, homogeneous_baseline_cells, plan_grid, CellBackend, CellSpec, ExperimentScope, GridView,
+};
+use crate::metrics::{geometric_mean, RunResult};
 use crate::runner::{MechanismKind, Runner, RunnerError};
 use serde::{Deserialize, Serialize};
 
@@ -20,43 +22,90 @@ pub struct SweepPoint {
     pub normalized_energy_geomean: f64,
 }
 
+/// A sweep cell grid as data: per-(threshold × workload) baselines shared by
+/// every configuration point, followed by the (threshold × configuration ×
+/// workload) grid. `cores == 1` sweeps single-core workloads; `cores > 1`
+/// sweeps homogeneous mixes (Figure 8).
+#[derive(Debug, Clone)]
+pub struct SweepPlan {
+    configs: Vec<(String, MechanismKind)>,
+    workloads: Vec<String>,
+    thresholds: Vec<u64>,
+    cells: Vec<CellSpec>,
+}
+
+impl SweepPlan {
+    /// Enumerates the grid for `configs` over `workloads`.
+    pub fn new(
+        workloads: Vec<String>,
+        configs: &[(String, MechanismKind)],
+        thresholds: &[u64],
+        cores: usize,
+    ) -> Self {
+        let mut cells = Vec::new();
+        if cores <= 1 {
+            baseline_cells(&mut cells, &workloads, thresholds);
+        } else {
+            homogeneous_baseline_cells(&mut cells, &workloads, cores, thresholds);
+        }
+        plan_grid(&mut cells, thresholds, configs, &workloads, |&nrh, (_, kind), workload| {
+            if cores <= 1 {
+                CellSpec::single(workload, *kind, nrh)
+            } else {
+                CellSpec::homogeneous(workload, cores, *kind, nrh)
+            }
+        });
+        SweepPlan { configs: configs.to_vec(), workloads, thresholds: thresholds.to_vec(), cells }
+    }
+
+    /// Every cell of the plan, in the order `assemble` expects results.
+    pub fn cells(&self) -> &[CellSpec] {
+        &self.cells
+    }
+
+    /// Folds per-cell results (parallel to [`cells`](Self::cells)) into
+    /// sweep points, one per (threshold, configuration).
+    pub fn assemble(&self, results: &[RunResult]) -> Vec<SweepPoint> {
+        assert_eq!(results.len(), self.cells.len(), "one result per planned cell");
+        let baseline_len = self.thresholds.len() * self.workloads.len();
+        let baselines = GridView::new(&results[..baseline_len], 1, self.workloads.len());
+        let runs = GridView::new(&results[baseline_len..], self.configs.len(), self.workloads.len());
+
+        let mut points = Vec::with_capacity(self.thresholds.len() * self.configs.len());
+        for (t, &nrh) in self.thresholds.iter().enumerate() {
+            for (c, (label, _)) in self.configs.iter().enumerate() {
+                let mut ipcs = Vec::new();
+                let mut energies = Vec::new();
+                for (w, _) in self.workloads.iter().enumerate() {
+                    let baseline = baselines.at(t, 0, w);
+                    let run = runs.at(t, c, w);
+                    ipcs.push(run.normalized_ipc(baseline));
+                    energies.push(run.normalized_energy(baseline));
+                }
+                points.push(SweepPoint {
+                    configuration: label.clone(),
+                    nrh,
+                    normalized_ipc_geomean: geometric_mean(&ipcs),
+                    normalized_energy_geomean: geometric_mean(&energies),
+                });
+            }
+        }
+        points
+    }
+}
+
 /// Runs a grid of single-core sweep configurations: baselines are simulated
-/// once per (workload, threshold) and shared by every configuration point,
-/// and the whole (configuration × threshold × workload) grid fans out over
-/// `executor`.
+/// once per (workload, threshold) and shared by every configuration point.
 fn sweep_grid(
     scope: ExperimentScope,
     configs: &[(String, MechanismKind)],
     thresholds: &[u64],
-    executor: &ParallelExecutor,
+    backend: &dyn CellBackend,
 ) -> Result<Vec<SweepPoint>, RunnerError> {
     let runner = Runner::new(scope.sim_config());
-    let workloads = scope.workloads();
-    let baselines = single_core_baselines(&runner, &workloads, thresholds, executor)?;
-    let runs = run_grid(executor, thresholds, configs, &workloads, |&nrh, (_, kind), workload| {
-        runner.run_single_core(workload, *kind, nrh)
-    })?;
-
-    let mut points = Vec::with_capacity(thresholds.len() * configs.len());
-    for (t, &nrh) in thresholds.iter().enumerate() {
-        for (c, (label, _)) in configs.iter().enumerate() {
-            let mut ipcs = Vec::new();
-            let mut energies = Vec::new();
-            for (w, _) in workloads.iter().enumerate() {
-                let baseline = baselines.at(t, 0, w);
-                let run = runs.at(t, c, w);
-                ipcs.push(run.normalized_ipc(baseline));
-                energies.push(run.normalized_energy(baseline));
-            }
-            points.push(SweepPoint {
-                configuration: label.clone(),
-                nrh,
-                normalized_ipc_geomean: geometric_mean(&ipcs),
-                normalized_energy_geomean: geometric_mean(&energies),
-            });
-        }
-    }
-    Ok(points)
+    let plan = SweepPlan::new(scope.workloads(), configs, thresholds, 1);
+    let results = backend.run_cells(&runner, plan.cells())?;
+    Ok(plan.assemble(&results))
 }
 
 fn comet_custom(
@@ -82,7 +131,7 @@ fn comet_custom(
 pub fn fig6_ct_sweep(
     scope: ExperimentScope,
     nrh: u64,
-    executor: &ParallelExecutor,
+    backend: &dyn CellBackend,
 ) -> Result<Vec<SweepPoint>, RunnerError> {
     let hash_counts: &[usize] = match scope {
         ExperimentScope::Smoke => &[1, 4],
@@ -103,14 +152,14 @@ pub fn fig6_ct_sweep(
             })
         })
         .collect();
-    sweep_grid(scope, &configs, &[nrh], executor)
+    sweep_grid(scope, &configs, &[nrh], backend)
 }
 
 /// Figure 7: sweep of the Recent Aggressor Table size across thresholds,
 /// with the Counter Table fixed at 4 × 512.
 pub fn fig7_rat_sweep(
     scope: ExperimentScope,
-    executor: &ParallelExecutor,
+    backend: &dyn CellBackend,
 ) -> Result<Vec<SweepPoint>, RunnerError> {
     let rat_sizes: &[usize] = match scope {
         ExperimentScope::Smoke => &[32, 128],
@@ -118,14 +167,14 @@ pub fn fig7_rat_sweep(
     };
     let configs: Vec<(String, MechanismKind)> =
         rat_sizes.iter().map(|&rat| (format!("NRAT={rat}"), comet_custom(4, 512, rat, 3, 256, 25))).collect();
-    sweep_grid(scope, &configs, &scope.thresholds(), executor)
+    sweep_grid(scope, &configs, &scope.thresholds(), backend)
 }
 
 /// Figure 8: sweep of the early-preventive-refresh threshold (EPRT) and the RAT
 /// miss history length on 8-core mixes at NRH = 125.
 pub fn fig8_eprt_sweep(
     scope: ExperimentScope,
-    executor: &ParallelExecutor,
+    backend: &dyn CellBackend,
 ) -> Result<Vec<SweepPoint>, RunnerError> {
     let runner = Runner::new(scope.sim_config());
     let nrh = 125;
@@ -155,34 +204,15 @@ pub fn fig8_eprt_sweep(
         })
         .collect();
 
-    let baselines = homogeneous_baselines(&runner, &mixes, cores, &[nrh], executor)?;
-    let runs = run_grid(executor, &configs, &[()], &mixes, |(_, kind), _, workload| {
-        runner.run_homogeneous(workload, cores, *kind, nrh)
-    })?;
-
-    let mut points = Vec::with_capacity(configs.len());
-    for (c, (label, _)) in configs.iter().enumerate() {
-        let mut ws = Vec::new();
-        let mut energies = Vec::new();
-        for (w, _) in mixes.iter().enumerate() {
-            let run = runs.at(c, 0, w);
-            ws.push(run.normalized_ipc(baselines.at(0, 0, w)));
-            energies.push(run.normalized_energy(baselines.at(0, 0, w)));
-        }
-        points.push(SweepPoint {
-            configuration: label.clone(),
-            nrh,
-            normalized_ipc_geomean: geometric_mean(&ws),
-            normalized_energy_geomean: geometric_mean(&energies),
-        });
-    }
-    Ok(points)
+    let plan = SweepPlan::new(mixes, &configs, &[nrh], cores);
+    let results = backend.run_cells(&runner, plan.cells())?;
+    Ok(plan.assemble(&results))
 }
 
 /// Figure 9: sweep of the reset-period divisor `k` (and thus `NPR = NRH/(k+1)`).
 pub fn fig9_k_sweep(
     scope: ExperimentScope,
-    executor: &ParallelExecutor,
+    backend: &dyn CellBackend,
 ) -> Result<Vec<SweepPoint>, RunnerError> {
     let ks: &[u64] = match scope {
         ExperimentScope::Smoke => &[1, 3],
@@ -191,7 +221,7 @@ pub fn fig9_k_sweep(
     // k = 5 at NRH = 125 gives NPR = 20, still a valid configuration.
     let configs: Vec<(String, MechanismKind)> =
         ks.iter().map(|&k| (format!("k={k}"), comet_custom(4, 512, 128, k, 256, 25))).collect();
-    sweep_grid(scope, &configs, &scope.thresholds(), executor)
+    sweep_grid(scope, &configs, &scope.thresholds(), backend)
 }
 
 /// Ablation: CoMeT without the Recent Aggressor Table, without early preventive
@@ -199,7 +229,7 @@ pub fn fig9_k_sweep(
 pub fn ablation(
     scope: ExperimentScope,
     nrh: u64,
-    executor: &ParallelExecutor,
+    backend: &dyn CellBackend,
 ) -> Result<Vec<SweepPoint>, RunnerError> {
     let configs = vec![
         ("full".to_string(), comet_custom(4, 512, 128, 3, 256, 25)),
@@ -208,11 +238,12 @@ pub fn ablation(
         // EPRT at 100 % means the early refresh effectively never fires.
         ("no-early-refresh".to_string(), comet_custom(4, 512, 128, 3, 256, 100)),
     ];
-    sweep_grid(scope, &configs, &[nrh], executor)
+    sweep_grid(scope, &configs, &[nrh], backend)
 }
 
 #[cfg(test)]
 mod tests {
+    use super::super::ParallelExecutor;
     use super::*;
 
     #[test]

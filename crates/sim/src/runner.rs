@@ -158,6 +158,13 @@ impl Runner {
         self.seed
     }
 
+    /// The simulation-loop mode runs execute under (part of cell identity:
+    /// modes are proven bit-identical, but the cache keys them separately so
+    /// the equivalence proof never rests on the cache).
+    pub fn loop_mode(&self) -> LoopMode {
+        self.loop_mode
+    }
+
     /// The mechanism registry in use.
     pub fn registry(&self) -> &MechanismRegistry {
         &self.registry

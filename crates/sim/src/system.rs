@@ -9,7 +9,12 @@ use comet_mitigations::MitigationFactory;
 use comet_trace::TraceSource;
 
 /// Simulation-level configuration: which DRAM preset to use and how long to run.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// `Serialize` feeds the experiment service's canonical cell-key encoding:
+/// every field of this struct (transitively) is part of a cached result's
+/// identity, so adding a field both changes the serialized form and — by
+/// design — invalidates previously cached results.
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
 pub struct SimConfig {
     /// DRAM device configuration (geometry, timing, energy).
     pub dram: DramConfig,
@@ -75,6 +80,13 @@ impl SimConfig {
         self
     }
 
+    /// Returns this configuration with `ranks` ranks per channel (builder
+    /// style) — the knob the rank-parallelism sweep turns.
+    pub fn with_ranks(mut self, ranks: usize) -> Self {
+        self.dram.geometry = self.dram.geometry.with_ranks(ranks);
+        self
+    }
+
     /// Number of memory channels this configuration simulates.
     pub fn channels(&self) -> usize {
         self.dram.geometry.channels
@@ -124,6 +136,17 @@ pub enum LoopMode {
     /// stepped at every iteration and time never advances by more than 512
     /// cycles at once.
     DenseReference,
+}
+
+impl LoopMode {
+    /// Stable short name, used in the experiment service's canonical
+    /// cell-key encoding. Changing a name changes every cache key.
+    pub fn name(&self) -> &'static str {
+        match self {
+            LoopMode::EventDriven => "event",
+            LoopMode::DenseReference => "dense",
+        }
+    }
 }
 
 /// Snapshot of per-core progress used to exclude warmup from the results.
