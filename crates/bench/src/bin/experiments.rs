@@ -8,7 +8,8 @@
 //! ```
 //!
 //! Targets: `table1 table2 table3 table4 fig3 fig4 fig6 fig7 fig8 fig9 fig10
-//! fig11 fig12 fig13 fig14 fig15 fig16 fig17 fig18 highnrh ablation ranks all`.
+//! fig11 fig12 fig13 fig14 fig15 fig16 fig17 fig18 highnrh ablation ranks
+//! mixed all`.
 //!
 //! Each target prints a human-readable table and writes the raw series as JSON
 //! under the output directory (default `results/`).
@@ -92,7 +93,7 @@ fn parse_args() -> Args {
             "help" | "--help" | "-h" => {
                 println!("targets: table1 table2 table3 table4 fig3 fig4 fig6 fig7 fig8 fig9");
                 println!("         fig10 fig11 fig12 fig13 fig14 fig15 fig16 fig17 fig18");
-                println!("         highnrh ablation ranks all");
+                println!("         highnrh ablation ranks mixed all");
                 println!("options: --scope smoke|quick|full   --out DIR   --threads N   --serial");
                 println!("         --cache DIR   (persistent cell cache shared with comet-serviced)");
                 std::process::exit(0);
@@ -421,6 +422,25 @@ fn ranks(scope: ExperimentScope, out: &Path, backend: &dyn CellBackend) -> Resul
     Ok(())
 }
 
+fn mixed(scope: ExperimentScope, out: &Path, backend: &dyn CellBackend) -> Result<(), RunnerError> {
+    header("Mixed medium/high-intensity 8-core mixes: weighted speedup (true alone-IPC normalization)");
+    let result = experiments::mixed_multicore(
+        scope,
+        &comet_sim::MechanismKind::comparison_set(),
+        &scope.thresholds(),
+        backend,
+    )?;
+    println!("{:<10} {:<12} {:>6} {:>12} {:>14}", "Mix", "Mechanism", "NRH", "WS", "WS (norm.)");
+    for cell in &result.cells {
+        println!(
+            "{:<10} {:<12} {:>6} {:>12.4} {:>14.4}",
+            cell.mix, cell.mechanism, cell.nrh, cell.weighted_speedup, cell.normalized_weighted_speedup
+        );
+    }
+    save_json(out, "mixed", &result);
+    Ok(())
+}
+
 fn main() {
     let args = parse_args();
     let scope = args.scope;
@@ -478,6 +498,7 @@ fn main() {
         (&["highnrh"], "highnrh", Box::new(move || highnrh(scope, out, backend))),
         (&["ablation"], "ablation", Box::new(move || ablation(scope, out, backend))),
         (&["ranks"], "ranks", Box::new(move || ranks(scope, out, backend))),
+        (&["mixed"], "mixed", Box::new(move || mixed(scope, out, backend))),
     ];
 
     let run_all = args.targets.iter().any(|t| t == "all");

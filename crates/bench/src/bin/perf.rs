@@ -4,7 +4,7 @@
 //! Usage:
 //!
 //! ```text
-//! perf [--cells smoke|full|all] [--out FILE] [--label TEXT] [--before FILE]
+//! perf [--cells smoke|full|all] [--shard-threads N] [--out FILE] [--label TEXT] [--before FILE]
 //! perf --check FILE [--max-regress PCT]
 //! perf --diff OLD.json NEW.json
 //! perf --print-goldens
@@ -23,9 +23,17 @@
 //! * `--print-goldens` runs the smoke basket and the FCFS stress cells and
 //!   prints the golden checksum tables consumed by
 //!   `crates/bench/tests/bitexact_hotpath.rs`.
+//! * `--shard-threads N` runs the requested baskets through the
+//!   shard-parallel windowed engine (N stepping threads per simulation,
+//!   capped at the host's parallelism and each cell's channel count)
+//!   instead of the classic serial loop; statistics checksums are identical
+//!   by design, only the wall-clock changes. Recording a serial and a
+//!   sharded snapshot on the same machine and comparing them with `--diff`
+//!   is the shard-parallel speedup measurement.
 
 use comet_bench::hotpath::{
-    run_basket, run_cells, run_suite_smoke_serial, stress_basket, BasketResult, HotpathScope, SuiteResult,
+    run_basket_with, run_cells, run_suite_smoke_serial, stress_basket, BasketResult, CellExec, HotpathScope,
+    SuiteResult,
 };
 use comet_bench::{
     extract_json_number, extract_json_string, extract_scope_accesses_per_sec, extract_scope_cells,
@@ -67,6 +75,7 @@ struct Snapshot {
 
 struct Args {
     scopes: Vec<HotpathScope>,
+    shard_threads: Option<usize>,
     suite: bool,
     out: Option<PathBuf>,
     label: String,
@@ -80,6 +89,7 @@ struct Args {
 fn parse_args() -> Args {
     let mut args = Args {
         scopes: vec![HotpathScope::Full],
+        shard_threads: None,
         suite: false,
         out: None,
         label: "hot-path basket".to_string(),
@@ -118,6 +128,16 @@ fn parse_args() -> Args {
                 let new = PathBuf::from(value_for(&mut it, "--diff"));
                 args.diff = Some((old, new));
             }
+            "--shard-threads" => {
+                let value = value_for(&mut it, "--shard-threads");
+                args.shard_threads = match value.parse::<usize>() {
+                    Ok(threads) if threads >= 1 => Some(threads),
+                    _ => {
+                        eprintln!("error: invalid --shard-threads '{value}'");
+                        std::process::exit(2);
+                    }
+                };
+            }
             "--max-regress" => {
                 let value = value_for(&mut it, "--max-regress");
                 args.max_regress_pct = value.parse().unwrap_or_else(|_| {
@@ -129,7 +149,7 @@ fn parse_args() -> Args {
             "--print-goldens" => args.print_goldens = true,
             "help" | "--help" | "-h" => {
                 println!(
-                    "usage: perf [--cells smoke|full|all] [--suite] [--out FILE] [--label TEXT] [--before FILE]"
+                    "usage: perf [--cells smoke|full|all] [--shard-threads N] [--suite] [--out FILE] [--label TEXT] [--before FILE]"
                 );
                 println!("       perf --check FILE [--max-regress PCT]");
                 println!("       perf --diff OLD.json NEW.json");
@@ -176,7 +196,7 @@ fn run_check(path: &PathBuf, max_regress_pct: f64, out: Option<&PathBuf>) -> Exi
         eprintln!("error: {} has no ci_reference_smoke_accesses_per_sec", path.display());
         return ExitCode::from(2);
     };
-    let current = match run_basket(HotpathScope::Smoke) {
+    let current = match run_basket_with(HotpathScope::Smoke, CellExec::Serial) {
         Ok(result) => {
             print_basket(&result);
             if let Some(out) = out {
@@ -227,7 +247,7 @@ fn run_check(path: &PathBuf, max_regress_pct: f64, out: Option<&PathBuf>) -> Exi
 }
 
 fn print_goldens() -> ExitCode {
-    match run_basket(HotpathScope::Smoke) {
+    match run_basket_with(HotpathScope::Smoke, CellExec::Serial) {
         Ok(result) => {
             println!("// Generated by `cargo run -p comet-bench --release --bin perf -- --print-goldens`.");
             println!("const GOLDEN_SMOKE_CHECKSUMS: &[(&str, u64)] = &[");
@@ -391,8 +411,19 @@ fn main() -> ExitCode {
         speedup_smoke: None,
         speedup_suite: None,
     };
+    let exec = match args.shard_threads {
+        Some(threads) => CellExec::Sharded { threads },
+        None => CellExec::Serial,
+    };
+    if let Some(threads) = args.shard_threads {
+        let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        println!(
+            "shard-parallel windowed engine: {threads} requested stepping thread(s), {} available core(s)",
+            cores
+        );
+    }
     for &scope in &args.scopes {
-        match run_basket(scope) {
+        match run_basket_with(scope, exec) {
             Ok(result) => {
                 print_basket(&result);
                 match scope {

@@ -1,0 +1,123 @@
+//! Barrier-soundness suite for the shard-parallel windowed simulation
+//! engine.
+//!
+//! The windowed loop free-runs every channel shard through a window of
+//! cycles between two core-visible barriers. Its exactness argument says any
+//! *prefix* of a sound window is itself a sound window — so splitting
+//! windows at arbitrary points must never change simulated behavior. These
+//! properties randomize exactly that: every case re-runs a multi-channel
+//! attack cell (attacker + benign core — the traffic with the densest
+//! core/shard interaction: full-queue stalls, window stalls, completions
+//! racing enqueues) through the windowed engine with pseudo-random jittered
+//! window splits and a random thread count, and requires statistics
+//! bit-identical to the classic serial event-driven loop.
+//!
+//! Together with `bitexact_hotpath.rs` (which pins the windowed engine to
+//! the committed golden checksums on the perf basket) this is the
+//! randomized-interleaving layer of the shard-parallel proof, mirroring what
+//! `fcfs_interleavings.rs` does for the per-bank scheduler.
+
+use comet_bench::hotpath::stats_checksum;
+use comet_sim::{LoopMode, MechanismKind, RunResult, Runner, SimConfig};
+use comet_trace::AttackKind;
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
+
+/// Seed shared by every run of one configuration (trace streams must match
+/// between the serial reference and the windowed runs).
+const SEED: u64 = 0x5AD5;
+
+/// A deliberately small simulation window so each property case stays cheap:
+/// long enough to cross several tracker reset epochs (the scheduled-tick
+/// deadlines the windowed engine must honor exactly) and to saturate the
+/// controller queues.
+fn config(channels: usize) -> SimConfig {
+    let mut config = SimConfig::quick(512).with_channels(channels);
+    config.warmup_cycles = 10_000;
+    config.sim_cycles = 60_000;
+    config
+}
+
+fn run_cell(runner: &Runner, mechanism: MechanismKind, nrh: u64) -> RunResult {
+    runner
+        .run_with_attacker("473.astar", AttackKind::Traditional { rows_per_bank: 4 }, mechanism, nrh)
+        .expect("attack cell runs")
+}
+
+/// Reference-checksum memo: (channels, mechanism name, nRH) → checksum.
+type ReferenceMap = HashMap<(usize, &'static str, u64), u64>;
+
+/// The serial event-driven reference checksum for one configuration,
+/// computed once and shared across property cases.
+fn reference(channels: usize, mechanism: MechanismKind, nrh: u64) -> u64 {
+    static REFERENCES: OnceLock<Mutex<ReferenceMap>> = OnceLock::new();
+    let references = REFERENCES.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut references = references.lock().unwrap();
+    *references.entry((channels, mechanism.name(), nrh)).or_insert_with(|| {
+        let runner = Runner::with_seed(config(channels), SEED).with_loop_mode(LoopMode::EventDriven);
+        stats_checksum(&run_cell(&runner, mechanism, nrh))
+    })
+}
+
+proptest! {
+    /// Randomized shard-step interleavings (jittered window splits, random
+    /// thread counts) must match the serial loop bit-exactly on
+    /// multi-channel attack traces.
+    #[test]
+    fn jittered_windowed_runs_match_serial_bit_exactly(
+        jitter_seed in any::<u64>(),
+        channel_sel in 0u8..2,
+        threads in 1usize..5,
+        mech_sel in 0u8..2,
+    ) {
+        let channels = if channel_sel == 0 { 2 } else { 4 };
+        // CoMeT exercises the scheduled tracker-reset deadlines; the
+        // baseline isolates pure scheduling.
+        let (mechanism, nrh) = if mech_sel == 0 {
+            (MechanismKind::Comet, 250)
+        } else {
+            (MechanismKind::Baseline, 250)
+        };
+        let runner = Runner::with_seed(config(channels), SEED)
+            .with_shard_threads(threads)
+            .with_window_jitter(jitter_seed);
+        let jittered = stats_checksum(&run_cell(&runner, mechanism, nrh));
+        prop_assert_eq!(
+            jittered,
+            reference(channels, mechanism, nrh),
+            "jitter seed {:#x}, {} channels, {} threads, {:?} diverged from the serial loop",
+            jitter_seed,
+            channels,
+            threads,
+            mechanism
+        );
+    }
+}
+
+/// The windowed engine without jitter (the production configuration) must
+/// also match the serial loop, at every thread count, including thread
+/// counts beyond the host's parallelism (the pool clamps).
+#[test]
+fn windowed_engine_matches_serial_at_every_thread_count() {
+    for channels in [1usize, 2, 4] {
+        let serial = reference(channels, MechanismKind::Comet, 250);
+        for threads in [1usize, 2, 8] {
+            let runner = Runner::with_seed(config(channels), SEED).with_shard_threads(threads);
+            let windowed = stats_checksum(&run_cell(&runner, MechanismKind::Comet, 250));
+            assert_eq!(windowed, serial, "{channels} channels, {threads} threads");
+        }
+    }
+}
+
+/// The dense reference loop — the independent oracle — agrees with both.
+#[test]
+fn windowed_engine_matches_dense_reference() {
+    for channels in [2usize, 4] {
+        let dense = {
+            let runner = Runner::with_seed(config(channels), SEED).with_loop_mode(LoopMode::DenseReference);
+            stats_checksum(&run_cell(&runner, MechanismKind::Comet, 250))
+        };
+        assert_eq!(dense, reference(channels, MechanismKind::Comet, 250), "{channels} channels");
+    }
+}

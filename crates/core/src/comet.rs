@@ -215,6 +215,10 @@ impl RowHammerMitigation for Comet {
         self.maybe_periodic_reset(now);
     }
 
+    fn next_tick_deadline(&self) -> Cycle {
+        self.next_reset
+    }
+
     fn on_rank_refreshed(&mut self, rank: usize, _now: Cycle) {
         // Reset the trackers of every bank belonging to `rank`: all their rows'
         // victims were just refreshed, so clearing the counters is safe (§4.2).

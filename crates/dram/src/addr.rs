@@ -97,6 +97,30 @@ pub enum AddressScheme {
     /// Row : Column : Rank : BankGroup : Bank : Channel — consecutive lines spread
     /// across banks first (bank interleaving, lower row locality).
     RoCoRaBgBaCh,
+    /// [`RoRaBgBaCoCh`](Self::RoRaBgBaCoCh) with an XOR channel hash: the low
+    /// `log2(channels)` row bits are XORed into the channel select, so
+    /// same-column strides that would camp on one channel spread across all
+    /// of them, and an attacker hammering consecutive rows of "one bank"
+    /// scatters its activations across every channel's tracker — the
+    /// cross-channel mapping study's hashing point. XOR keeps the mapping an
+    /// involution, so decode is its own inverse; the hash requires a
+    /// power-of-two channel count and degrades to the identity otherwise
+    /// (1-channel systems are unchanged by construction).
+    RoRaBgBaCoChXor,
+}
+
+impl AddressScheme {
+    /// The effective channel of a decoded address under this scheme: for the
+    /// XOR variant the raw channel-select bits are hashed with the low row
+    /// bits (an involution); the plain schemes pass them through.
+    fn hash_channel(&self, raw_channel: usize, row: usize, channels: usize) -> usize {
+        match self {
+            AddressScheme::RoRaBgBaCoChXor if channels.is_power_of_two() => {
+                raw_channel ^ (row & (channels - 1))
+            }
+            _ => raw_channel,
+        }
+    }
 }
 
 /// Translates physical addresses to DRAM addresses for a given geometry.
@@ -139,13 +163,14 @@ impl AddressMapper {
             v
         };
         match self.scheme {
-            AddressScheme::RoRaBgBaCoCh => {
-                let channel = take(g.channels);
+            AddressScheme::RoRaBgBaCoCh | AddressScheme::RoRaBgBaCoChXor => {
+                let raw_channel = take(g.channels);
                 let column = take(g.columns_per_row);
                 let bank = take(g.banks_per_bank_group);
                 let bank_group = take(g.bank_groups_per_rank);
                 let rank = take(g.ranks_per_channel);
                 let row = take(g.rows_per_bank);
+                let channel = self.scheme.hash_channel(raw_channel, row, g.channels);
                 DramAddr { channel, rank, bank_group, bank, row, column }
             }
             AddressScheme::RoCoRaBgBaCh => {
@@ -168,13 +193,16 @@ impl AddressMapper {
             bits = bits * count as u64 + value as u64;
         };
         match self.scheme {
-            AddressScheme::RoRaBgBaCoCh => {
+            AddressScheme::RoRaBgBaCoCh | AddressScheme::RoRaBgBaCoChXor => {
+                // The XOR hash is an involution: re-applying it to the
+                // decoded channel recovers the raw channel-select bits.
+                let raw_channel = self.scheme.hash_channel(addr.channel, addr.row, g.channels);
                 push(addr.row, g.rows_per_bank);
                 push(addr.rank, g.ranks_per_channel);
                 push(addr.bank_group, g.bank_groups_per_rank);
                 push(addr.bank, g.banks_per_bank_group);
                 push(addr.column, g.columns_per_row);
-                push(addr.channel, g.channels);
+                push(raw_channel, g.channels);
             }
             AddressScheme::RoCoRaBgBaCh => {
                 push(addr.row, g.rows_per_bank);
@@ -231,6 +259,75 @@ mod tests {
         assert_eq!(a.row, b.row);
         assert_eq!(a.flat_bank(m.geometry()), b.flat_bank(m.geometry()));
         assert_eq!(b.column, a.column + 1);
+    }
+
+    #[test]
+    fn xor_scheme_round_trips_within_capacity() {
+        for channels in [1usize, 2, 4] {
+            let geometry = DramGeometry::paper_default().with_channels(channels);
+            let m = AddressMapper::new(geometry, AddressScheme::RoRaBgBaCoChXor);
+            for i in 0..2000u64 {
+                let phys = (i * 64 * 104_729) % m.geometry().capacity_bytes();
+                let phys = phys - phys % 64;
+                let addr = m.map(phys);
+                assert!(addr.validate(m.geometry()).is_ok(), "{addr:?}");
+                assert_eq!(m.unmap(&addr), phys, "{channels}-channel XOR round trip");
+            }
+        }
+    }
+
+    #[test]
+    fn xor_scheme_decodes_low_row_bits_into_channel_select() {
+        let geometry = DramGeometry::paper_default().with_channels(4);
+        let plain = AddressMapper::new(geometry.clone(), AddressScheme::RoRaBgBaCoCh);
+        let xored = AddressMapper::new(geometry, AddressScheme::RoRaBgBaCoChXor);
+        let mut differs = 0;
+        for i in 0..512u64 {
+            let phys = i * 64 * 7919;
+            let a = plain.map(phys);
+            let b = xored.map(phys);
+            // Only the channel select moves, and by exactly the low row bits.
+            assert_eq!(a.channel ^ (a.row & 3), b.channel, "XOR hash definition");
+            assert_eq!(
+                (a.rank, a.bank_group, a.bank, a.row, a.column),
+                (b.rank, b.bank_group, b.bank, b.row, b.column)
+            );
+            if a.channel != b.channel {
+                differs += 1;
+            }
+        }
+        assert!(differs > 0, "the hash must actually move some channels");
+    }
+
+    #[test]
+    fn xor_scheme_spreads_same_channel_row_strides_across_channels() {
+        // Under the plain scheme, a stride that fixes the channel-select bits
+        // while walking rows camps on one channel; the XOR hash spreads
+        // exactly that pattern across all channels.
+        let geometry = DramGeometry::paper_default().with_channels(4);
+        let plain = AddressMapper::new(geometry.clone(), AddressScheme::RoRaBgBaCoCh);
+        let xored = AddressMapper::new(geometry.clone(), AddressScheme::RoRaBgBaCoChXor);
+        let row_stride = geometry.capacity_bytes() / geometry.rows_per_bank as u64;
+        let mut plain_channels = std::collections::HashSet::new();
+        let mut xored_channels = std::collections::HashSet::new();
+        for row in 0..16u64 {
+            plain_channels.insert(plain.map(row * row_stride).channel);
+            xored_channels.insert(xored.map(row * row_stride).channel);
+        }
+        assert_eq!(plain_channels.len(), 1, "the stride must camp on one channel un-hashed");
+        assert_eq!(xored_channels.len(), 4, "the hash must spread it across every channel");
+    }
+
+    #[test]
+    fn xor_scheme_is_identity_at_one_channel() {
+        let geometry = DramGeometry::paper_default();
+        assert_eq!(geometry.channels, 1);
+        let plain = AddressMapper::new(geometry.clone(), AddressScheme::RoRaBgBaCoCh);
+        let xored = AddressMapper::new(geometry, AddressScheme::RoRaBgBaCoChXor);
+        for i in 0..512u64 {
+            let phys = i * 64 * 2749;
+            assert_eq!(plain.map(phys), xored.map(phys));
+        }
     }
 
     #[test]

@@ -221,6 +221,10 @@ impl RowHammerMitigation for BlockHammer {
         self.maybe_rotate(now);
     }
 
+    fn next_tick_deadline(&self) -> Cycle {
+        self.next_epoch
+    }
+
     fn stats(&self) -> MitigationStats {
         self.stats
     }

@@ -181,6 +181,10 @@ impl RowHammerMitigation for Graphene {
         self.maybe_reset(now);
     }
 
+    fn next_tick_deadline(&self) -> Cycle {
+        self.next_reset
+    }
+
     fn stats(&self) -> MitigationStats {
         self.stats
     }

@@ -82,8 +82,29 @@ pub trait RowHammerMitigation: Send {
     fn on_periodic_refresh(&mut self, _rank: usize, _now: Cycle) {}
 
     /// Gives the mechanism an opportunity to perform time-based work
-    /// (e.g. CoMeT's periodic counter reset). Called at least once per `tREFI`.
+    /// (e.g. CoMeT's periodic counter reset).
+    ///
+    /// The controller calls this on every tick it performs, and additionally
+    /// guarantees a tick at [`next_tick_deadline`](Self::next_tick_deadline)
+    /// even on an otherwise idle channel — so time-based bookkeeping must be
+    /// *scheduled* through the deadline, not assumed to run on a fixed
+    /// cadence. (Historically the controller clamped every next-event bound
+    /// to `now + tREFI` so `on_tick` ran at least once per refresh interval;
+    /// that clamp is gone, which is what lets an idle channel shard report
+    /// its full idle window to the shard-parallel simulation engine.)
     fn on_tick(&mut self, _now: Cycle) {}
+
+    /// The next cycle at which the mechanism needs [`on_tick`](Self::on_tick)
+    /// to run (its next scheduled periodic-reset boundary), or `Cycle::MAX`
+    /// when it has no time-based work. The controller folds this into its
+    /// next-event bound, so the deadline is honored exactly even when the
+    /// channel is otherwise idle. Mechanisms with periodic state (epoch
+    /// rotations, counter resets) must keep this current; returning a stale
+    /// early value only costs a no-op wakeup, but returning a value past the
+    /// true boundary would delay the reset.
+    fn next_tick_deadline(&self) -> Cycle {
+        Cycle::MAX
+    }
 
     /// Notifies the mechanism that the controller finished refreshing every row
     /// of `rank` (in response to `refresh_rank`), so saturated state can be reset.

@@ -8,11 +8,20 @@
 //! client overtake queued lower-priority sweeps from another) while each
 //! client stays strictly ordered. `ping` / `stats` / `shutdown` are answered
 //! inline without queueing.
+//!
+//! Connections are **accepted concurrently**: every Unix-socket connection
+//! gets its own handler thread over the shared [`ExperimentService`], so an
+//! idle or slow client never blocks another client's `ping` or queued sweep
+//! (historically the accept loop served one connection at a time and clients
+//! queued on `connect`). The accept loop polls so a `shutdown` received on
+//! any connection stops the daemon without waiting for a further connection,
+//! and handler reads use a timeout so open idle connections observe the
+//! shutdown flag promptly instead of pinning the daemon.
 
 use crate::protocol::{self, Op, Request};
 use crate::queue::JobQueue;
 use crate::service::ExperimentService;
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, Write};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc};
 
@@ -79,40 +88,48 @@ impl Daemon {
         }
     }
 
+    /// Computes the response line for one request line. Returns `None` for
+    /// blank lines; the boolean is `true` when the request was `shutdown`
+    /// (the connection should close after writing the response).
+    fn response_for(&self, line: &str) -> Option<(String, bool)> {
+        if line.trim().is_empty() {
+            return None;
+        }
+        Some(match protocol::parse_request(line) {
+            Err(message) => (protocol::error_response(0, &message), false),
+            Ok(request) => match &request.op {
+                Op::Run { priority, .. } => {
+                    let priority = *priority;
+                    let (tx, rx) = mpsc::channel();
+                    let response = if self.queue.push(Job { request, reply: tx }, priority) {
+                        rx.recv()
+                            .unwrap_or_else(|_| protocol::error_response(0, "worker dropped the request"))
+                    } else {
+                        protocol::error_response(request_id_hint(line), "daemon is shutting down")
+                    };
+                    (response, false)
+                }
+                Op::Shutdown => {
+                    let (response, _) = protocol::handle_request(&self.service, &request);
+                    self.shutdown.store(true, Ordering::Relaxed);
+                    self.queue.close();
+                    (response, true)
+                }
+                _ => (protocol::handle_request(&self.service, &request).0, false),
+            },
+        })
+    }
+
     /// Handles one connection's request stream until EOF or shutdown.
     fn handle_connection(&self, reader: impl BufRead, mut writer: impl Write) -> std::io::Result<()> {
         for line in reader.lines() {
             let line = line?;
-            if line.trim().is_empty() {
+            let Some((response, closing)) = self.response_for(&line) else {
                 continue;
-            }
-            let response = match protocol::parse_request(&line) {
-                Err(message) => protocol::error_response(0, &message),
-                Ok(request) => match &request.op {
-                    Op::Run { priority, .. } => {
-                        let priority = *priority;
-                        let (tx, rx) = mpsc::channel();
-                        if self.queue.push(Job { request, reply: tx }, priority) {
-                            rx.recv()
-                                .unwrap_or_else(|_| protocol::error_response(0, "worker dropped the request"))
-                        } else {
-                            protocol::error_response(request_id_hint(&line), "daemon is shutting down")
-                        }
-                    }
-                    Op::Shutdown => {
-                        let (line, _) = protocol::handle_request(&self.service, &request);
-                        self.shutdown.store(true, Ordering::Relaxed);
-                        self.queue.close();
-                        writeln!(writer, "{line}")?;
-                        writer.flush()?;
-                        return Ok(());
-                    }
-                    _ => protocol::handle_request(&self.service, &request).0,
-                },
             };
             writeln!(writer, "{response}")?;
             writer.flush()?;
-            if self.is_shutdown() {
+            if closing || self.is_shutdown() {
                 break;
             }
         }
@@ -131,38 +148,108 @@ impl Daemon {
         })
     }
 
-    /// Binds `path` and serves Unix-socket connections until `shutdown`.
+    /// Binds `path` and serves Unix-socket connections until `shutdown`,
+    /// accepting connections concurrently: each connection runs on its own
+    /// handler thread over the shared service, so clients never serialize at
+    /// the accept loop — they multiplex through the priority queue instead.
     #[cfg(unix)]
     pub fn serve_unix(&self, path: &std::path::Path) -> std::io::Result<()> {
         use std::os::unix::net::UnixListener;
         // A stale socket file from a previous run would make bind fail.
         let _ = std::fs::remove_file(path);
         let listener = UnixListener::bind(path)?;
+        // Poll the listener instead of blocking in accept: a `shutdown`
+        // received on any connection must end the loop without requiring one
+        // more client to connect.
+        listener.set_nonblocking(true)?;
         std::thread::scope(|scope| {
             self.spawn_workers(scope);
-            for connection in listener.incoming() {
-                // One connection at a time: connections multiplex through
-                // the priority queue, and the accept loop staying
-                // single-threaded keeps lifetime handling simple. Clients
-                // queue on connect. A connection-level IO error (client hung
-                // up mid-write) never kills the daemon.
-                let outcome = connection.and_then(|stream| {
-                    let reader = BufReader::new(stream.try_clone()?);
-                    self.handle_connection(reader, stream)
-                });
-                if let Err(error) = outcome {
-                    eprintln!("comet-serviced: connection error: {error}");
-                }
-                // Checked after handling so a `shutdown` request ends the
-                // accept loop without waiting for another connection.
-                if self.is_shutdown() {
-                    break;
+            while !self.is_shutdown() {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        // A connection-level IO error (client hung up
+                        // mid-write) never kills the daemon.
+                        scope.spawn(move || {
+                            if let Err(error) = self.handle_stream(stream) {
+                                eprintln!("comet-serviced: connection error: {error}");
+                            }
+                        });
+                    }
+                    Err(error) if error.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(std::time::Duration::from_millis(25));
+                    }
+                    Err(error) => {
+                        eprintln!("comet-serviced: accept error: {error}");
+                        std::thread::sleep(std::time::Duration::from_millis(100));
+                    }
                 }
             }
             self.queue.close();
+            // The scope joins the handler threads; their read timeouts make
+            // them observe the shutdown flag within one poll interval.
         });
         let _ = std::fs::remove_file(path);
         Ok(())
+    }
+
+    /// Handles one Unix-socket connection on its own thread. Reads with a
+    /// timeout and assembles lines manually (a `BufReader` may drop
+    /// partially buffered data on a timeout error), so an idle connection
+    /// re-checks the shutdown flag every poll interval instead of pinning
+    /// the daemon open.
+    #[cfg(unix)]
+    fn handle_stream(&self, mut stream: std::os::unix::net::UnixStream) -> std::io::Result<()> {
+        use std::io::Read;
+        // Accepted sockets can inherit the listener's non-blocking flag.
+        stream.set_nonblocking(false)?;
+        stream.set_read_timeout(Some(std::time::Duration::from_millis(200)))?;
+        // A client that stops reading must not pin the daemon open: a write
+        // that cannot complete within the (generous) timeout errors out and
+        // drops the connection, so shutdown never waits on a dead peer.
+        stream.set_write_timeout(Some(std::time::Duration::from_secs(30)))?;
+        let mut pending: Vec<u8> = Vec::new();
+        let mut chunk = [0u8; 4096];
+        loop {
+            if self.is_shutdown() {
+                return Ok(());
+            }
+            match stream.read(&mut chunk) {
+                Ok(0) => {
+                    // EOF with an unterminated final line: answer it anyway,
+                    // matching the `BufRead::lines`-based session path — a
+                    // client may shut down its write side and still read.
+                    let line = String::from_utf8_lossy(&pending).into_owned();
+                    if let Some((response, _)) = self.response_for(&line) {
+                        writeln!(stream, "{response}")?;
+                        stream.flush()?;
+                    }
+                    return Ok(());
+                }
+                Ok(read) => {
+                    pending.extend_from_slice(&chunk[..read]);
+                    while let Some(newline) = pending.iter().position(|&b| b == b'\n') {
+                        let line: Vec<u8> = pending.drain(..=newline).collect();
+                        let line = String::from_utf8_lossy(&line[..newline]).into_owned();
+                        if let Some((response, closing)) = self.response_for(&line) {
+                            writeln!(stream, "{response}")?;
+                            stream.flush()?;
+                            if closing || self.is_shutdown() {
+                                return Ok(());
+                            }
+                        }
+                    }
+                }
+                Err(error)
+                    if matches!(
+                        error.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    continue;
+                }
+                Err(error) => return Err(error),
+            }
+        }
     }
 }
 
@@ -187,7 +274,7 @@ mod tests {
     fn session(input: &str) -> Vec<String> {
         let daemon = daemon();
         let mut output = Vec::new();
-        daemon.serve_session(BufReader::new(input.as_bytes()), &mut output).unwrap();
+        daemon.serve_session(std::io::BufReader::new(input.as_bytes()), &mut output).unwrap();
         String::from_utf8(output).unwrap().lines().map(str::to_string).collect()
     }
 
@@ -216,5 +303,93 @@ mod tests {
         assert!(lines[0].contains("\"id\":5") && lines[0].contains("\"ok\":true"), "{}", lines[0]);
         assert!(lines[0].contains("\"fig17\""), "{}", lines[0]);
         assert!(lines[1].contains("\"shutdown\":true"), "{}", lines[1]);
+    }
+
+    /// An idle connection must not block other clients: with the historical
+    /// one-at-a-time accept loop this test deadlocks (client B queues on
+    /// connect behind idle client A); with concurrent accept B is served
+    /// immediately and its `shutdown` also stops the daemon while A is still
+    /// connected.
+    #[cfg(unix)]
+    #[test]
+    fn concurrent_connections_are_served_past_an_idle_client() {
+        use std::io::{BufRead, BufReader, Write};
+        use std::os::unix::net::UnixStream;
+
+        let dir = std::env::temp_dir().join(format!("comet-daemon-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let socket = dir.join("daemon.sock");
+        let daemon = Arc::new(daemon());
+        let serving = {
+            let daemon = daemon.clone();
+            let socket = socket.clone();
+            std::thread::spawn(move || daemon.serve_unix(&socket))
+        };
+        // Wait for the socket to appear.
+        for _ in 0..100 {
+            if socket.exists() {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        }
+        // Client A connects and stays silent.
+        let idle = UnixStream::connect(&socket).unwrap();
+        // Client B must be served regardless.
+        let mut busy = UnixStream::connect(&socket).unwrap();
+        writeln!(busy, "{{\"op\":\"ping\",\"id\":1}}").unwrap();
+        let mut reader = BufReader::new(busy.try_clone().unwrap());
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains("\"pong\":true"), "{line}");
+        // B shuts the daemon down while A is still connected.
+        writeln!(busy, "{{\"op\":\"shutdown\",\"id\":2}}").unwrap();
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains("\"shutdown\":true"), "{line}");
+        serving.join().unwrap().unwrap();
+        assert!(daemon.is_shutdown());
+        drop(idle);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A final request line without a trailing newline (client shuts its
+    /// write side at EOF) must still be answered, like the stdin session
+    /// path answers it.
+    #[cfg(unix)]
+    #[test]
+    fn unterminated_final_line_is_answered_at_eof() {
+        use std::io::{BufRead, BufReader, Write};
+        use std::net::Shutdown;
+        use std::os::unix::net::UnixStream;
+
+        let dir = std::env::temp_dir().join(format!("comet-daemon-eof-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let socket = dir.join("daemon.sock");
+        let daemon = Arc::new(daemon());
+        let serving = {
+            let daemon = daemon.clone();
+            let socket = socket.clone();
+            std::thread::spawn(move || daemon.serve_unix(&socket))
+        };
+        for _ in 0..100 {
+            if socket.exists() {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        }
+        let mut client = UnixStream::connect(&socket).unwrap();
+        write!(client, "{{\"op\":\"ping\",\"id\":7}}").unwrap(); // no trailing newline
+        client.shutdown(Shutdown::Write).unwrap();
+        let mut line = String::new();
+        BufReader::new(client.try_clone().unwrap()).read_line(&mut line).unwrap();
+        assert!(line.contains("\"pong\":true"), "{line}");
+        drop(client);
+        // Stop the daemon through a second connection.
+        let mut stopper = UnixStream::connect(&socket).unwrap();
+        writeln!(stopper, "{{\"op\":\"shutdown\",\"id\":8}}").unwrap();
+        let mut response = String::new();
+        BufReader::new(stopper.try_clone().unwrap()).read_line(&mut response).unwrap();
+        serving.join().unwrap().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -12,7 +12,7 @@ use serde::Serialize;
 /// Every target name `run_target` accepts.
 pub const KNOWN_TARGETS: &[&str] = &[
     "fig3", "fig4", "fig6", "fig7", "fig8", "fig9", "fig10_11", "fig12_14", "fig13_15", "fig16", "fig17",
-    "fig18", "highnrh", "ablation", "ranks",
+    "fig18", "highnrh", "ablation", "ranks", "mixed",
 ];
 
 fn to_json<T: Serialize>(value: &T) -> String {
@@ -46,6 +46,12 @@ pub fn run_target(
         "highnrh" => to_json(&experiments::singlecore::high_threshold_singlecore(scope, backend)?),
         "ablation" => to_json(&experiments::sweeps::ablation(scope, 125, backend)?),
         "ranks" => to_json(&experiments::rank_sweep(scope, backend)?),
+        "mixed" => to_json(&experiments::mixed_multicore(
+            scope,
+            &comet_sim::MechanismKind::comparison_set(),
+            &scope.thresholds(),
+            backend,
+        )?),
         _ => return Ok(None),
     };
     Ok(Some(json))

@@ -47,10 +47,12 @@
 //!
 //! The returned next-event bound is the minimum over skipped candidates'
 //! bounds, freshly evaluated constraint times, pending hold expiries,
-//! refresh deadlines, and the `tREFI` mitigation-tick clamp — exactly what
-//! `MemorySystem`'s per-shard next-event cache and `System::run`'s event
-//! jumps consume. The tighter the bound, the fewer no-op ticks the
-//! simulation performs.
+//! refresh deadlines, and the mitigation's scheduled tick deadline
+//! (`RowHammerMitigation::next_tick_deadline`, which retired the historical
+//! `now + tREFI` clamp) — exactly what `MemorySystem`'s per-shard next-event
+//! cache, `System::run`'s event jumps, and the shard-parallel engine's
+//! free-running windows consume. The tighter the bound, the fewer no-op
+//! ticks the simulation performs.
 //!
 //! All of this is pure bookkeeping: scheduling decisions are bit-identical
 //! to the straightforward full-queue scans, which the bit-exactness suite
@@ -1235,7 +1237,14 @@ impl MemoryController {
             }
         }
 
-        let mut next_wake = now + self.timing.t_refi;
+        // The mitigation's next scheduled tick replaces the historical
+        // `now + tREFI` clamp: mechanisms report their periodic-reset
+        // boundaries through `next_tick_deadline`, so a quiet shard wakes
+        // exactly at each boundary (preserving the reset cadence bit-exactly)
+        // instead of once per refresh interval — and a shard with neither
+        // resets nor demand pending reports its full idle window, which is
+        // what lets the shard-parallel engine free-run it between barriers.
+        let mut next_wake = self.mitigation.next_tick_deadline().max(now + 1);
         let refresh_due = self.refresh.earliest_due();
         next_wake = next_wake.min(refresh_due.max(now + 1));
         next_wake = next_wake.min(self.next_hold_check);

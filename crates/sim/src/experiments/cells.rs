@@ -42,6 +42,15 @@ pub enum WorkloadSpec {
         /// The attack pattern the second core executes.
         attack: AttackKind,
     },
+    /// A heterogeneous multi-core mix: one named workload per core, in core
+    /// order (the mixed medium/high-intensity families). `name` labels the
+    /// mix in reports; the workload list is the simulated identity.
+    Mix {
+        /// Mix name used in reports (e.g. `mixMH03`).
+        name: String,
+        /// One Table 3 workload name per core.
+        workloads: Vec<String>,
+    },
 }
 
 /// One experiment cell: a workload placement under a mechanism at a threshold.
@@ -85,6 +94,11 @@ impl CellSpec {
         CellSpec { workload: WorkloadSpec::Attacked { workload: workload.into(), attack }, mechanism, nrh }
     }
 
+    /// A heterogeneous multi-core mix cell (one workload per core).
+    pub fn mix(name: impl Into<String>, workloads: Vec<String>, mechanism: MechanismKind, nrh: u64) -> Self {
+        CellSpec { workload: WorkloadSpec::Mix { name: name.into(), workloads }, mechanism, nrh }
+    }
+
     /// Runs this cell on `runner`. Deterministic: the result depends only on
     /// the spec and the runner's identity (config, seed, loop mode).
     pub fn run(&self, runner: &Runner) -> Result<RunResult, RunnerError> {
@@ -96,6 +110,9 @@ impl CellSpec {
             WorkloadSpec::Attacked { workload, attack } => {
                 runner.run_with_attacker(workload, *attack, self.mechanism, self.nrh)
             }
+            WorkloadSpec::Mix { name, workloads } => {
+                runner.run_mix(name, workloads, self.mechanism, self.nrh)
+            }
         }
     }
 
@@ -106,6 +123,7 @@ impl CellSpec {
             WorkloadSpec::Single { workload } => workload.clone(),
             WorkloadSpec::Homogeneous { workload, cores } => format!("{workload}-x{cores}"),
             WorkloadSpec::Attacked { workload, .. } => format!("{workload}+attack"),
+            WorkloadSpec::Mix { name, .. } => name.clone(),
         };
         format!("{placement}/{}/nrh{}", self.mechanism.name(), self.nrh)
     }

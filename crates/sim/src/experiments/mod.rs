@@ -28,7 +28,7 @@ pub use adversarial::{fig16_adversarial, AdversarialResult};
 pub use cells::{CellBackend, CellSpec, WorkloadSpec};
 pub use comparison::{fig12_fig14_comparison, radar_fig4, ComparisonResult, RadarPoint};
 pub use fpr::{fig17_false_positive_rate, FprPoint};
-pub use multicore::{fig13_fig15_multicore, MulticoreResult};
+pub use multicore::{fig13_fig15_multicore, mixed_multicore, MixedMulticoreResult, MulticoreResult};
 pub use parallel::ParallelExecutor;
 pub use ranks::{rank_sweep, RankPoint, RankSweepResult};
 pub use singlecore::{fig10_fig11_singlecore, SingleCoreResult};

@@ -46,6 +46,7 @@ pub mod metrics;
 pub mod registry;
 pub mod request;
 pub mod runner;
+pub mod shardpool;
 pub mod system;
 
 pub use controller::{ControllerConfig, ControllerStats, MemoryController};
@@ -55,4 +56,5 @@ pub use metrics::{geometric_mean, normalized_distribution, DistributionSummary, 
 pub use registry::{MechanismRegistry, MechanismSpec, RegisteredFactory};
 pub use request::MemRequest;
 pub use runner::{MechanismKind, Runner, RunnerError};
+pub use shardpool::ShardPool;
 pub use system::{LoopMode, SimConfig, System};

@@ -14,6 +14,7 @@
 
 use crate::controller::{ControllerConfig, ControllerStats, MemoryController};
 use crate::request::{CompletedRead, MemRequest};
+use crate::shardpool::ShardPool;
 use comet_dram::{ChannelStats, Cycle, DramAddr, DramConfig, EnergyCounters};
 use comet_mitigations::{MitigationFactory, MitigationStats};
 
@@ -58,6 +59,10 @@ pub struct MemorySystem {
     /// Per-shard cached next-event time: the shard is not ticked again before
     /// this cycle unless [`enqueue`](MemorySink::enqueue) invalidates it.
     next_event: Vec<Cycle>,
+    /// Scratch list of the shards due inside the current step window (reused
+    /// across [`step_until`](Self::step_until) calls, so the windowed loop
+    /// allocates nothing per step).
+    due_scratch: Vec<u16>,
 }
 
 impl MemorySystem {
@@ -75,7 +80,8 @@ impl MemorySystem {
             .map(|channel| MemoryController::new(dram.clone(), controller.clone(), mitigation.build(channel)))
             .collect();
         let next_event = vec![0; shards.len()];
-        MemorySystem { shards, next_event }
+        let due_scratch = Vec::with_capacity(shards.len());
+        MemorySystem { shards, next_event, due_scratch }
     }
 
     /// Number of channel shards.
@@ -133,6 +139,37 @@ impl MemorySystem {
             min_next = min_next.min(*next);
         }
         min_next
+    }
+
+    /// Free-runs every shard through all of its own events in the window
+    /// `[start, until)`, fanning the due shards out over `pool` (which may be
+    /// the serial pool). Equivalent to repeatedly calling
+    /// [`tick`](Self::tick) at every event cycle inside the window — with
+    /// `until == start + 1` it *is* one such call — and therefore sound
+    /// exactly when no request is enqueued and no completion is consumed
+    /// until `until`: shards are independent between those interactions, so
+    /// each one's tick chain inside the window is a pure function of its own
+    /// state. Completions accumulate in the shards' buffers for the drain at
+    /// the window barrier. Returns the earliest cached next-event time over
+    /// all shards (necessarily `>= until`).
+    pub fn step_until(&mut self, start: Cycle, until: Cycle, pool: &ShardPool) -> Cycle {
+        debug_assert!(until > start, "step window must be non-empty");
+        self.due_scratch.clear();
+        for (index, &next) in self.next_event.iter().enumerate() {
+            if next < until {
+                self.due_scratch.push(index as u16);
+            }
+        }
+        pool.step(&mut self.shards, &mut self.next_event, &self.due_scratch, start, until);
+        self.next_event.iter().copied().min().unwrap_or(Cycle::MAX)
+    }
+
+    /// The cached cycle at which `channel`'s shard is next due to tick — a
+    /// sound lower bound on its next state change. The shard-parallel loop
+    /// uses this to bound free-running windows for cores blocked on that
+    /// shard's progress.
+    pub fn shard_next_event(&self, channel: usize) -> Cycle {
+        self.next_event[channel]
     }
 
     /// Drains the reads completed since the last call, in channel order.

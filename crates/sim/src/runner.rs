@@ -120,6 +120,15 @@ pub struct Runner {
     seed: u64,
     registry: Arc<MechanismRegistry>,
     loop_mode: LoopMode,
+    /// Threads stepping the channel shards of one simulation through the
+    /// windowed shard-parallel engine; `None` selects the classic serial
+    /// loop. Execution policy, not simulation identity: results are
+    /// bit-identical for every value, so this is deliberately *not* part of
+    /// the experiment service's cache key.
+    shard_threads: Option<usize>,
+    /// Window-jitter seed for the barrier-soundness tests (`None` in normal
+    /// operation). Also pure execution policy.
+    window_jitter: Option<u64>,
 }
 
 impl Runner {
@@ -137,7 +146,14 @@ impl Runner {
 
     /// Creates a runner resolving mechanisms through a custom registry.
     pub fn with_registry(config: SimConfig, seed: u64, registry: Arc<MechanismRegistry>) -> Self {
-        Runner { config, seed, registry, loop_mode: LoopMode::default() }
+        Runner {
+            config,
+            seed,
+            registry,
+            loop_mode: LoopMode::default(),
+            shard_threads: None,
+            window_jitter: None,
+        }
     }
 
     /// Selects the simulation-loop mode (builder style). Results are
@@ -145,6 +161,28 @@ impl Runner {
     /// the equivalence tests that prove exactly that.
     pub fn with_loop_mode(mut self, mode: LoopMode) -> Self {
         self.loop_mode = mode;
+        self
+    }
+
+    /// Runs each simulation through the shard-parallel windowed engine with
+    /// `threads` stepping threads (builder style; the simulating thread
+    /// counts as one, and the pool is capped at the channel count and the
+    /// machine's available parallelism). `threads == 1` selects the windowed
+    /// engine with no worker threads — same barrier-per-window loop, inline
+    /// stepping. Results are bit-identical to the serial loop for every
+    /// value — this is pure execution policy and not part of a cell's cache
+    /// identity. Only meaningful with [`LoopMode::EventDriven`]; the dense
+    /// reference loop always steps serially.
+    pub fn with_shard_threads(mut self, threads: usize) -> Self {
+        self.shard_threads = Some(threads.max(1));
+        self
+    }
+
+    /// Splits every shard-parallel free-running window at a pseudo-random
+    /// point derived from `seed` (builder style) — the barrier-soundness
+    /// test hook. Implies the windowed loop even at one thread.
+    pub fn with_window_jitter(mut self, seed: u64) -> Self {
+        self.window_jitter = Some(seed);
         self
     }
 
@@ -201,7 +239,17 @@ impl Runner {
     ) -> Result<RunResult, RunnerError> {
         let config = self.validated_config()?.clone();
         let factory = self.registry.factory(kind, nrh, &config.dram, self.seed)?;
-        Ok(System::new(config, traces, &factory).run_with_mode(label, self.loop_mode))
+        let system = System::new(config, traces, &factory);
+        Ok(match (self.loop_mode, self.window_jitter, self.shard_threads) {
+            // The dense reference loop is the serial oracle; it never runs
+            // windowed or sharded.
+            (LoopMode::DenseReference, _, _) => system.run_with_mode(label, self.loop_mode),
+            (LoopMode::EventDriven, Some(seed), threads) => {
+                system.run_sharded_jittered(label, threads.unwrap_or(1), seed)
+            }
+            (LoopMode::EventDriven, None, Some(threads)) => system.run_sharded(label, threads),
+            (LoopMode::EventDriven, None, None) => system.run_with_mode(label, self.loop_mode),
+        })
     }
 
     /// Runs one single-core workload under `kind` at RowHammer threshold `nrh`.
@@ -225,6 +273,25 @@ impl Runner {
     ) -> Result<RunResult, RunnerError> {
         let traces: Result<Vec<_>, _> = (0..cores).map(|c| self.workload_trace(workload, c)).collect();
         self.run_system(traces?, kind, nrh, format!("{workload}-x{cores}"))
+    }
+
+    /// Runs a heterogeneous multi-core mix: one named workload per core, in
+    /// core order. Each core's trace derives its randomness from the core
+    /// index (like [`run_homogeneous`](Self::run_homogeneous)), so two cores
+    /// running the same workload in one mix still see independent streams.
+    pub fn run_mix(
+        &self,
+        name: &str,
+        workloads: &[String],
+        kind: MechanismKind,
+        nrh: u64,
+    ) -> Result<RunResult, RunnerError> {
+        let traces: Result<Vec<_>, _> = workloads
+            .iter()
+            .enumerate()
+            .map(|(core, workload)| self.workload_trace(workload, core))
+            .collect();
+        self.run_system(traces?, kind, nrh, name.to_string())
     }
 
     /// Runs a benign workload alongside an attacker core executing `attack`.

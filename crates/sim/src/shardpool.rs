@@ -1,0 +1,383 @@
+//! Persistent worker pool that steps memory-controller shards in parallel
+//! inside one simulation.
+//!
+//! One simulation run owns one [`ShardPool`]. Per core-visible event window
+//! the coordinating simulation thread publishes a *step job* — a borrowed
+//! slice of controller shards, their cached next-event times, the list of
+//! shards due inside the window, and the window bounds — and participates in
+//! draining it alongside the workers. Shards are handed out through an atomic
+//! cursor, so each shard is free-run by exactly one thread per window; the
+//! coordinator returns only after every worker has signalled completion,
+//! which is what makes lending `&mut` shard slices to long-lived threads
+//! sound (the borrow never outlives the call).
+//!
+//! Synchronization is a seqlock-style spin barrier (`job` generation counter
+//! published with release ordering, per-job `done` counter read with acquire
+//! ordering): a window costs two atomic round-trips plus the shard work, no
+//! locks and no allocation. Workers spin briefly between jobs and park once a
+//! simulation goes quiet; the coordinator unparks them on the next job.
+//!
+//! Determinism: thread scheduling never touches simulated state. Each shard's
+//! free-run is a pure function of that shard (see
+//! [`free_run_shard`]), shards share nothing, and completions are drained in
+//! channel order at the barrier — so results are bit-identical for any worker
+//! count, including the serial pool. The bit-exactness suite in
+//! `crates/bench/tests/bitexact_hotpath.rs` and the jittered-window proptests
+//! in `crates/bench/tests/shard_windows.rs` pin this.
+
+use crate::controller::MemoryController;
+use comet_dram::Cycle;
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Free-runs one shard through all of its own events inside `[start, until)`.
+///
+/// `cached` is the shard's cached next-event time (a sound lower bound on its
+/// next state change). The shard is ticked at exactly the cycle sequence the
+/// serial event-driven loop would have ticked it at — first at
+/// `max(cached, start)`, then at each returned bound — because between
+/// barriers no enqueue can invalidate the chain. Returns the shard's next due
+/// cycle (`>= until`), which becomes the new cached next-event time.
+pub(crate) fn free_run_shard(
+    shard: &mut MemoryController,
+    cached: Cycle,
+    start: Cycle,
+    until: Cycle,
+) -> Cycle {
+    let mut due = cached.max(start);
+    while due < until {
+        due = shard.tick(due).max(due + 1);
+    }
+    due
+}
+
+/// One published step job: raw views of the coordinator's borrows, valid
+/// strictly between the job's publication and its completion barrier.
+struct StepJob {
+    shards: *mut MemoryController,
+    next_event: *mut Cycle,
+    due: *const u16,
+    due_len: usize,
+    start: Cycle,
+    until: Cycle,
+}
+
+impl StepJob {
+    const fn empty() -> Self {
+        StepJob {
+            shards: std::ptr::null_mut(),
+            next_event: std::ptr::null_mut(),
+            due: std::ptr::null(),
+            due_len: 0,
+            start: 0,
+            until: 0,
+        }
+    }
+}
+
+/// Shared coordinator/worker state.
+struct PoolShared {
+    /// Job generation counter; a new value publishes `job` (release/acquire).
+    generation: AtomicU64,
+    /// Next index into the job's due list (work-stealing cursor).
+    cursor: AtomicUsize,
+    /// Workers that finished the current job.
+    done: AtomicUsize,
+    /// Tells workers to exit.
+    shutdown: AtomicBool,
+    /// The current job. Written by the coordinator before bumping
+    /// `generation`, read by workers after observing the bump.
+    job: UnsafeCell<StepJob>,
+}
+
+// SAFETY: `job` is only written by the coordinator before a release-store of
+// `generation` and only read by workers after the matching acquire-load; the
+// raw pointers inside are dereferenced exclusively between publication and
+// the completion barrier, with disjoint shard indices handed out by `cursor`.
+// `MemoryController` is `Send`, so mutating one from a worker thread is fine.
+unsafe impl Sync for PoolShared {}
+
+/// Sends the shard pointers to worker threads. The pointers are only valid
+/// (and only dereferenced) while the owning `step` call is blocked on the
+/// completion barrier.
+unsafe impl Send for StepJob {}
+
+/// The shard-stepping pool: `participants - 1` worker threads plus the
+/// calling thread. `ShardPool::new(1)` is the serial pool (no threads, every
+/// job runs inline on the caller).
+pub struct ShardPool {
+    shared: Arc<PoolShared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ShardPool {
+    /// A pool with `participants` stepping threads in total (the caller
+    /// counts as one, so `participants - 1` workers are spawned). Values of 0
+    /// and 1 both yield the serial pool. The count is capped at the
+    /// machine's available parallelism: the workers spin between barriers,
+    /// so oversubscribing physical cores would turn every window into a
+    /// scheduler round-trip (catastrophic on a single-core host, where the
+    /// cap makes any request degrade to the serial pool).
+    pub fn new(participants: usize) -> Self {
+        let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        Self::new_unclamped(participants.min(cores))
+    }
+
+    /// A pool with exactly `participants` stepping threads, *not* capped at
+    /// the machine's parallelism. An oversubscribed pool is slow — every
+    /// barrier becomes a scheduler round-trip — but still bit-exact; the
+    /// thread-safety tests use this to force the parallel fan-out path on
+    /// any host, including single-core CI runners.
+    pub fn new_unclamped(participants: usize) -> Self {
+        let workers = participants.saturating_sub(1);
+        let shared = Arc::new(PoolShared {
+            generation: AtomicU64::new(0),
+            cursor: AtomicUsize::new(0),
+            done: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+            job: UnsafeCell::new(StepJob::empty()),
+        });
+        let handles = (0..workers)
+            .map(|index| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("comet-shard-{index}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawning a shard worker thread")
+            })
+            .collect();
+        ShardPool { shared, workers: handles }
+    }
+
+    /// Whether the pool has worker threads to fan shards out to.
+    pub fn is_parallel(&self) -> bool {
+        !self.workers.is_empty()
+    }
+
+    /// Number of stepping threads (workers + the caller).
+    pub fn participants(&self) -> usize {
+        self.workers.len() + 1
+    }
+
+    /// Free-runs every shard listed in `due` through `[start, until)`,
+    /// fanning the list out over the workers and the calling thread. Entries
+    /// of `next_event` indexed by `due` are updated to each shard's new due
+    /// cycle. Blocks until all listed shards have been stepped.
+    pub(crate) fn step(
+        &self,
+        shards: &mut [MemoryController],
+        next_event: &mut [Cycle],
+        due: &[u16],
+        start: Cycle,
+        until: Cycle,
+    ) {
+        debug_assert_eq!(shards.len(), next_event.len());
+        debug_assert!(due.iter().all(|&i| (i as usize) < shards.len()));
+        if !self.is_parallel() || due.len() <= 1 {
+            // Nothing to fan out: run inline without touching the barrier.
+            for &index in due {
+                let i = index as usize;
+                next_event[i] = free_run_shard(&mut shards[i], next_event[i], start, until);
+            }
+            return;
+        }
+        let job = StepJob {
+            shards: shards.as_mut_ptr(),
+            next_event: next_event.as_mut_ptr(),
+            due: due.as_ptr(),
+            due_len: due.len(),
+            start,
+            until,
+        };
+        // SAFETY: no worker reads `job` until the generation bump below, and
+        // the previous job's readers are all past their `done` increment.
+        unsafe { *self.shared.job.get() = job };
+        self.shared.cursor.store(0, Ordering::Relaxed);
+        self.shared.done.store(0, Ordering::Relaxed);
+        self.shared.generation.fetch_add(1, Ordering::Release);
+        // Unconditionally unpark: on a spinning worker this only sets the
+        // park token (no syscall), and doing it always — after the
+        // generation bump — makes the wakeup race-free, where a "parked"
+        // flag would leave a window for a 10 ms park-timeout stall.
+        for worker in &self.workers {
+            worker.thread().unpark();
+        }
+        run_job(&self.shared);
+        // Wait for every worker to clear the job before the shard borrows
+        // (held by our caller) can be released.
+        let mut spins = 0u32;
+        while self.shared.done.load(Ordering::Acquire) != self.workers.len() {
+            spins += 1;
+            if spins < 1 << 14 {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        }
+    }
+}
+
+impl Drop for ShardPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Relaxed);
+        // Wake spinners and sleepers alike.
+        self.shared.generation.fetch_add(1, Ordering::Release);
+        for worker in &self.workers {
+            worker.thread().unpark();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// Drains the published job's due list from the shared cursor.
+fn run_job(shared: &PoolShared) {
+    // SAFETY: called only between a job's publication and its completion
+    // barrier (workers observe the generation bump first, the coordinator
+    // calls it right after publishing).
+    let job = unsafe { &*shared.job.get() };
+    loop {
+        let slot = shared.cursor.fetch_add(1, Ordering::Relaxed);
+        if slot >= job.due_len {
+            return;
+        }
+        // SAFETY: `cursor` hands each due slot to exactly one thread, the due
+        // list holds distinct in-bounds shard indices, and the coordinator
+        // keeps the backing borrows alive until the completion barrier.
+        unsafe {
+            let index = *job.due.add(slot) as usize;
+            let shard = &mut *job.shards.add(index);
+            let next = &mut *job.next_event.add(index);
+            *next = free_run_shard(shard, *next, job.start, job.until);
+        }
+    }
+}
+
+fn worker_loop(shared: &PoolShared) {
+    let mut seen = 0u64;
+    loop {
+        // Wait for a new job generation: spin briefly (windows arrive every
+        // few microseconds in a busy simulation), then park. The
+        // coordinator's unconditional unpark after each generation bump
+        // makes the park race-free (a pre-park unpark leaves the token set,
+        // so the park returns immediately); the timeout is pure insurance.
+        let mut spins = 0u32;
+        loop {
+            let generation = shared.generation.load(Ordering::Acquire);
+            if generation != seen {
+                seen = generation;
+                break;
+            }
+            spins += 1;
+            if spins < 1 << 12 {
+                std::hint::spin_loop();
+            } else if spins < 1 << 14 {
+                // Oversubscribed (or briefly idle) pools: hand the core to
+                // the coordinator instead of spinning out its quantum.
+                std::thread::yield_now();
+            } else {
+                std::thread::park_timeout(Duration::from_millis(1));
+            }
+        }
+        if shared.shutdown.load(Ordering::Relaxed) {
+            return;
+        }
+        run_job(shared);
+        shared.done.fetch_add(1, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::controller::ControllerConfig;
+    use crate::request::MemRequest;
+    use comet_dram::{DramAddr, DramConfig};
+    use comet_mitigations::NoMitigation;
+
+    fn controller() -> MemoryController {
+        MemoryController::new(
+            DramConfig::ddr4_paper_default(),
+            ControllerConfig::default(),
+            Box::new(NoMitigation::new()),
+        )
+    }
+
+    fn addr(row: usize) -> DramAddr {
+        DramAddr { channel: 0, rank: 0, bank_group: 0, bank: 0, row, column: 0 }
+    }
+
+    fn load(shard: &mut MemoryController, requests: u64) {
+        for id in 0..requests {
+            assert!(shard.enqueue(MemRequest::new(id, 0, addr(7 * id as usize), false, 0)));
+        }
+    }
+
+    /// The parallel pool's free-runs must be bit-identical to inline serial
+    /// free-runs of identical shards.
+    #[test]
+    fn parallel_step_matches_serial_free_run() {
+        let mut serial: Vec<MemoryController> = (0..4).map(|_| controller()).collect();
+        let mut pooled: Vec<MemoryController> = (0..4).map(|_| controller()).collect();
+        for shard in serial.iter_mut().chain(pooled.iter_mut()) {
+            load(shard, 12);
+        }
+        let mut serial_next = vec![0u64; 4];
+        let mut pooled_next = vec![0u64; 4];
+        let due: Vec<u16> = (0..4u16).collect();
+        let pool = ShardPool::new_unclamped(4);
+        let mut start = 0;
+        for window in [64u64, 1, 300, 5_000, 100_000] {
+            let until = start + window;
+            for (shard, next) in serial.iter_mut().zip(&mut serial_next) {
+                *next = free_run_shard(shard, *next, start, until);
+            }
+            pool.step(&mut pooled, &mut pooled_next, &due, start, until);
+            start = until;
+        }
+        assert_eq!(serial_next, pooled_next);
+        for (a, b) in serial.iter_mut().zip(&mut pooled) {
+            assert_eq!(a.stats(), b.stats());
+            assert_eq!(a.channel_stats(), b.channel_stats());
+            assert_eq!(a.take_completions(), b.take_completions());
+        }
+    }
+
+    #[test]
+    fn serial_pool_has_no_workers_and_still_steps() {
+        let pool = ShardPool::new(1);
+        assert!(!pool.is_parallel());
+        assert_eq!(pool.participants(), 1);
+        let mut shards = vec![controller()];
+        load(&mut shards[0], 3);
+        let mut next = vec![0u64];
+        pool.step(&mut shards, &mut next, &[0], 0, 10_000);
+        assert!(next[0] >= 10_000);
+        assert!(shards[0].stats().reads_completed > 0);
+    }
+
+    #[test]
+    fn pool_survives_many_tiny_windows() {
+        // Stress the barrier with single-cycle windows (the degenerate
+        // blocked-core cadence) — the pool must neither deadlock nor skip
+        // work.
+        let pool = ShardPool::new_unclamped(3);
+        let mut shards: Vec<MemoryController> = (0..3).map(|_| controller()).collect();
+        for shard in &mut shards {
+            load(shard, 4);
+        }
+        let mut next = vec![0u64; 3];
+        let due: Vec<u16> = (0..3u16).collect();
+        for now in 0..2_000u64 {
+            let window: Vec<u16> = due.iter().copied().filter(|&i| next[i as usize] <= now).collect();
+            pool.step(&mut shards, &mut next, &window, now, now + 1);
+        }
+        for shard in &mut shards {
+            assert_eq!(shard.stats().reads_completed, 4);
+        }
+    }
+}

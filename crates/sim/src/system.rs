@@ -1,11 +1,12 @@
 //! The full simulated system: cores + sharded memory system + simulation loop.
 
-use crate::controller::ControllerConfig;
+use crate::controller::{ControllerConfig, ControllerStats};
 use crate::cpu::{CoreConfig, TraceCore};
 use crate::memory::MemorySystem;
 use crate::metrics::RunResult;
-use comet_dram::{Cycle, DramConfig, EnergyCounters};
-use comet_mitigations::MitigationFactory;
+use crate::shardpool::ShardPool;
+use comet_dram::{ChannelStats, Cycle, DramConfig, EnergyCounters};
+use comet_mitigations::{MitigationFactory, MitigationStats};
 use comet_trace::TraceSource;
 
 /// Simulation-level configuration: which DRAM preset to use and how long to run.
@@ -157,6 +158,40 @@ struct CoreSnapshot {
     writes: u64,
 }
 
+/// Snapshot of every statistic taken at the warmup boundary, so the measured
+/// result covers only the post-warmup window. Shared by the serial and the
+/// shard-parallel simulation loops.
+struct WarmSnapshot {
+    core: Vec<CoreSnapshot>,
+    ctrl: ControllerStats,
+    energy: EnergyCounters,
+    mitigation: MitigationStats,
+    channel: ChannelStats,
+}
+
+/// Per-core scheduling state of the shard-parallel (windowed) loop.
+#[derive(Debug, Clone, Copy)]
+enum CoreLoopState {
+    /// The core's last `advance` returned a wake cycle: it is not re-advanced
+    /// before that cycle (the serial loop's memo behavior).
+    Sleeping(Cycle),
+    /// The core's last `advance` returned `None`; re-advancing it before the
+    /// stored cycle is provably a no-op (see the window-derivation comment in
+    /// `run_windowed`), so it is skipped until then.
+    Blocked(Cycle),
+}
+
+/// One step of the deterministic generator behind the window-jitter test
+/// hook (SplitMix64): used to split free-running windows at arbitrary sound
+/// points in the barrier-soundness proptests.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// The simulated system: a sharded memory system shared by one or more cores.
 pub struct System {
     config: SimConfig,
@@ -212,11 +247,7 @@ impl System {
         let warmup_end = self.config.warmup_cycles;
         let end = self.config.total_cycles();
         let mut now: Cycle = 0;
-        let mut warm_core: Vec<CoreSnapshot> = vec![CoreSnapshot::default(); self.cores.len()];
-        let mut warm_ctrl = self.memory.stats();
-        let mut warm_energy = EnergyCounters::default();
-        let mut warm_mitigation = self.memory.mitigation_stats();
-        let mut warm_channel = self.memory.channel_stats();
+        let mut warm = self.warm_snapshot();
         let mut warm_taken = warmup_end == 0;
         // Reused across iterations so the loop allocates nothing per step.
         let mut completions = Vec::new();
@@ -232,19 +263,7 @@ impl System {
 
         while now < end {
             if !warm_taken && now >= warmup_end {
-                warm_core = self
-                    .cores
-                    .iter()
-                    .map(|c| CoreSnapshot {
-                        instructions: c.instructions(),
-                        reads: c.reads_issued(),
-                        writes: c.writes_issued(),
-                    })
-                    .collect();
-                warm_ctrl = self.memory.stats();
-                warm_energy = self.memory.energy_counters(0);
-                warm_mitigation = self.memory.mitigation_stats();
-                warm_channel = self.memory.channel_stats();
+                warm = self.warm_snapshot();
                 warm_taken = true;
             }
 
@@ -280,9 +299,10 @@ impl System {
             // past the warmup boundary). The event times are *sound* lower
             // bounds on when anything can happen: the memory system's
             // next-event cache covers every shard, and each controller's
-            // wakeup covers its queues, timing constraints, and refresh
-            // deadlines (at worst every tREFI, which also bounds the cadence
-            // of the mitigations' periodic-reset hooks). Event-driven runs
+            // wakeup covers its queues, timing constraints, refresh
+            // deadlines, and the mitigation's scheduled tick deadline (the
+            // periodic-reset boundaries each mechanism reports through
+            // `next_tick_deadline`). Event-driven runs
             // therefore cross memory-idle phases in a single step, without
             // the bounded `now + 512` skip the reference loop keeps. Cores
             // blocked on a full queue report no wakeup of their own: a slot
@@ -303,31 +323,204 @@ impl System {
             };
         }
 
-        // Assemble the measured (post-warmup) result.
-        let measured_cycles = end - warmup_end;
-        let ctrl = self.memory.stats().delta_since(&warm_ctrl);
-        let mut energy = self.memory.energy_counters(0).delta_since(&warm_energy);
+        self.assemble(label.into(), &warm)
+    }
+
+    /// Runs the simulation with the channel shards stepped on a pool of
+    /// `threads` worker threads (the calling thread included), synchronized
+    /// by a barrier per core-visible event window. Results are bit-identical
+    /// to [`run`](Self::run): the window construction only ever spans cycles
+    /// in which no core can observe or influence the memory system, and
+    /// inside a window each shard's tick chain is the exact sequence the
+    /// serial loop would have performed. `threads == 1` runs the same
+    /// windowed loop without worker threads.
+    pub fn run_sharded(self, label: impl Into<String>, threads: usize) -> RunResult {
+        self.run_windowed(label.into(), threads, None)
+    }
+
+    /// [`run_sharded`](Self::run_sharded) with every free-running window
+    /// split at a deterministic pseudo-random point derived from `seed` —
+    /// the barrier-soundness test hook. Splitting a sound window is always
+    /// sound (any prefix of a window is a window), so results must stay
+    /// bit-identical for every seed; the proptests in
+    /// `crates/bench/tests/shard_windows.rs` assert exactly that.
+    pub fn run_sharded_jittered(self, label: impl Into<String>, threads: usize, seed: u64) -> RunResult {
+        self.run_windowed(label.into(), threads, Some(seed))
+    }
+
+    /// The shard-parallel (windowed) simulation loop.
+    ///
+    /// Soundness of a window `[now, until)`, relative to the serial
+    /// event-driven loop:
+    ///
+    /// * A core the serial loop has sleeping on a known wake `w` is not
+    ///   re-advanced before `w`, so `until <= w` keeps its behavior
+    ///   untouched; completions it would have been handed earlier are
+    ///   order-insensitive `note_completion` calls delivered at the barrier,
+    ///   before its next advance.
+    /// * A blocked core (advance returned `None`) is re-advanced by the
+    ///   serial loop after *every* memory event, but those re-advances are
+    ///   no-ops until the specific shard it is blocked on makes progress:
+    ///   its queue-full retry can only succeed after that shard issues a
+    ///   command, and its window-stall can only clear after that shard
+    ///   completes the oldest outstanding read. Bounding the window at that
+    ///   shard's next event (+1 cycle for visibility, matching the serial
+    ///   loop's wake-after-issue cadence) therefore skips only no-op
+    ///   re-advances. The clock creep a stalled core accumulates while
+    ///   probing a full queue is max-absorbed by its final (successful)
+    ///   retry, so late re-advances reconstruct it exactly.
+    /// * Inside the window no enqueue reaches any shard, so each shard's
+    ///   tick chain — starting at its cached next-event time — visits
+    ///   exactly the cycles the serial loop would have ticked it at, and
+    ///   shards share no state, so stepping them on worker threads cannot
+    ///   reorder anything observable.
+    fn run_windowed(mut self, label: String, threads: usize, jitter: Option<u64>) -> RunResult {
+        let warmup_end = self.config.warmup_cycles;
+        let end = self.config.total_cycles();
+        let mut now: Cycle = 0;
+        let mut warm = self.warm_snapshot();
+        let mut warm_taken = warmup_end == 0;
+        let pool = ShardPool::new(threads.clamp(1, self.memory.channels()));
+        let mut completions = Vec::new();
+        let mut core_state: Vec<CoreLoopState> = vec![CoreLoopState::Sleeping(0); self.cores.len()];
+        let mut jitter_state = jitter;
+        // A read's data returns CL + burst cycles after its column command
+        // issues (`DramChannel::read_data_available_at`); a core stalled on
+        // an instruction window full behind an *unissued* read therefore
+        // cannot retire it earlier than its shard's next possible issue plus
+        // this latency — the extra window length over the bare next-event
+        // bound on queue-saturated (attack) traffic.
+        let read_return = self.config.dram.timing.cl + self.config.dram.timing.burst_cycles;
+
+        while now < end {
+            if !warm_taken && now >= warmup_end {
+                warm = self.warm_snapshot();
+                warm_taken = true;
+            }
+
+            completions.clear();
+            self.memory.drain_completions_into(&mut completions);
+            for completion in &completions {
+                self.cores[completion.core].note_completion(completion.id, completion.completion);
+            }
+
+            // Advance the cores, deriving the window end: the earliest cycle
+            // at which any core can next observe or influence the memory
+            // system. Where the serial loop re-advances every blocked core
+            // after every memory event, this loop skips re-advances it can
+            // prove are no-ops: a core that blocked reports — *at blocking
+            // time* — the first cycle it could possibly progress at (its
+            // known wake, or one cycle past its blocking shard's next event,
+            // the serial loop's wake-after-issue cadence), and is not
+            // re-advanced before that cycle. The hint must be captured when
+            // the core blocks, not recomputed later: once the window has
+            // stepped the blocking shard, its cached bound has moved past
+            // the very event the core is waiting to observe.
+            let mut until = end;
+            for (core, state) in self.cores.iter_mut().zip(&mut core_state) {
+                let bound = match *state {
+                    CoreLoopState::Sleeping(w) if now < w => w,
+                    CoreLoopState::Blocked(h) if now < h => h,
+                    _ => match core.advance(now, &mut self.memory) {
+                        Some(w) => {
+                            *state = CoreLoopState::Sleeping(w);
+                            w
+                        }
+                        None => {
+                            let hint = core
+                                .blocked_wake()
+                                .or_else(|| {
+                                    core.blocking_channel().map(|channel| {
+                                        let bound = self.memory.shard_next_event(channel);
+                                        // Window full behind a read whose
+                                        // completion is unknown — i.e. whose
+                                        // column command has not issued (an
+                                        // issued one's completion is drained
+                                        // at the barrier before this advance)
+                                        // — cannot retire before the shard's
+                                        // next issue opportunity plus the
+                                        // data-return latency. A queue-full
+                                        // stall only needs the shard's next
+                                        // command (+1 for visibility).
+                                        let delay = if core.window_blocked() { read_return } else { 1 };
+                                        bound.saturating_add(delay)
+                                    })
+                                })
+                                // Unreachable today (blocked cores always
+                                // report a wake or a blocking channel);
+                                // degrade to the serial per-event cadence.
+                                .unwrap_or(now + 1)
+                                .max(now + 1);
+                            *state = CoreLoopState::Blocked(hint);
+                            hint
+                        }
+                    },
+                };
+                until = until.min(bound.max(now + 1));
+            }
+            if !warm_taken {
+                until = until.min(warmup_end);
+            }
+            until = until.clamp(now + 1, end);
+            if let Some(state) = jitter_state.as_mut() {
+                let span = until - now;
+                if span > 1 {
+                    until = now + 1 + splitmix64(state) % span;
+                }
+            }
+
+            self.memory.step_until(now, until, &pool);
+            now = until;
+        }
+
+        self.assemble(label, &warm)
+    }
+
+    /// Snapshots every statistic for warmup exclusion.
+    fn warm_snapshot(&self) -> WarmSnapshot {
+        WarmSnapshot {
+            core: self
+                .cores
+                .iter()
+                .map(|c| CoreSnapshot {
+                    instructions: c.instructions(),
+                    reads: c.reads_issued(),
+                    writes: c.writes_issued(),
+                })
+                .collect(),
+            ctrl: self.memory.stats(),
+            energy: self.memory.energy_counters(0),
+            mitigation: self.memory.mitigation_stats(),
+            channel: self.memory.channel_stats(),
+        }
+    }
+
+    /// Assembles the measured (post-warmup) result.
+    fn assemble(self, label: String, warm: &WarmSnapshot) -> RunResult {
+        let measured_cycles = self.config.total_cycles() - self.config.warmup_cycles;
+        let ctrl = self.memory.stats().delta_since(&warm.ctrl);
+        let mut energy = self.memory.energy_counters(0).delta_since(&warm.energy);
         energy.elapsed_cycles = measured_cycles;
-        let mitigation = self.memory.mitigation_stats().delta_since(&warm_mitigation);
+        let mitigation = self.memory.mitigation_stats().delta_since(&warm.mitigation);
         let channel_now = self.memory.channel_stats();
-        let acts = channel_now.acts - warm_channel.acts;
+        let acts = channel_now.acts - warm.channel.acts;
 
         let timing = &self.config.dram.timing;
         let cpu_cycles = self.cores[0].dram_to_cpu(measured_cycles);
         let per_core_instructions: Vec<u64> =
-            self.cores.iter().zip(&warm_core).map(|(c, w)| c.instructions() - w.instructions).collect();
+            self.cores.iter().zip(&warm.core).map(|(c, w)| c.instructions() - w.instructions).collect();
         let per_core_ipc: Vec<f64> = per_core_instructions.iter().map(|&i| i as f64 / cpu_cycles).collect();
         let total_reads: u64 =
-            self.cores.iter().zip(&warm_core).map(|(c, w)| c.reads_issued() - w.reads).sum();
+            self.cores.iter().zip(&warm.core).map(|(c, w)| c.reads_issued() - w.reads).sum();
         let total_writes: u64 =
-            self.cores.iter().zip(&warm_core).map(|(c, w)| c.writes_issued() - w.writes).sum();
+            self.cores.iter().zip(&warm.core).map(|(c, w)| c.writes_issued() - w.writes).sum();
 
         // Background energy scales with every rank of every channel.
         let total_ranks = self.config.dram.geometry.ranks_per_channel * self.config.dram.geometry.channels;
         let energy_breakdown = self.config.dram.energy.breakdown(&energy, timing, total_ranks);
 
         RunResult {
-            label: label.into(),
+            label,
             mechanism: self.memory.mitigation_name().to_string(),
             cores: self.cores.len(),
             dram_cycles: measured_cycles,
