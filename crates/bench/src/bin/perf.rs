@@ -31,10 +31,12 @@
 //!   sharded snapshot on the same machine and comparing them with `--diff`
 //!   is the shard-parallel speedup measurement.
 
+use comet_bench::hotpath::CellResult;
 use comet_bench::hotpath::{
     run_basket_with, run_cells, run_suite_smoke_serial, stress_basket, BasketResult, CellExec, HotpathScope,
     SuiteResult,
 };
+use comet_bench::tracker::{tracker_suite, TRACKER_NOW_STEP};
 use comet_bench::{
     extract_json_number, extract_json_string, extract_scope_accesses_per_sec, extract_scope_cells,
     CellSummary,
@@ -77,6 +79,7 @@ struct Args {
     scopes: Vec<HotpathScope>,
     shard_threads: Option<usize>,
     suite: bool,
+    tracker: bool,
     out: Option<PathBuf>,
     label: String,
     before: Option<PathBuf>,
@@ -91,6 +94,7 @@ fn parse_args() -> Args {
         scopes: vec![HotpathScope::Full],
         shard_threads: None,
         suite: false,
+        tracker: false,
         out: None,
         label: "hot-path basket".to_string(),
         before: None,
@@ -146,11 +150,13 @@ fn parse_args() -> Args {
                 });
             }
             "--suite" => args.suite = true,
+            "--tracker" => args.tracker = true,
             "--print-goldens" => args.print_goldens = true,
             "help" | "--help" | "-h" => {
                 println!(
                     "usage: perf [--cells smoke|full|all] [--shard-threads N] [--suite] [--out FILE] [--label TEXT] [--before FILE]"
                 );
+                println!("       perf --tracker [--out FILE] [--label TEXT] [--before FILE]");
                 println!("       perf --check FILE [--max-regress PCT]");
                 println!("       perf --diff OLD.json NEW.json");
                 println!("       perf --print-goldens");
@@ -277,6 +283,127 @@ fn print_goldens() -> ExitCode {
     }
 }
 
+#[derive(Debug, Clone, Serialize)]
+struct TrackerSpeedup {
+    label: String,
+    speedup: f64,
+}
+
+/// Snapshot written by `perf --tracker`: the per-mechanism tracker-core
+/// microbench suite (pure ACT-stream driver, no DRAM model). The `tracker`
+/// section mirrors a basket result so `perf --diff` renders it with the same
+/// extractors as the simulation baskets.
+#[derive(Debug, Clone, Serialize)]
+struct TrackerSnapshot {
+    schema: &'static str,
+    label: String,
+    tracker_acts_per_sec: f64,
+    tracker: BasketResult,
+    before_label: Option<String>,
+    speedups: Vec<TrackerSpeedup>,
+    speedup_geomean: Option<f64>,
+}
+
+/// Runs the tracker microbench suite and prints/records it.
+fn run_tracker(args: &Args) -> ExitCode {
+    let mut cells = Vec::new();
+    println!("-- tracker microbench suite: {} cells --", tracker_suite().len());
+    println!("{:<22} {:>10} {:>9} {:>14} {:>18}", "Cell", "acts", "wall (s)", "acts/sec", "checksum");
+    let mut total_acts = 0u64;
+    let mut total_wall = 0.0f64;
+    for cell in tracker_suite() {
+        let result = cell.run();
+        println!(
+            "{:<22} {:>10} {:>9.3} {:>14.0} {:>18}",
+            result.label,
+            result.acts,
+            result.wall_s,
+            result.acts_per_sec,
+            format!("{:016x}", result.checksum)
+        );
+        total_acts += result.acts;
+        total_wall += result.wall_s;
+        cells.push(CellResult {
+            label: result.label,
+            channels: 1,
+            mechanism: result.mechanism,
+            accesses: result.acts,
+            dram_cycles: result.acts * TRACKER_NOW_STEP,
+            wall_s: result.wall_s,
+            accesses_per_sec: result.acts_per_sec,
+            checksum: result.checksum,
+        });
+    }
+    let acts_per_sec = if total_wall > 0.0 { total_acts as f64 / total_wall } else { 0.0 };
+    println!("total: {total_acts} activations in {total_wall:.2} s  ->  {acts_per_sec:.0} acts/sec");
+
+    let mut snapshot = TrackerSnapshot {
+        schema: "bench-tracker/1",
+        label: args.label.clone(),
+        tracker_acts_per_sec: acts_per_sec,
+        tracker: BasketResult {
+            scope: "tracker".to_string(),
+            wall_s: total_wall,
+            accesses: total_acts,
+            accesses_per_sec: acts_per_sec,
+            cells_per_sec: if total_wall > 0.0 { cells.len() as f64 / total_wall } else { 0.0 },
+            cells,
+        },
+        before_label: None,
+        speedups: Vec::new(),
+        speedup_geomean: None,
+    };
+
+    if let Some(path) = &args.before {
+        match std::fs::read_to_string(path) {
+            Ok(text) => {
+                let old_cells = extract_scope_cells(&text, "tracker");
+                snapshot.before_label =
+                    Some(extract_json_string(&text, "label").unwrap_or_else(|| "before".to_string()));
+                for cell in &snapshot.tracker.cells {
+                    let Some(old) = old_cells.iter().find(|c| c.label == cell.label) else { continue };
+                    if old.accesses_per_sec > 0.0 {
+                        snapshot.speedups.push(TrackerSpeedup {
+                            label: cell.label.clone(),
+                            speedup: cell.accesses_per_sec / old.accesses_per_sec,
+                        });
+                    }
+                }
+                let ratios: Vec<f64> = snapshot.speedups.iter().map(|s| s.speedup).collect();
+                if let Some((g, n)) = geomean(&ratios) {
+                    snapshot.speedup_geomean = Some(g);
+                    println!(
+                        "\nper-cell tracker speedup vs '{}':",
+                        snapshot.before_label.as_deref().unwrap_or("before")
+                    );
+                    for s in &snapshot.speedups {
+                        println!("  {:<22} {:.2}x", s.label, s.speedup);
+                    }
+                    println!("tracker speedup geomean: {g:.2}x over {n} cells");
+                }
+            }
+            Err(e) => eprintln!("warning: cannot read --before {}: {e}", path.display()),
+        }
+    }
+
+    if let Some(out) = &args.out {
+        match serde_json::to_string_pretty(&snapshot) {
+            Ok(json) => {
+                if let Err(e) = std::fs::write(out, json + "\n") {
+                    eprintln!("error: cannot write {}: {e}", out.display());
+                    return ExitCode::from(2);
+                }
+                println!("\nwrote {}", out.display());
+            }
+            Err(e) => {
+                eprintln!("error: cannot serialize tracker snapshot: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
 /// Geometric mean of per-cell speedups and the number of cells it covers
 /// (`None` when no cell has a usable, positive ratio). The count is returned
 /// alongside so reports never claim more samples than actually entered the
@@ -310,22 +437,29 @@ fn run_diff(old_path: &PathBuf, new_path: &PathBuf) -> ExitCode {
     println!();
     println!("before: `{old_label}` — after: `{new_label}`");
     let mut compared_anything = false;
-    for scope in ["full", "smoke"] {
+    for scope in ["full", "smoke", "tracker"] {
         let old_cells = extract_scope_cells(&old_text, scope);
         let new_cells = extract_scope_cells(&new_text, scope);
         if old_cells.is_empty() || new_cells.is_empty() {
             continue;
         }
         compared_anything = true;
+        let unit = if scope == "tracker" { "acts/s" } else { "acc/s" };
         println!();
-        println!("### {scope} basket");
+        if scope == "tracker" {
+            println!("### tracker microbenches (per-mechanism ACT-stream cost)");
+        } else {
+            println!("### {scope} basket");
+        }
         println!();
-        println!("| Cell | before acc/s | after acc/s | speedup |");
+        println!("| Cell | before {unit} | after {unit} | speedup |");
         println!("|---|---:|---:|---:|");
         let old_by_label: std::collections::HashMap<&str, &CellSummary> =
             old_cells.iter().map(|c| (c.label.as_str(), c)).collect();
         let mut speedups = Vec::new();
         let mut attack_speedups = Vec::new();
+        let mut by_mechanism: std::collections::BTreeMap<String, Vec<f64>> = Default::default();
+        let mut checksum_drift = Vec::new();
         for cell in &new_cells {
             let Some(old) = old_by_label.get(cell.label.as_str()) else {
                 println!("| {} | — | {:.0} | new cell |", cell.label, cell.accesses_per_sec);
@@ -341,6 +475,16 @@ fn run_diff(old_path: &PathBuf, new_path: &PathBuf) -> ExitCode {
             if cell.label.contains("+attack") {
                 attack_speedups.push(speedup);
             }
+            if scope == "tracker" {
+                if let Some(mechanism) = cell.label.split('/').next() {
+                    by_mechanism.entry(mechanism.to_string()).or_default().push(speedup);
+                }
+                if let (Some(old_sum), Some(new_sum)) = (&old.checksum, &cell.checksum) {
+                    if old_sum != new_sum {
+                        checksum_drift.push(cell.label.clone());
+                    }
+                }
+            }
         }
         for old in &old_cells {
             if !new_cells.iter().any(|c| c.label == old.label) {
@@ -354,7 +498,7 @@ fn run_diff(old_path: &PathBuf, new_path: &PathBuf) -> ExitCode {
         ) {
             if old_agg > 0.0 {
                 println!(
-                    "- **{scope} basket aggregate: {:.2}x** ({old_agg:.0} → {new_agg:.0} acc/s)",
+                    "- **{scope} aggregate: {:.2}x** ({old_agg:.0} → {new_agg:.0} {unit})",
                     new_agg / old_agg
                 );
             }
@@ -364,6 +508,17 @@ fn run_diff(old_path: &PathBuf, new_path: &PathBuf) -> ExitCode {
         }
         if let Some((g, n)) = geomean(&attack_speedups) {
             println!("- **attack-cell speedup geomean: {g:.2}x** over {n} cells");
+        }
+        for (mechanism, ratios) in &by_mechanism {
+            if let Some((g, n)) = geomean(ratios) {
+                println!("- `{mechanism}` tracker speedup geomean: {g:.2}x over {n} streams");
+            }
+        }
+        if !checksum_drift.is_empty() {
+            println!(
+                "- ⚠ tracker checksums drifted for: {} (the tracker core is no longer bit-exact)",
+                checksum_drift.join(", ")
+            );
         }
     }
     match (extract_json_number(&old_text, "suite_wall_s"), extract_json_number(&new_text, "suite_wall_s")) {
@@ -394,6 +549,9 @@ fn main() -> ExitCode {
     }
     if args.print_goldens {
         return print_goldens();
+    }
+    if args.tracker {
+        return run_tracker(&args);
     }
 
     let mut snapshot = Snapshot {

@@ -14,6 +14,7 @@
 use comet_sim::experiments::ExperimentScope;
 
 pub mod hotpath;
+pub mod tracker;
 
 /// Parses the `--scope` argument used by the experiments binary and benches.
 pub fn parse_scope(value: &str) -> Option<ExperimentScope> {
@@ -59,6 +60,9 @@ pub struct CellSummary {
     pub accesses_per_sec: f64,
     /// Wall-clock seconds spent simulating the cell.
     pub wall_s: f64,
+    /// Raw checksum token as it appears in the snapshot, when present.
+    /// Kept as text: a u64 checksum does not round-trip through `f64`.
+    pub checksum: Option<String>,
 }
 
 /// Extracts the per-cell results of the `"full"` or `"smoke"` basket section
@@ -82,7 +86,8 @@ pub fn extract_scope_cells(text: &str, scope: &str) -> Vec<CellSummary> {
             extract_json_number(object, "accesses_per_sec"),
             extract_json_number(object, "wall_s"),
         ) {
-            cells.push(CellSummary { label, accesses_per_sec, wall_s });
+            let checksum = extract_json_raw(object, "checksum");
+            cells.push(CellSummary { label, accesses_per_sec, wall_s, checksum });
         }
         rest = &rest[end..];
     }

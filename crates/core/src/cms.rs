@@ -88,27 +88,25 @@ impl CountMinSketch {
         self.conservative
     }
 
-    fn indices(&self, item: u64) -> impl Iterator<Item = usize> + '_ {
-        let columns = self.columns();
-        (0..self.rows()).map(move |r| r * columns + self.hashes.hash(r, item))
-    }
-
     /// Computes `item`'s counter-group indices into an inline buffer and
-    /// returns `(buffer, rows)` — the allocation-free form of
-    /// [`indices`](Self::indices) used on the per-activation hot path.
+    /// returns `(buffer, rows)` — the allocation-free, fused form used on the
+    /// per-activation hot path (all hashes in one pass, then the row-major
+    /// offsets in a second fixed-arity pass over the same inline buffer).
+    #[inline(always)]
     fn index_buf(&self, item: u64) -> ([usize; MAX_FUNCTIONS], usize) {
-        let rows = self.rows();
-        let columns = self.columns();
         let mut buf = [0usize; MAX_FUNCTIONS];
+        let rows = self.hashes.fill_group(item, &mut buf);
+        let columns = self.hashes.columns();
         for (r, slot) in buf.iter_mut().enumerate().take(rows) {
-            *slot = r * columns + self.hashes.hash(r, item);
+            *slot += r * columns;
         }
         (buf, rows)
     }
 
     /// Estimated count of `item`: the minimum over its counter group.
     pub fn estimate(&self, item: u64) -> u64 {
-        self.indices(item).map(|i| self.counters[i] as u64).min().unwrap_or(0)
+        let (indices, rows) = self.index_buf(item);
+        indices[..rows].iter().map(|&i| self.counters[i] as u64).min().unwrap_or(0)
     }
 
     /// Adds `weight` occurrences of `item` and returns the updated estimate.
@@ -116,22 +114,82 @@ impl CountMinSketch {
     /// With conservative updates only the counters equal to the group minimum
     /// are incremented; otherwise every counter of the group is incremented.
     /// Counters saturate at the cap if one was configured.
+    ///
+    /// One fused pass: the counter group is gathered into an inline buffer,
+    /// the group minimum, the branch-free masked conservative update, the
+    /// saturating cap, and the updated estimate are all computed over that
+    /// buffer, and the new values are scattered back. Each counter of a group
+    /// lives in a distinct row, so the gather/scatter cannot alias.
     pub fn increment(&mut self, item: u64, weight: u64) -> u64 {
         let (indices, rows) = self.index_buf(item);
         let indices = &indices[..rows];
-        let min = indices.iter().map(|&i| self.counters[i]).min().unwrap_or(0);
-        let weight = weight.min(u32::MAX as u64) as u32;
-        for &i in indices {
-            if !self.conservative || self.counters[i] == min {
-                let mut next = self.counters[i].saturating_add(weight);
-                if let Some(cap) = self.cap {
-                    next = next.min(cap);
-                }
-                self.counters[i] = next;
-            }
+        let mut values = [0u32; MAX_FUNCTIONS];
+        for (value, &i) in values.iter_mut().zip(indices) {
+            *value = self.counters[i];
         }
-        // Updated estimate, reusing the already-computed indices.
-        indices.iter().map(|&i| self.counters[i] as u64).min().unwrap_or(0)
+        let values = &mut values[..rows];
+        let min = values.iter().copied().min().unwrap_or(0);
+        let weight = weight.min(u32::MAX as u64) as u32;
+        // Uncapped sketches clamp against u32::MAX, which `saturating_add`
+        // already guarantees — one unconditional `min` serves both cases.
+        let cap = self.cap.unwrap_or(u32::MAX);
+        let update_all = !self.conservative;
+        let mut updated_min = u32::MAX;
+        for (value, &i) in values.iter_mut().zip(indices) {
+            // `mask` is all-ones for counters that take the increment (every
+            // counter under plain updates, the group minima under CU) and
+            // zero otherwise; adding `weight & mask` updates without a
+            // branch. Clamping unselected counters is a no-op: no counter
+            // ever exceeds the cap.
+            let mask = ((update_all || *value == min) as u32).wrapping_neg();
+            let next = value.saturating_add(weight & mask).min(cap);
+            self.counters[i] = next;
+            updated_min = updated_min.min(next);
+        }
+        if rows == 0 {
+            return 0;
+        }
+        updated_min as u64
+    }
+
+    /// Fused form of the CoMeT per-activation Counter Table update: one walk
+    /// over `item`'s counter group that either applies the conservative
+    /// increment (when the updated estimate stays below `threshold`) or
+    /// raises the whole group to `threshold` (the aggressor path, which pins
+    /// shared counters so they are never lowered).
+    ///
+    /// Returns `(pre_estimate, crossed)` where `pre_estimate` is the group
+    /// minimum *before* the update and `crossed` is whether
+    /// `pre_estimate + weight` reached `threshold`. Bit-identical to
+    /// `estimate` + (`increment` | `raise_group_to`), in half the walks.
+    pub fn increment_below(&mut self, item: u64, weight: u64, threshold: u32) -> (u64, bool) {
+        let (indices, rows) = self.index_buf(item);
+        let indices = &indices[..rows];
+        let mut values = [0u32; MAX_FUNCTIONS];
+        for (value, &i) in values.iter_mut().zip(indices) {
+            *value = self.counters[i];
+        }
+        let values = &mut values[..rows];
+        let min = values.iter().copied().min().unwrap_or(0);
+        if rows == 0 {
+            return (0, weight >= threshold as u64);
+        }
+        let cap = self.cap.unwrap_or(u32::MAX);
+        if (min as u64) + weight < threshold as u64 {
+            let weight = weight.min(u32::MAX as u64) as u32;
+            let update_all = !self.conservative;
+            for (value, &i) in values.iter_mut().zip(indices) {
+                let mask = ((update_all || *value == min) as u32).wrapping_neg();
+                self.counters[i] = value.saturating_add(weight & mask).min(cap);
+            }
+            (min as u64, false)
+        } else {
+            let raise = threshold.min(cap);
+            for &i in indices {
+                self.counters[i] = self.counters[i].max(raise);
+            }
+            (min as u64, true)
+        }
     }
 
     /// Sets every counter in `item`'s group to at least `value` (used by CoMeT to
@@ -143,9 +201,8 @@ impl CountMinSketch {
         };
         let (indices, rows) = self.index_buf(item);
         for &i in &indices[..rows] {
-            if self.counters[i] < value {
-                self.counters[i] = value;
-            }
+            // Branch-free form of `if counters[i] < value { counters[i] = value }`.
+            self.counters[i] = self.counters[i].max(value);
         }
     }
 
@@ -228,6 +285,32 @@ mod tests {
         }
         assert!(cu_err <= plain_err, "CU error {cu_err} should not exceed plain error {plain_err}");
         assert!(cu_err < plain_err, "CU should strictly reduce total error under heavy collision");
+    }
+
+    #[test]
+    fn increment_below_matches_split_estimate_and_update() {
+        for conservative in [false, true] {
+            for cap in [None, Some(250u32)] {
+                let mut fused = CountMinSketch::with_conservative_updates(4, 128, 3, cap, conservative);
+                let mut split = CountMinSketch::with_conservative_updates(4, 128, 3, cap, conservative);
+                let threshold = 250u32;
+                for i in 0..30_000u64 {
+                    let item = (i.wrapping_mul(2654435761)) % 700;
+                    let weight = 1 + i % 4;
+                    let (pre, crossed) = fused.increment_below(item, weight, threshold);
+                    let split_pre = split.estimate(item);
+                    let split_crossed = split_pre + weight >= threshold as u64;
+                    if split_crossed {
+                        split.raise_group_to(item, threshold);
+                    } else {
+                        split.increment(item, weight);
+                    }
+                    assert_eq!((pre, crossed), (split_pre, split_crossed), "item {item} at step {i}");
+                    assert_eq!(fused.estimate(item), split.estimate(item), "item {item} at step {i}");
+                }
+                assert_eq!(fused.counters, split.counters, "conservative={conservative} cap={cap:?}");
+            }
+        }
     }
 
     #[test]

@@ -136,31 +136,29 @@ impl RowHammerMitigation for Comet {
         let early_enabled = self.config.early_refresh_enabled;
         let tracker = &mut self.banks[bank];
 
-        // Step 2: activation count estimation — RAT first, Counter Table otherwise.
-        let rat_value = tracker.rat.lookup(row);
-        let ct_saturated_before = tracker.ct.is_saturated(row);
-        let current = match rat_value {
-            Some(v) => {
+        // Steps 2 + 3 fused: estimation, the update, and the NPR comparison
+        // happen in one walk of whichever structure owns the row's count. A
+        // RAT hit bumps the private counter during the tag scan itself; a RAT
+        // miss folds the estimate, the conservative update, and (on the
+        // aggressor path) the NPR pinning into a single counter-group walk.
+        // The pre-fusion code walked the sketch twice per miss (estimate,
+        // then update) and scanned the RAT twice per hit (lookup, then
+        // increment).
+        let rat_value = tracker.rat.increment(row, weight);
+        let (ct_saturated_before, is_aggressor) = match rat_value {
+            Some(updated) => {
                 self.detail.rat_hits += 1;
-                v
+                // An aggressor's private counter is restarted below, so the
+                // speculative increment never outlives this call.
+                (false, updated >= npr)
             }
             None => {
                 self.detail.ct_estimates += 1;
-                tracker.ct.estimate(row)
+                let (estimate_before, is_aggressor) = tracker.ct.record_or_saturate(row, weight);
+                (estimate_before >= npr, is_aggressor)
             }
         };
-
-        // Step 3: update and compare against NPR.
-        let updated = current + weight;
-        if updated < npr {
-            match rat_value {
-                Some(_) => {
-                    tracker.rat.increment(row, weight);
-                }
-                None => {
-                    tracker.ct.record_activation(row, weight);
-                }
-            }
+        if !is_aggressor {
             return MitigationResponse::none();
         }
 
@@ -173,17 +171,17 @@ impl RowHammerMitigation for Comet {
         self.stats.preventive_refreshes += victims.len() as u64;
         let mut response = MitigationResponse::refresh(victims);
 
-        // Pin the sketch counters at NPR (they are shared and must never be lowered).
         let tracker = &mut self.banks[bank];
-        tracker.ct.saturate(row);
-
         let mut early_refresh = false;
         match rat_value {
             Some(_) => {
-                // The row already has a private counter; restart it from zero.
+                // Pin the sketch counters at NPR (they are shared and must
+                // never be lowered) and restart the private counter.
+                tracker.ct.saturate(row);
                 tracker.rat.reset_entry(row);
             }
             None => {
+                // `record_or_saturate` already pinned the counter group.
                 // RAT miss by an aggressor row: classify it for the early-refresh heuristic.
                 if ct_saturated_before {
                     self.detail.rat_capacity_misses += 1;

@@ -50,10 +50,33 @@ impl CounterTable {
         self.estimate(row) >= self.npr as u64
     }
 
+    /// `(estimate, is_saturated)` from one sketch walk — the fused probe the
+    /// per-activation path uses instead of calling [`estimate`](Self::estimate)
+    /// and [`is_saturated`](Self::is_saturated) separately (each walks the
+    /// full counter group).
+    #[inline(always)]
+    pub fn probe(&self, row: u64) -> (u64, bool) {
+        let estimate = self.sketch.estimate(row);
+        (estimate, estimate >= self.npr as u64)
+    }
+
     /// Records `weight` activations of `row` with a conservative update and
     /// returns the updated estimate.
     pub fn record_activation(&mut self, row: u64, weight: u64) -> u64 {
         self.sketch.increment(row, weight)
+    }
+
+    /// The whole CT side of one activation in a single counter-group walk:
+    /// below `NPR` the activation is recorded (conservative update), at or
+    /// above `NPR` the group is pinned at `NPR` instead (the caller's
+    /// aggressor path — equivalent to [`saturate`](Self::saturate)).
+    ///
+    /// Returns `(estimate_before, is_aggressor)`; `estimate_before ≥ NPR`
+    /// tells the caller the row was a previously identified aggressor
+    /// (the RAT capacity-miss classification of §4.2).
+    #[inline(always)]
+    pub fn record_or_saturate(&mut self, row: u64, weight: u64) -> (u64, bool) {
+        self.sketch.increment_below(row, weight, self.npr)
     }
 
     /// Pins `row`'s counter group at `NPR` after its victims were preventively

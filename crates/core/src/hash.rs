@@ -68,10 +68,50 @@ impl HashFamily {
     /// Panics if `index >= self.functions()`.
     pub fn hash(&self, index: usize, item: u64) -> usize {
         assert!(index < self.functions, "hash index out of range");
+        self.hash_unchecked(index, item)
+    }
+
+    /// The assert-free kernel behind [`hash`](Self::hash). Private: every
+    /// internal caller guarantees `index < self.functions` by construction,
+    /// so the hot path carries no per-index bound check.
+    #[inline(always)]
+    fn hash_unchecked(&self, index: usize, item: u64) -> usize {
         let x = item.wrapping_add(self.seed);
         let mixed = x.wrapping_mul(MULTIPLIERS[index]) ^ (x >> SHIFTS[index]);
         // Take the high bits of the product — the well-mixed ones — then mask.
         ((mixed >> 17) as usize) & (self.columns - 1)
+    }
+
+    /// All `K` hashes of `item` in one fused pass. `K` is a compile-time
+    /// constant so the multiply/shift/mask loop fully unrolls and
+    /// auto-vectorizes; the mixed value `x` and the column mask are hoisted
+    /// out of the loop once instead of being recomputed per function.
+    #[inline(always)]
+    fn fill_exact<const K: usize>(&self, item: u64, buf: &mut [usize; MAX_FUNCTIONS]) {
+        let x = item.wrapping_add(self.seed);
+        let mask = self.columns - 1;
+        for index in 0..K {
+            let mixed = x.wrapping_mul(MULTIPLIERS[index]) ^ (x >> SHIFTS[index]);
+            buf[index] = ((mixed >> 17) as usize) & mask;
+        }
+    }
+
+    /// Fills `buf[..functions]` with `item`'s bucket per function and returns
+    /// the function count — the fused kernel behind [`group`](Self::group)
+    /// and the Count-Min-Sketch hot loops. The common arities of the paper's
+    /// sweeps (k = 4 of the default configuration, k = 8 of Figure 6's
+    /// largest point) dispatch to fixed-arity specializations.
+    pub fn fill_group(&self, item: u64, buf: &mut [usize; MAX_FUNCTIONS]) -> usize {
+        match self.functions {
+            4 => self.fill_exact::<4>(item, buf),
+            8 => self.fill_exact::<8>(item, buf),
+            k => {
+                for (index, slot) in buf.iter_mut().enumerate().take(k) {
+                    *slot = self.hash_unchecked(index, item);
+                }
+            }
+        }
+        self.functions
     }
 
     /// The full index group for `item`: one bucket per function.
@@ -82,10 +122,8 @@ impl HashFamily {
     /// dereferences to a slice.
     pub fn group(&self, item: u64) -> IndexGroup {
         let mut buf = [0usize; MAX_FUNCTIONS];
-        for (index, slot) in buf.iter_mut().enumerate().take(self.functions) {
-            *slot = self.hash(index, item);
-        }
-        IndexGroup { buf, len: self.functions }
+        let len = self.fill_group(item, &mut buf);
+        IndexGroup { buf, len }
     }
 }
 
@@ -160,6 +198,22 @@ mod tests {
         let copied = g;
         assert_eq!(&copied[..], &g[..]);
         assert_eq!((&g).into_iter().count(), 8);
+    }
+
+    #[test]
+    fn fused_fill_matches_individual_hashes_for_every_arity() {
+        // Covers both fixed-arity specializations (k = 4, k = 8) and the
+        // dynamic fallback for every other function count.
+        for k in 1..=MAX_FUNCTIONS {
+            let f = HashFamily::new(1024, k, 0xFEED ^ k as u64);
+            for item in (0..5_000u64).map(|i| i.wrapping_mul(0x9E37_79B9)) {
+                let mut buf = [0usize; MAX_FUNCTIONS];
+                assert_eq!(f.fill_group(item, &mut buf), k);
+                for (index, &bucket) in buf.iter().enumerate().take(k) {
+                    assert_eq!(bucket, f.hash(index, item), "k={k} index={index} item={item}");
+                }
+            }
+        }
     }
 
     #[test]

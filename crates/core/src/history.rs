@@ -1,7 +1,6 @@
 //! The RAT miss history vector driving early preventive refreshes (§4.2).
 
 use serde::{Deserialize, Serialize};
-use std::collections::VecDeque;
 
 /// A sliding window over the most recent RAT misses, classifying each as a
 /// *capacity miss* (an evicted aggressor row came back) or a *compulsory miss*
@@ -12,9 +11,16 @@ use std::collections::VecDeque;
 /// resets all counters, because the RAT is too small to hold the working set
 /// of aggressor rows and saturated sketch counters would otherwise keep
 /// triggering unnecessary refreshes.
+/// The window is a fixed bitset ring (one bit per miss, exactly the hardware
+/// shift register the paper describes) instead of a `VecDeque<bool>`: no
+/// byte-per-bool, no deque bookkeeping on the activation path.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RatMissHistory {
-    bits: VecDeque<bool>,
+    words: Vec<u64>,
+    /// Ring position of the oldest recorded bit.
+    head: usize,
+    /// Number of bits recorded so far (≤ `length`).
+    recorded: usize,
     length: usize,
     capacity_misses: usize,
 }
@@ -22,12 +28,33 @@ pub struct RatMissHistory {
 impl RatMissHistory {
     /// Creates a history window of `length` RAT misses.
     pub fn new(length: usize) -> Self {
-        RatMissHistory { bits: VecDeque::with_capacity(length), length, capacity_misses: 0 }
+        RatMissHistory {
+            words: vec![0; length.div_ceil(64)],
+            head: 0,
+            recorded: 0,
+            length,
+            capacity_misses: 0,
+        }
     }
 
     /// Window length in misses.
     pub fn length(&self) -> usize {
         self.length
+    }
+
+    #[inline(always)]
+    fn get(&self, position: usize) -> bool {
+        self.words[position / 64] >> (position % 64) & 1 != 0
+    }
+
+    #[inline(always)]
+    fn set(&mut self, position: usize, bit: bool) {
+        let mask = 1u64 << (position % 64);
+        if bit {
+            self.words[position / 64] |= mask;
+        } else {
+            self.words[position / 64] &= !mask;
+        }
     }
 
     /// Records a RAT miss; `capacity_miss` is true when the missing row's sketch
@@ -36,10 +63,22 @@ impl RatMissHistory {
         if self.length == 0 {
             return;
         }
-        if self.bits.len() == self.length && self.bits.pop_front() == Some(true) {
-            self.capacity_misses -= 1;
+        if self.recorded == self.length {
+            // Full: the new bit overwrites the oldest, which ages out.
+            if self.get(self.head) {
+                self.capacity_misses -= 1;
+            }
+            self.set(self.head, capacity_miss);
+            self.head += 1;
+            if self.head == self.length {
+                self.head = 0;
+            }
+        } else {
+            let position = self.head + self.recorded;
+            let position = if position >= self.length { position - self.length } else { position };
+            self.set(position, capacity_miss);
+            self.recorded += 1;
         }
-        self.bits.push_back(capacity_miss);
         if capacity_miss {
             self.capacity_misses += 1;
         }
@@ -52,7 +91,7 @@ impl RatMissHistory {
 
     /// Number of misses recorded in the window so far (≤ length).
     pub fn recorded(&self) -> usize {
-        self.bits.len()
+        self.recorded
     }
 
     /// Whether the capacity-miss count exceeds `eprt_percent`% of the window length.
@@ -66,7 +105,9 @@ impl RatMissHistory {
 
     /// Clears the window (after an early preventive refresh or periodic reset).
     pub fn clear(&mut self) {
-        self.bits.clear();
+        self.words.iter_mut().for_each(|w| *w = 0);
+        self.head = 0;
+        self.recorded = 0;
         self.capacity_misses = 0;
     }
 

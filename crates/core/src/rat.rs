@@ -13,17 +13,16 @@ use rand::{Rng, SeedableRng};
 /// a random entry is evicted; evicted rows simply fall back to their saturated
 /// sketch counters, which is safe (over-estimation) but may cause unnecessary
 /// refreshes — the early-preventive-refresh mechanism watches for that.
+/// The table stores rows and counts as parallel dense arrays rather than a
+/// `Vec` of structs: the per-activation lookup is a linear scan over the row
+/// tags (a CAM search in hardware), and a contiguous `Vec<u64>` of tags lets
+/// that scan auto-vectorize instead of striding over interleaved counters.
 #[derive(Debug, Clone)]
 pub struct RecentAggressorTable {
-    entries: Vec<RatEntry>,
+    rows: Vec<u64>,
+    counts: Vec<u64>,
     capacity: usize,
     rng: SmallRng,
-}
-
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct RatEntry {
-    row: u64,
-    count: u64,
 }
 
 /// Outcome of a RAT allocation.
@@ -44,7 +43,8 @@ impl RecentAggressorTable {
     /// Creates a RAT with room for `capacity` aggressor rows.
     pub fn new(capacity: usize, seed: u64) -> Self {
         RecentAggressorTable {
-            entries: Vec::with_capacity(capacity.min(1024)),
+            rows: Vec::with_capacity(capacity.min(1024)),
+            counts: Vec::with_capacity(capacity.min(1024)),
             capacity,
             rng: SmallRng::seed_from_u64(seed),
         }
@@ -57,38 +57,45 @@ impl RecentAggressorTable {
 
     /// Current number of valid entries.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.rows.len()
     }
 
     /// Whether the table currently holds no entries.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.rows.is_empty()
     }
 
     /// Whether the table is at capacity.
     pub fn is_full(&self) -> bool {
-        self.entries.len() >= self.capacity
+        self.rows.len() >= self.capacity
+    }
+
+    /// Position of `row`'s entry: the vectorizable tag scan every per-row
+    /// operation funnels through.
+    #[inline(always)]
+    fn position(&self, row: u64) -> Option<usize> {
+        self.rows.iter().position(|&tag| tag == row)
     }
 
     /// Looks up `row`, returning its private activation count if present.
     pub fn lookup(&self, row: u64) -> Option<u64> {
-        self.entries.iter().find(|e| e.row == row).map(|e| e.count)
+        self.position(row).map(|i| self.counts[i])
     }
 
     /// Increments `row`'s counter by `weight`, returning the new value, or
     /// `None` if the row has no entry.
     pub fn increment(&mut self, row: u64, weight: u64) -> Option<u64> {
-        self.entries.iter_mut().find(|e| e.row == row).map(|e| {
-            e.count += weight;
-            e.count
+        self.position(row).map(|i| {
+            self.counts[i] += weight;
+            self.counts[i]
         })
     }
 
     /// Resets `row`'s counter to zero if present (after its victims were refreshed).
     pub fn reset_entry(&mut self, row: u64) -> bool {
-        match self.entries.iter_mut().find(|e| e.row == row) {
-            Some(e) => {
-                e.count = 0;
+        match self.position(row) {
+            Some(i) => {
+                self.counts[i] = 0;
                 true
             }
             None => false,
@@ -104,19 +111,22 @@ impl RecentAggressorTable {
             // Degenerate configuration (ablation): nothing can ever be stored.
             return RatAllocation::Evicted { victim_row: row };
         }
-        if self.entries.len() < self.capacity {
-            self.entries.push(RatEntry { row, count: 0 });
+        if self.rows.len() < self.capacity {
+            self.rows.push(row);
+            self.counts.push(0);
             return RatAllocation::Inserted;
         }
-        let victim_index = self.rng.gen_range(0..self.entries.len());
-        let victim_row = self.entries[victim_index].row;
-        self.entries[victim_index] = RatEntry { row, count: 0 };
+        let victim_index = self.rng.gen_range(0..self.rows.len());
+        let victim_row = self.rows[victim_index];
+        self.rows[victim_index] = row;
+        self.counts[victim_index] = 0;
         RatAllocation::Evicted { victim_row }
     }
 
     /// Clears every entry (periodic reset / early preventive refresh).
     pub fn clear(&mut self) {
-        self.entries.clear();
+        self.rows.clear();
+        self.counts.clear();
     }
 
     /// Storage in bits: each entry holds a row tag and a counter wide enough for `npr`.

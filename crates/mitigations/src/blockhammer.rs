@@ -1,11 +1,11 @@
 //! BlockHammer: counting-Bloom-filter blacklisting with activation throttling
 //! (Yağlıkçı et al., HPCA 2021).
 
+use crate::hashers::IntMap;
 use crate::stats::MitigationStats;
 use crate::traits::{MitigationResponse, RowHammerMitigation};
 use comet_dram::{Cycle, DramAddr, DramGeometry, TimingParams};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// A counting Bloom filter: `hashes` hash functions index a single shared
 /// array of `counters` saturating counters.
@@ -16,9 +16,14 @@ use std::collections::HashMap;
 /// positive) rate for the same storage budget. Figure 17 of the CoMeT paper
 /// compares exactly these two organizations; this type is that comparison's
 /// BlockHammer side.
+/// Counters are 32 bits wide: hardware CBF counters are a handful of bits
+/// (sized for the blacklist threshold), and halving the modeled arrays keeps
+/// a whole channel's filters cache-resident on the simulation hot path.
+/// Counts saturate at `u32::MAX`, unreachable between epoch clears for any
+/// physically meaningful activation stream.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct CountingBloomFilter {
-    counters: Vec<u64>,
+    counters: Vec<u32>,
     hashes: usize,
     seed: u64,
 }
@@ -49,6 +54,7 @@ impl CountingBloomFilter {
     /// false positive rate) larger under collisions — the algorithmic difference
     /// Figure 17 of the CoMeT paper highlights.
     pub fn insert(&mut self, item: u64, weight: u64) {
+        let weight = weight.min(u32::MAX as u64) as u32;
         for h in 0..self.hashes {
             let i = self.index(item, h);
             self.counters[i] = self.counters[i].saturating_add(weight);
@@ -57,7 +63,30 @@ impl CountingBloomFilter {
 
     /// Estimated count for `item` (never an underestimate).
     pub fn estimate(&self, item: u64) -> u64 {
-        (0..self.hashes).map(|h| self.counters[self.index(item, h)]).min().unwrap_or(0)
+        (0..self.hashes).map(|h| self.counters[self.index(item, h)] as u64).min().unwrap_or(0)
+    }
+
+    /// Inserts `item` and returns its updated estimate, computing each hash
+    /// index once instead of once for the insert and again for the estimate.
+    ///
+    /// Two passes over an inline index buffer: unlike CoMeT's sketch, every
+    /// hash function selects from the *same* shared counter array, so two
+    /// hashes of one item may alias onto one counter — the estimate must be
+    /// read after all increments have landed, never captured mid-update.
+    pub fn insert_and_estimate(&mut self, item: u64, weight: u64) -> u64 {
+        const MAX_INLINE: usize = 8;
+        if self.hashes > MAX_INLINE {
+            self.insert(item, weight);
+            return self.estimate(item);
+        }
+        let weight = weight.min(u32::MAX as u64) as u32;
+        let mut indices = [0usize; MAX_INLINE];
+        for (h, slot) in indices.iter_mut().enumerate().take(self.hashes) {
+            let i = self.index(item, h);
+            self.counters[i] = self.counters[i].saturating_add(weight);
+            *slot = i;
+        }
+        indices[..self.hashes].iter().map(|&i| self.counters[i] as u64).min().unwrap_or(0)
     }
 
     /// Clears all counters.
@@ -131,8 +160,10 @@ pub struct BlockHammer {
     /// Which filter of the pair is currently active per bank.
     active: usize,
     next_epoch: Cycle,
-    /// Last permitted activation time per blacklisted (bank, row).
-    last_allowed: HashMap<(usize, usize), Cycle>,
+    /// Last permitted activation time per blacklisted row, keyed by the
+    /// packed `(bank << 32) | row` pair (one u64 through the hasher instead
+    /// of a two-usize tuple on every blacklisted activation).
+    last_allowed: IntMap<u64, Cycle>,
     stats: MitigationStats,
 }
 
@@ -158,7 +189,7 @@ impl BlockHammer {
             geometry,
             filters,
             active: 0,
-            last_allowed: HashMap::new(),
+            last_allowed: IntMap::default(),
             stats: MitigationStats::default(),
         }
     }
@@ -196,17 +227,21 @@ impl RowHammerMitigation for BlockHammer {
         let bank = addr.flat_bank(&self.geometry);
         let row = addr.row as u64;
         let pair = &mut self.filters[bank];
-        pair[self.active].insert(row, weight);
-        // The row's exposure is the maximum estimate across both time-interleaved filters.
-        let estimate = pair[0].estimate(row).max(pair[1].estimate(row));
+        // The row's exposure is the maximum estimate across both
+        // time-interleaved filters; the active filter's estimate comes out of
+        // the fused insert, so only the shadow filter needs a separate probe.
+        let inserted = pair[self.active].insert_and_estimate(row, weight);
+        let estimate = inserted.max(pair[self.active ^ 1].estimate(row));
         if estimate < self.config.blacklist_threshold {
             return MitigationResponse::none();
         }
-        // Blacklisted: enforce a minimum spacing between this row's activations.
-        let key = (bank, addr.row);
-        let allowed_at = self.last_allowed.get(&key).copied().unwrap_or(0);
-        let next_allowed = now.max(allowed_at) + self.config.throttle_interval;
-        self.last_allowed.insert(key, next_allowed);
+        // Blacklisted: enforce a minimum spacing between this row's
+        // activations. One map probe reads the old deadline and writes the
+        // next one in place.
+        let key = ((bank as u64) << 32) | row;
+        let slot = self.last_allowed.entry(key).or_insert(0);
+        let allowed_at = *slot;
+        *slot = now.max(allowed_at) + self.config.throttle_interval;
         if allowed_at > now {
             let delay = allowed_at - now;
             self.stats.throttled_activations += 1;
@@ -255,7 +290,7 @@ mod tests {
     #[test]
     fn cbf_never_underestimates() {
         let mut cbf = CountingBloomFilter::new(256, 4, 7);
-        let mut truth: HashMap<u64, u64> = HashMap::new();
+        let mut truth: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
         for i in 0..5000u64 {
             let item = (i * 37) % 600;
             cbf.insert(item, 1);
@@ -274,6 +309,22 @@ mod tests {
         }
         // A very sparse filter should report (close to) the exact count.
         assert_eq!(cbf.estimate(42), 10);
+    }
+
+    #[test]
+    fn fused_insert_matches_insert_then_estimate_under_aliasing() {
+        // A 2-counter filter with 4 hash functions forces hash aliasing on
+        // every insert, the case where a mid-update estimate would be wrong.
+        for (counters, hashes) in [(2usize, 4usize), (256, 4), (64, 1)] {
+            let mut fused = CountingBloomFilter::new(counters, hashes, 11);
+            let mut split = CountingBloomFilter::new(counters, hashes, 11);
+            for i in 0..3000u64 {
+                let item = (i * 37) % 97;
+                let got = fused.insert_and_estimate(item, 1 + i % 3);
+                split.insert(item, 1 + i % 3);
+                assert_eq!(got, split.estimate(item), "item {item} in {counters}x{hashes}");
+            }
+        }
     }
 
     #[test]

@@ -1,9 +1,9 @@
 //! Graphene: Misra-Gries-based aggressor tracking (Park et al., MICRO 2020).
 
+use crate::hashers::IntMap;
 use crate::stats::MitigationStats;
 use crate::traits::{MitigationResponse, RowHammerMitigation};
 use comet_dram::{Cycle, DramAddr, DramGeometry, TimingParams};
-use std::collections::HashMap;
 
 /// Configuration of the Graphene tracker.
 ///
@@ -63,42 +63,106 @@ impl GrapheneConfig {
     }
 }
 
+/// One Misra-Gries entry: the activation-count estimate and the last multiple
+/// of the prevention threshold at which the row's victims were refreshed.
+///
+/// Keeping the refresh level next to the count means one table probe serves
+/// the whole per-activation decision; the previous layout paid a second
+/// per-bank `HashMap<row, level>` lookup on every over-threshold activation.
+#[derive(Debug, Clone, Copy, Default)]
+struct MgEntry {
+    count: u64,
+    refreshed: u64,
+}
+
 /// Per-bank Misra-Gries table.
 #[derive(Debug, Clone, Default)]
 struct MisraGriesTable {
-    /// Row → activation-count estimate.
-    counters: HashMap<usize, u64>,
+    /// Row → (count, refresh level).
+    entries: IntMap<usize, MgEntry>,
+    /// Rows in insertion order, driving the table-full victim scan. The scan
+    /// has a *fixed* order (oldest insertion first), where the former
+    /// `HashMap::iter().find` walk picked whichever eligible entry the
+    /// hasher happened to enumerate first.
+    order: Vec<usize>,
+    /// Refresh levels of rows the table no longer (or never) tracks, so an
+    /// evicted-and-reinserted aggressor is not refreshed twice at one level.
+    spilled_refreshed: IntMap<usize, u64>,
     /// Spillover counter: lower bound for rows not in the table.
     spillover: u64,
 }
 
 impl MisraGriesTable {
-    /// Performs one Misra-Gries update and returns the row's updated estimate.
-    fn update(&mut self, row: usize, weight: u64, capacity: usize) -> u64 {
-        if let Some(c) = self.counters.get_mut(&row) {
-            *c += weight;
-            return *c;
+    /// Performs one Misra-Gries update and returns the row's updated estimate
+    /// and whether it just crossed a new multiple of `threshold` (meaning its
+    /// victims must be refreshed now).
+    fn update(&mut self, row: usize, weight: u64, capacity: usize, threshold: u64) -> (u64, bool) {
+        if let Some(e) = self.entries.get_mut(&row) {
+            e.count += weight;
+            // Below the threshold the level is 0 by definition; comparing
+            // first keeps the expensive 64-bit division (a third of the
+            // per-activation budget) off the common below-threshold path.
+            let fresh = e.count >= threshold && Self::crossed(&mut e.refreshed, e.count / threshold);
+            return (e.count, fresh);
         }
-        if self.counters.len() < capacity {
-            let value = self.spillover + weight;
-            self.counters.insert(row, value);
-            return value;
+        if self.entries.len() < capacity {
+            let mut e = MgEntry { count: self.spillover + weight, refreshed: self.take_spilled_level(row) };
+            let fresh = e.count >= threshold && Self::crossed(&mut e.refreshed, e.count / threshold);
+            self.order.push(row);
+            self.entries.insert(row, e);
+            return (e.count, fresh);
         }
-        // Table full: if some entry equals the spillover count, replace it
-        // (classic Misra-Gries with spillover); otherwise increment spillover.
-        if let Some((&victim, _)) = self.counters.iter().find(|(_, &c)| c <= self.spillover) {
-            self.counters.remove(&victim);
-            let value = self.spillover + weight;
-            self.counters.insert(row, value);
-            value
+        // Table full: if some entry is at or below the spillover count, replace
+        // it (classic Misra-Gries with spillover); otherwise count the
+        // activation in the spillover.
+        if let Some(pos) = self.order.iter().position(|r| self.entries[r].count <= self.spillover) {
+            let victim = self.order[pos];
+            let victim_entry = self.entries.remove(&victim).expect("ordered rows are tracked");
+            if victim_entry.refreshed != 0 {
+                self.spilled_refreshed.insert(victim, victim_entry.refreshed);
+            }
+            let mut e = MgEntry { count: self.spillover + weight, refreshed: self.take_spilled_level(row) };
+            let fresh = e.count >= threshold && Self::crossed(&mut e.refreshed, e.count / threshold);
+            self.order[pos] = row;
+            self.entries.insert(row, e);
+            (e.count, fresh)
         } else {
             self.spillover += weight;
-            self.spillover
+            if self.spillover < threshold {
+                return (self.spillover, false);
+            }
+            let level = self.spillover / threshold;
+            let fresh = Self::crossed(self.spilled_refreshed.entry(row).or_insert(0), level);
+            (self.spillover, fresh)
+        }
+    }
+
+    /// Takes `row`'s spilled refresh level, skipping the hash lookup when no
+    /// level was ever spilled (no eviction has fired since the last reset).
+    #[inline(always)]
+    fn take_spilled_level(&mut self, row: usize) -> u64 {
+        if self.spilled_refreshed.is_empty() {
+            0
+        } else {
+            self.spilled_refreshed.remove(&row).unwrap_or(0)
+        }
+    }
+
+    /// Advances `last` to `level` if it is new; returns whether it was.
+    #[inline(always)]
+    fn crossed(last: &mut u64, level: u64) -> bool {
+        if level > *last {
+            *last = level;
+            true
+        } else {
+            false
         }
     }
 
     fn clear(&mut self) {
-        self.counters.clear();
+        self.entries.clear();
+        self.order.clear();
+        self.spilled_refreshed.clear();
         self.spillover = 0;
     }
 }
@@ -109,8 +173,6 @@ pub struct Graphene {
     config: GrapheneConfig,
     geometry: DramGeometry,
     tables: Vec<MisraGriesTable>,
-    /// Last multiple of the prevention threshold at which each (bank, row) was refreshed.
-    refreshed_at: Vec<HashMap<usize, u64>>,
     next_reset: Cycle,
     stats: MitigationStats,
 }
@@ -124,7 +186,6 @@ impl Graphene {
             config,
             geometry,
             tables: vec![MisraGriesTable::default(); banks],
-            refreshed_at: vec![HashMap::new(); banks],
             stats: MitigationStats::default(),
         }
     }
@@ -138,9 +199,6 @@ impl Graphene {
         if now >= self.next_reset {
             for t in &mut self.tables {
                 t.clear();
-            }
-            for m in &mut self.refreshed_at {
-                m.clear();
             }
             self.stats.periodic_resets += 1;
             while self.next_reset <= now {
@@ -159,15 +217,13 @@ impl RowHammerMitigation for Graphene {
         self.maybe_reset(now);
         self.stats.activations_observed += weight;
         let bank = addr.flat_bank(&self.geometry);
-        let estimate = self.tables[bank].update(addr.row, weight, self.config.entries_per_bank);
-        let threshold = self.config.prevention_threshold;
-        let level = estimate / threshold;
-        if level == 0 {
-            return MitigationResponse::none();
-        }
-        let last = self.refreshed_at[bank].entry(addr.row).or_insert(0);
-        if level > *last {
-            *last = level;
+        let (_estimate, crossed) = self.tables[bank].update(
+            addr.row,
+            weight,
+            self.config.entries_per_bank,
+            self.config.prevention_threshold,
+        );
+        if crossed {
             self.stats.aggressors_identified += 1;
             let victims = addr.victim_rows(&self.geometry);
             self.stats.preventive_refreshes += victims.len() as u64;
@@ -297,6 +353,57 @@ mod tests {
         let g = setup(1000);
         let per_bank = g.config().storage_bits_per_bank();
         assert_eq!(g.storage_bits(), per_bank * 32);
+    }
+
+    #[test]
+    fn full_table_replaces_the_lowest_eligible_slot_deterministically() {
+        let geometry = DramGeometry::paper_default();
+        let config = GrapheneConfig {
+            nrh: 100,
+            prevention_threshold: 25,
+            entries_per_bank: 2,
+            reset_period: Cycle::MAX,
+            tag_bits: geometry.row_bits(),
+        };
+        let mut a = Graphene::new(config.clone(), geometry.clone());
+        let mut b = Graphene::new(config, geometry);
+        // Fill the 2-entry table, grow the spillover past the weaker entry,
+        // then insert new rows so the replacement scan runs repeatedly. Both
+        // instances must agree on every response: victim choice is a dense
+        // lowest-slot-first scan, not a hasher-ordered walk.
+        for (i, row) in [(0u64, 1usize), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 1), (7, 3)]
+            .into_iter()
+            .chain((8..64).map(|i| (i, (i % 7 + 1) as usize)))
+        {
+            assert_eq!(a.on_activation(&addr(row), i, 1), b.on_activation(&addr(row), i, 1));
+        }
+        assert_eq!(a.stats(), b.stats());
+    }
+
+    #[test]
+    fn eviction_preserves_refresh_levels_across_reinsertion() {
+        let geometry = DramGeometry::paper_default();
+        let config = GrapheneConfig {
+            nrh: 100,
+            prevention_threshold: 4,
+            entries_per_bank: 1,
+            reset_period: Cycle::MAX,
+            tag_bits: geometry.row_bits(),
+        };
+        let mut g = Graphene::new(config, geometry);
+        // Row 1 crosses the threshold once and is refreshed at level 1.
+        for i in 0..4u64 {
+            g.on_activation(&addr(1), i, 1);
+        }
+        assert_eq!(g.stats().aggressors_identified, 1);
+        // Spillover-driven churn evicts row 1; on reinsertion its count restarts
+        // from the spillover (already ≥ the threshold), but level 1 was spilled
+        // with it, so no duplicate refresh fires until a *new* level is reached.
+        for i in 4..9u64 {
+            g.on_activation(&addr(2), i, 1);
+        }
+        let r = g.on_activation(&addr(1), 9, 1);
+        assert!(r.is_nop(), "level-1 refresh must not repeat after eviction and reinsertion");
     }
 
     #[test]

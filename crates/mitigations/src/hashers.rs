@@ -1,0 +1,109 @@
+//! A fast, deterministic hasher for the trackers' hot-path maps.
+//!
+//! The mechanisms' per-row state (Graphene's Misra-Gries entries, Hydra's
+//! RCC/RCT, BlockHammer's throttle deadlines) is keyed by small integers and
+//! probed once or more per simulated activation, where the standard library's
+//! default SipHash costs more than the rest of the lookup. This multiply-fold
+//! hasher is a few instructions per key, and — unlike `RandomState` — it is
+//! deterministic across runs and instances, so tracker behavior can never
+//! depend on per-process hasher randomness.
+//!
+//! Not DoS-resistant, which is irrelevant for simulator-internal state.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A `HashMap` keyed through [`IntHasher`].
+pub(crate) type IntMap<K, V> = HashMap<K, V, BuildHasherDefault<IntHasher>>;
+
+/// Multiply-fold hasher for integer keys.
+#[derive(Debug, Default, Clone)]
+pub(crate) struct IntHasher(u64);
+
+impl IntHasher {
+    /// Golden-ratio multiplier; spreads consecutive integers across buckets.
+    const MULTIPLIER: u64 = 0x9E37_79B9_7F4A_7C15;
+
+    #[inline(always)]
+    fn fold(&mut self, n: u64) {
+        let x = (self.0 ^ n).wrapping_mul(Self::MULTIPLIER);
+        // Feed the strong high bits back into the low bits: hash-map bucket
+        // selection uses the low bits, the multiply strengthens the high ones.
+        self.0 = x ^ (x >> 29);
+    }
+}
+
+impl Hasher for IntHasher {
+    #[inline(always)]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Cold fallback for non-integer keys (none on the hot paths).
+        for chunk in bytes.chunks(8) {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            self.fold(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline(always)]
+    fn write_u64(&mut self, n: u64) {
+        self.fold(n);
+    }
+
+    #[inline(always)]
+    fn write_usize(&mut self, n: usize) {
+        self.fold(n as u64);
+    }
+
+    #[inline(always)]
+    fn write_u32(&mut self, n: u32) {
+        self.fold(n as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut maps = (0..2).map(|_| IntMap::<u64, u64>::default());
+        let a = maps.next().unwrap();
+        let b = maps.next().unwrap();
+        let hash = |map: &IntMap<u64, u64>, key: u64| {
+            use std::hash::BuildHasher;
+            map.hasher().hash_one(key)
+        };
+        for key in [0u64, 1, 42, u64::MAX, 0xDEAD_BEEF] {
+            assert_eq!(hash(&a, key), hash(&b, key));
+        }
+    }
+
+    #[test]
+    fn consecutive_keys_spread_over_buckets() {
+        use std::hash::BuildHasher;
+        let map = IntMap::<u64, u64>::default();
+        let mut low_bits = std::collections::HashSet::new();
+        for key in 0u64..256 {
+            low_bits.insert(map.hasher().hash_one(key) & 0xFF);
+        }
+        // A multiply-fold hash must not collapse consecutive integers onto a
+        // handful of buckets.
+        assert!(low_bits.len() > 128, "only {} distinct low bytes", low_bits.len());
+    }
+
+    #[test]
+    fn behaves_as_a_normal_map() {
+        let mut map = IntMap::<usize, u64>::default();
+        for i in 0..1000usize {
+            map.insert(i, (i * 3) as u64);
+        }
+        assert_eq!(map.len(), 1000);
+        for i in 0..1000usize {
+            assert_eq!(map.get(&i), Some(&((i * 3) as u64)));
+        }
+    }
+}

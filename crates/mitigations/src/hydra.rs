@@ -1,9 +1,9 @@
 //! Hydra: hybrid group/per-row activation tracking (Qureshi et al., ISCA 2022).
 
+use crate::hashers::IntMap;
 use crate::stats::MitigationStats;
 use crate::traits::{MitigationResponse, RowHammerMitigation};
 use comet_dram::{Cycle, DramAddr, DramGeometry, TimingParams};
-use std::collections::HashMap;
 
 /// Configuration of the Hydra mechanism.
 ///
@@ -65,33 +65,41 @@ impl HydraConfig {
     }
 }
 
+/// Packs a `(bank, row)` pair into one `u64` key.
+///
+/// The per-row structures (RCT, RCC) are keyed by bank and row; hashing one
+/// `u64` instead of a two-`usize` tuple halves the bytes fed to the hasher on
+/// every per-row lookup of the activation path. Row indices fit comfortably
+/// in 32 bits (banks hold at most a few hundred thousand rows).
+#[inline(always)]
+fn pack_key(bank: usize, row: usize) -> u64 {
+    debug_assert!(row <= u32::MAX as usize);
+    ((bank as u64) << 32) | row as u64
+}
+
 /// A direct-indexed model of the Row Count Cache with LRU-free random-ish replacement
-/// (FIFO order), sized in entries.
+/// (FIFO order), sized in entries. Keys are packed `(bank, row)` pairs.
 #[derive(Debug, Clone, Default)]
 struct RowCountCache {
-    /// (bank, row) → counter value.
-    entries: HashMap<(usize, usize), u64>,
+    /// Packed (bank, row) → counter value.
+    entries: IntMap<u64, u64>,
     /// Insertion order for eviction.
-    order: std::collections::VecDeque<(usize, usize)>,
+    order: std::collections::VecDeque<u64>,
 }
 
 impl RowCountCache {
-    fn contains(&self, key: &(usize, usize)) -> bool {
-        self.entries.contains_key(key)
-    }
-
-    fn get_mut(&mut self, key: &(usize, usize)) -> Option<&mut u64> {
+    fn get_mut(&mut self, key: &u64) -> Option<&mut u64> {
         self.entries.get_mut(key)
     }
 
     /// Inserts `key`, evicting the oldest entry if at `capacity`.
-    /// Returns `true` if an eviction (write-back) occurred.
-    fn insert(&mut self, key: (usize, usize), value: u64, capacity: usize) -> bool {
-        let mut evicted = false;
+    /// Returns the evicted `(key, value)` pair — the write-back — if any.
+    fn insert(&mut self, key: u64, value: u64, capacity: usize) -> Option<(u64, u64)> {
+        let mut evicted = None;
         if !self.entries.contains_key(&key) && self.entries.len() >= capacity {
             if let Some(old) = self.order.pop_front() {
-                self.entries.remove(&old);
-                evicted = true;
+                let old_value = self.entries.remove(&old).expect("ordered keys are cached");
+                evicted = Some((old, old_value));
             }
         }
         if self.entries.insert(key, value).is_none() {
@@ -111,10 +119,15 @@ impl RowCountCache {
 pub struct Hydra {
     config: HydraConfig,
     geometry: DramGeometry,
-    /// Group counters, indexed `[bank][group]`.
-    gct: Vec<Vec<u64>>,
-    /// Backing store of per-row counters (models the RCT that lives in DRAM).
-    rct: HashMap<(usize, usize), u64>,
+    /// Group counters as one flat array indexed `bank * groups + group` — the
+    /// SRAM fast path touches exactly one cache-friendly slot instead of
+    /// chasing a per-bank `Vec` pointer first.
+    gct: Vec<u64>,
+    /// Groups per bank (the flat GCT's inner stride).
+    groups: usize,
+    /// Backing store of per-row counters (models the RCT that lives in DRAM),
+    /// keyed by packed `(bank, row)`.
+    rct: IntMap<u64, u64>,
     rcc: RowCountCache,
     next_reset: Cycle,
     stats: MitigationStats,
@@ -129,8 +142,9 @@ impl Hydra {
             next_reset: config.reset_period,
             config,
             geometry,
-            gct: vec![vec![0; groups]; banks],
-            rct: HashMap::new(),
+            gct: vec![0; banks * groups],
+            groups,
+            rct: IntMap::default(),
             rcc: RowCountCache::default(),
             stats: MitigationStats::default(),
         }
@@ -143,9 +157,7 @@ impl Hydra {
 
     fn maybe_reset(&mut self, now: Cycle) {
         if now >= self.next_reset {
-            for bank in &mut self.gct {
-                bank.iter_mut().for_each(|c| *c = 0);
-            }
+            self.gct.iter_mut().for_each(|c| *c = 0);
             self.rct.clear();
             self.rcc.clear();
             self.stats.periodic_resets += 1;
@@ -166,40 +178,49 @@ impl RowHammerMitigation for Hydra {
         self.stats.activations_observed += weight;
         let bank = addr.flat_bank(&self.geometry);
         let group = addr.row / self.config.rows_per_group;
-        let key = (bank, addr.row);
+        let key = pack_key(bank, addr.row);
         let mut response = MitigationResponse::none();
 
-        let group_counter = &mut self.gct[bank][group];
+        let group_counter = &mut self.gct[bank * self.groups + group];
         if *group_counter < self.config.group_threshold {
             // Cheap path: only the SRAM group counter is touched.
             *group_counter += weight;
             return response;
         }
 
-        // Per-row tracking: the counter must be present in the RCC.
-        if !self.rcc.contains(&key) {
-            // Fetch from the RCT in DRAM. A row touched for the first time after its
-            // group saturated inherits the (conservative) group counter value.
-            let initial = *self.rct.get(&key).unwrap_or(&self.config.group_threshold);
-            response.counter_reads += 1;
-            self.stats.counter_reads += 1;
-            let evicted = self.rcc.insert(key, initial, self.config.rcc_entries);
-            if evicted {
-                response.counter_writes += 1;
-                self.stats.counter_writes += 1;
+        // Per-row tracking: the counter must be present in the RCC. The cached
+        // RCC entry is authoritative and the RCT is only written back on
+        // eviction: the RCT is read exclusively on RCC misses, a key leaves
+        // the RCC only through an eviction write-back or a full reset, so the
+        // lazy RCT always agrees with what the former write-through model
+        // (one RCT store per tracked activation) would have fetched.
+        let value = match self.rcc.get_mut(&key) {
+            // RCC hit: one cache probe covers the whole update.
+            Some(counter) => {
+                *counter += weight;
+                *counter
             }
-        }
-        let counter = self.rcc.get_mut(&key).expect("row counter cached above");
-        *counter += weight;
-        let value = *counter;
-        self.rct.insert(key, value);
+            None => {
+                // Fetch from the RCT in DRAM. A row touched for the first time after its
+                // group saturated inherits the (conservative) group counter value.
+                let initial = *self.rct.get(&key).unwrap_or(&self.config.group_threshold);
+                response.counter_reads += 1;
+                self.stats.counter_reads += 1;
+                let value = initial + weight;
+                if let Some((old_key, old_value)) = self.rcc.insert(key, value, self.config.rcc_entries) {
+                    self.rct.insert(old_key, old_value);
+                    response.counter_writes += 1;
+                    self.stats.counter_writes += 1;
+                }
+                value
+            }
+        };
 
         if value >= self.config.row_threshold {
             // Preventive refresh and counter reset.
             if let Some(c) = self.rcc.get_mut(&key) {
                 *c = 0;
             }
-            self.rct.insert(key, 0);
             self.stats.aggressors_identified += 1;
             let victims = addr.victim_rows(&self.geometry);
             self.stats.preventive_refreshes += victims.len() as u64;

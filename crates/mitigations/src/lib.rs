@@ -38,6 +38,7 @@
 
 pub mod blockhammer;
 pub mod graphene;
+mod hashers;
 pub mod hydra;
 pub mod none;
 pub mod para;

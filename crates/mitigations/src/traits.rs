@@ -78,6 +78,19 @@ pub trait RowHammerMitigation: Send {
     /// plain activation; more when RowPress-adjusted accounting is enabled).
     fn on_activation(&mut self, addr: &DramAddr, now: Cycle, weight: u64) -> MitigationResponse;
 
+    /// Notifies the mechanism of a batch of activations in one call.
+    ///
+    /// `batch` entries are `(address, cycle, weight)` in nondecreasing cycle
+    /// order; the returned responses correspond to the entries in order and
+    /// are exactly what per-entry [`on_activation`](Self::on_activation)
+    /// calls would have produced. The default implementation is that loop;
+    /// mechanisms can override it to amortize per-activation overhead
+    /// (epoch checks, repeated lookups of a hot bank's tables) over the
+    /// batch, as long as the responses stay bit-identical.
+    fn on_activations(&mut self, batch: &[(DramAddr, Cycle, u64)]) -> Vec<MitigationResponse> {
+        batch.iter().map(|(addr, now, weight)| self.on_activation(addr, *now, *weight)).collect()
+    }
+
     /// Notifies the mechanism that a periodic REF command was issued to `rank`.
     fn on_periodic_refresh(&mut self, _rank: usize, _now: Cycle) {}
 
@@ -231,6 +244,39 @@ mod tests {
         a.on_activation(&addr, 0, 1);
         assert_eq!(a.stats().activations_observed, 1);
         assert_eq!(b.stats().activations_observed, 0, "instances must not share state");
+    }
+
+    #[test]
+    fn batched_activations_match_the_per_activation_loop() {
+        use comet_dram::{DramGeometry, TimingParams};
+
+        let geometry = DramGeometry::paper_default();
+        let timing = TimingParams::ddr4_2400();
+        let config = crate::GrapheneConfig::for_threshold(500, &timing, &geometry);
+        let mut batched = crate::Graphene::new(config.clone(), geometry.clone());
+        let mut looped = crate::Graphene::new(config, geometry);
+
+        let batch: Vec<(DramAddr, Cycle, u64)> = (0..600u64)
+            .map(|i| {
+                let addr = DramAddr {
+                    channel: 0,
+                    rank: 0,
+                    bank_group: 0,
+                    bank: 0,
+                    row: (i % 3) as usize,
+                    column: 0,
+                };
+                (addr, i * 20, 1)
+            })
+            .collect();
+
+        let responses = batched.on_activations(&batch);
+        assert_eq!(responses.len(), batch.len());
+        for (response, (addr, now, weight)) in responses.iter().zip(&batch) {
+            assert_eq!(*response, looped.on_activation(addr, *now, *weight));
+        }
+        assert_eq!(batched.stats(), looped.stats());
+        assert!(responses.iter().any(|r| !r.is_nop()), "the hammer batch must trigger refreshes");
     }
 
     #[test]
