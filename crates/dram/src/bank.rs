@@ -84,6 +84,20 @@ impl Bank {
         self.row_misses
     }
 
+    /// Shifts the most recent activation's timing anchor `extra` cycles into
+    /// the future, as if the ACT had completed that much later. Every
+    /// ACT-relative window moves with it: column accesses wait tRCD + extra,
+    /// a precharge waits tRAS + extra, and the next ACT waits tRC + extra.
+    ///
+    /// Models in-DRAM mechanisms (REGA's refresh-generating activation) that
+    /// keep the bank busy beyond a normal row activation. A no-op when no
+    /// ACT has been issued yet.
+    pub fn delay_act_timing(&mut self, extra: Cycle) {
+        if let Some(a) = self.last_act.as_mut() {
+            *a += extra;
+        }
+    }
+
     /// Whether `cmd` is legal in the current row-buffer state (ignoring timing).
     pub fn is_legal(&self, cmd: CommandKind) -> bool {
         match (cmd, self.state) {
@@ -324,6 +338,21 @@ mod tests {
         // Next ACT must wait for the implicit precharge plus tRP and the original tRC.
         let earliest = b.earliest_issue(CommandKind::Act, 0, &timing);
         assert!(earliest >= timing.t_rcd + timing.t_rtp + timing.t_rp);
+    }
+
+    #[test]
+    fn delay_act_timing_shifts_every_act_relative_window() {
+        let timing = t();
+        let mut b = Bank::new();
+        b.issue(CommandKind::Act, 3, 100, &timing).unwrap();
+        b.delay_act_timing(17);
+        assert_eq!(b.earliest_issue(CommandKind::Rd, 100, &timing), 117 + timing.t_rcd);
+        assert_eq!(b.earliest_issue(CommandKind::Pre, 100, &timing), 117 + timing.t_ras);
+        assert!(matches!(
+            b.issue(CommandKind::Rd, 3, 100 + timing.t_rcd, &timing),
+            Err(DramError::TimingViolation { .. })
+        ));
+        b.issue(CommandKind::Rd, 3, 117 + timing.t_rcd, &timing).unwrap();
     }
 
     #[test]

@@ -179,6 +179,16 @@ impl DramChannel {
         }
     }
 
+    /// Extends the busy window of `addr`'s bank after its most recent ACT by
+    /// `extra` cycles (see [`Bank::delay_act_timing`](crate::bank::Bank::delay_act_timing)).
+    /// Rank-level ACT-to-ACT constraints (tRRD, tFAW) are deliberately left
+    /// untouched: the extra time is internal to the bank — an in-DRAM refresh
+    /// riding on the activation — not extra command-bus traffic.
+    pub fn extend_act_busy(&mut self, addr: &DramAddr, extra: Cycle) {
+        let bank = addr.bank_in_rank(&self.config.geometry);
+        self.ranks[addr.rank].bank_mut(bank).delay_act_timing(extra);
+    }
+
     /// Cycle when the data for a read issued at `issue_cycle` is fully returned.
     pub fn read_data_available_at(&self, issue_cycle: Cycle) -> Cycle {
         let t = &self.config.timing;

@@ -1376,17 +1376,21 @@ impl MemoryController {
                         }
                         if !issued {
                             self.channel.issue_trusted(CommandKind::Act, &request.addr, now);
+                            // REGA-style activation penalty: the refresh-generating
+                            // activation keeps the bank busy beyond a normal ACT, so
+                            // every ACT-relative window (tRCD for columns, tRAS for
+                            // the precharge, tRC for the next ACT) shifts with it —
+                            // not just this request's own column access, which a
+                            // 17-cycle penalty would hide under tRCD.
+                            let penalty = self.mitigation.act_latency_penalty();
+                            if penalty > 0 {
+                                self.channel.extend_act_busy(&request.addr, penalty);
+                            }
                             self.note_issued(CommandKind::Act, &request.addr);
                             self.sched[bank].columns_since_act = 0;
-                            // REGA-style activation penalty: the column access (and thus
-                            // the bank) is held for the extra in-DRAM refresh time.
-                            let penalty = self.mitigation.act_latency_penalty();
-                            let entry = &mut self.lanes[bank].fifo_mut(writes)[cand.index as usize];
-                            if penalty > 0 {
-                                entry.hold_until = now + penalty;
-                            }
                             // Reset the notification flag so a future re-activation (after
                             // a conflict-induced precharge) is tracked again.
+                            let entry = &mut self.lanes[bank].fifo_mut(writes)[cand.index as usize];
                             entry.act_notified = false;
                             issued = true;
                         }
@@ -1444,7 +1448,7 @@ impl std::fmt::Debug for MemoryController {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use comet_mitigations::{NoMitigation, PerRowCounters};
+    use comet_mitigations::{NoMitigation, PerRowCounters, Rega};
 
     fn controller_with(mitigation: Box<dyn RowHammerMitigation>) -> MemoryController {
         MemoryController::new(DramConfig::ddr4_paper_default(), ControllerConfig::default(), mitigation)
@@ -1480,6 +1484,25 @@ mod tests {
         let expected_min = t.t_rcd + t.cl + t.burst_cycles;
         assert!(done[0].completion >= expected_min);
         assert!(done[0].completion < expected_min + 20, "completion = {}", done[0].completion);
+    }
+
+    #[test]
+    fn rega_penalty_extends_the_bank_busy_window() {
+        let timing = DramConfig::ddr4_paper_default().timing;
+        let rega = Rega::new(125, &timing);
+        let penalty = rega.act_latency_penalty();
+        assert!(penalty > 0, "NRH = 125 must carry a non-zero penalty");
+        let mut plain = controller_with(Box::new(NoMitigation::new()));
+        let mut slowed = controller_with(Box::new(rega));
+        for mc in [&mut plain, &mut slowed] {
+            assert!(mc.enqueue(MemRequest::new(1, 0, addr(0, 0, 10, 0), false, 0)));
+        }
+        let base = run_until_drained(&mut plain, 10_000);
+        let shifted = run_until_drained(&mut slowed, 10_000);
+        // The read depends on the activation, so its data returns exactly the
+        // penalty later: the busy window pushes tRCD out from under the column
+        // access instead of hiding beneath it.
+        assert_eq!(shifted[0].completion, base[0].completion + penalty);
     }
 
     #[test]
