@@ -107,6 +107,14 @@ pub enum AddressScheme {
     /// power-of-two channel count and degrades to the identity otherwise
     /// (1-channel systems are unchanged by construction).
     RoRaBgBaCoChXor,
+    /// Row : Rank : BankGroup : Bank : Channel : Column — the channel select
+    /// sits just above the column bits, so one full row's worth of cache
+    /// lines stays in its channel and *consecutive rows* of the physical
+    /// space interleave across channels (row-granular channel
+    /// interleaving). Streams keep their row locality, while a row-walking
+    /// attacker feeds every channel's tracker in turn instead of hammering
+    /// one controller — the third point of the cross-channel mapping study.
+    RoRaBgBaChCo,
 }
 
 impl AddressScheme {
@@ -182,6 +190,15 @@ impl AddressMapper {
                 let row = take(g.rows_per_bank);
                 DramAddr { channel, rank, bank_group, bank, row, column }
             }
+            AddressScheme::RoRaBgBaChCo => {
+                let column = take(g.columns_per_row);
+                let channel = take(g.channels);
+                let bank = take(g.banks_per_bank_group);
+                let bank_group = take(g.bank_groups_per_rank);
+                let rank = take(g.ranks_per_channel);
+                let row = take(g.rows_per_bank);
+                DramAddr { channel, rank, bank_group, bank, row, column }
+            }
         }
     }
 
@@ -212,6 +229,14 @@ impl AddressMapper {
                 push(addr.bank, g.banks_per_bank_group);
                 push(addr.channel, g.channels);
             }
+            AddressScheme::RoRaBgBaChCo => {
+                push(addr.row, g.rows_per_bank);
+                push(addr.rank, g.ranks_per_channel);
+                push(addr.bank_group, g.bank_groups_per_rank);
+                push(addr.bank, g.banks_per_bank_group);
+                push(addr.channel, g.channels);
+                push(addr.column, g.columns_per_row);
+            }
         }
         bits * g.bytes_per_column as u64
     }
@@ -238,7 +263,8 @@ mod tests {
 
     #[test]
     fn unmap_round_trips_within_capacity() {
-        for scheme in [AddressScheme::RoRaBgBaCoCh, AddressScheme::RoCoRaBgBaCh] {
+        for scheme in [AddressScheme::RoRaBgBaCoCh, AddressScheme::RoCoRaBgBaCh, AddressScheme::RoRaBgBaChCo]
+        {
             let m = mapper(scheme);
             for i in 0..2000u64 {
                 let phys = (i * 64 * 104_729) % m.geometry().capacity_bytes();
@@ -328,6 +354,48 @@ mod tests {
             let phys = i * 64 * 2749;
             assert_eq!(plain.map(phys), xored.map(phys));
         }
+    }
+
+    #[test]
+    fn row_interleaved_scheme_maps_every_decoded_address_back() {
+        // map ∘ unmap must be the identity on decoded addresses (the scheme
+        // permutes the address bits, so both compositions are identities).
+        let geometry = DramGeometry::paper_default().with_channels(4);
+        let m = AddressMapper::new(geometry.clone(), AddressScheme::RoRaBgBaChCo);
+        for i in 0..2000u64 {
+            let row = (i as usize * 331) % geometry.rows_per_bank;
+            let addr = DramAddr {
+                channel: (i % 4) as usize,
+                rank: (i % geometry.ranks_per_channel as u64) as usize,
+                bank_group: (i % geometry.bank_groups_per_rank as u64) as usize,
+                bank: (i % geometry.banks_per_bank_group as u64) as usize,
+                row,
+                column: (i as usize * 17) % geometry.columns_per_row,
+            };
+            assert_eq!(m.map(m.unmap(&addr)), addr);
+        }
+    }
+
+    #[test]
+    fn row_interleaved_scheme_keeps_lines_local_and_spreads_rows() {
+        let geometry = DramGeometry::paper_default().with_channels(4);
+        let m = AddressMapper::new(geometry.clone(), AddressScheme::RoRaBgBaChCo);
+        // Consecutive cache lines of one row stay in one channel and row.
+        let base = 1u64 << 22;
+        let first = m.map(base);
+        for line in 1..8u64 {
+            let next = m.map(base + line * 64);
+            assert_eq!(next.channel, first.channel);
+            assert_eq!(next.row, first.row);
+            assert_eq!(next.column, first.column + line as usize);
+        }
+        // Consecutive row-sized blocks walk every channel in turn.
+        let row_bytes = (geometry.columns_per_row * geometry.bytes_per_column) as u64;
+        let mut channels = std::collections::HashSet::new();
+        for block in 0..4u64 {
+            channels.insert(m.map(base + block * row_bytes).channel);
+        }
+        assert_eq!(channels.len(), 4, "consecutive rows must interleave across all channels");
     }
 
     #[test]

@@ -21,7 +21,11 @@ use serde::{Serialize, Value};
 
 /// Version tag mixed into every canonical form. Bump on any intentional
 /// change to the canonical encoding.
-pub const KEY_SCHEMA: &str = "comet-cell/v1";
+///
+/// v2: [`comet_sim::CoreConfig`] gained the address-interleaving
+/// [`comet_sim::AddressScheme`] field, which routes every access and
+/// therefore keys every cell apart from v1 results.
+pub const KEY_SCHEMA: &str = "comet-cell/v2";
 
 /// A 128-bit content-addressed cell key, rendered as 32 lowercase hex digits.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -115,9 +119,15 @@ mod tests {
     #[test]
     fn canonical_form_spells_out_every_identity_component() {
         let form = canonical_cell_form(&runner(), &CellSpec::single("429.mcf", MechanismKind::Comet, 1000));
-        for needle in
-            ["comet-cell/v1", "\"seed\":49383", "\"loop\":\"event\"", "429.mcf", "\"nrh\":1000", "geometry"]
-        {
+        for needle in [
+            "comet-cell/v2",
+            "\"seed\":49383",
+            "\"loop\":\"event\"",
+            "429.mcf",
+            "\"nrh\":1000",
+            "geometry",
+            "\"scheme\":\"RoRaBgBaCoCh\"",
+        ] {
             assert!(form.contains(needle), "canonical form missing {needle}: {form}");
         }
     }
@@ -157,6 +167,9 @@ mod tests {
         );
         assert_ne!(reference, cell_key(&Runner::new(SimConfig::quick_test().with_ranks(4)), &cell));
         assert_ne!(reference, cell_key(&Runner::new(SimConfig::quick_test().with_channels(2)), &cell));
+        let mut interleaved = SimConfig::quick_test();
+        interleaved.core.scheme = comet_sim::AddressScheme::RoRaBgBaChCo;
+        assert_ne!(reference, cell_key(&Runner::new(interleaved), &cell));
 
         // CometCustom parameters are part of the identity.
         let custom = |eprt| {
@@ -184,8 +197,8 @@ mod tests {
         // CellSpec / the encoders on purpose, bump KEY_SCHEMA and re-pin.
         let base = runner();
         let golden = [
-            (CellSpec::single("429.mcf", MechanismKind::Comet, 1000), "0bc8a9c321f9d9103e072d02a3da2a6a"),
-            (CellSpec::single("bfs_ny", MechanismKind::Baseline, 125), "c5332953e6f2ae36284fca2913e22ad4"),
+            (CellSpec::single("429.mcf", MechanismKind::Comet, 1000), "2091c5efe874843c68c6ea4ccce42eff"),
+            (CellSpec::single("bfs_ny", MechanismKind::Baseline, 125), "bb657a72713743996785ec0b335b206b"),
             (
                 CellSpec::attacked(
                     "473.astar",
@@ -193,11 +206,11 @@ mod tests {
                     MechanismKind::Para,
                     500,
                 ),
-                "c26b3a140d5b05d5ae4491a816caf5ba",
+                "30fbab6af5e85f526fc886bd08bab421",
             ),
             (
                 CellSpec::homogeneous("462.libquantum", 8, MechanismKind::Hydra, 250),
-                "4ef67af2ab88ee997c53610e3ed1fcf4",
+                "9093e2400460c39a4ecac5767c15aa0f",
             ),
         ];
         for (cell, expected) in golden {

@@ -18,11 +18,15 @@ pub struct CoreConfig {
     pub retire_width: u32,
     /// Instruction (reorder) window size.
     pub window_size: u64,
+    /// Physical-address interleaving scheme the core decodes requests with.
+    /// Part of a cached cell's identity: changing the scheme re-routes every
+    /// access, so the service's `KEY_SCHEMA` covers this field.
+    pub scheme: AddressScheme,
 }
 
 impl Default for CoreConfig {
     fn default() -> Self {
-        CoreConfig { freq_ghz: 3.6, retire_width: 4, window_size: 128 }
+        CoreConfig { freq_ghz: 3.6, retire_width: 4, window_size: 128, scheme: AddressScheme::RoRaBgBaCoCh }
     }
 }
 
@@ -87,9 +91,9 @@ impl TraceCore {
         TraceCore {
             id,
             cpu_cycles_per_dram_cycle: config.freq_ghz / dram_freq_ghz,
+            mapper: AddressMapper::new(dram.geometry.clone(), config.scheme),
             config,
             trace,
-            mapper: AddressMapper::new(dram.geometry.clone(), AddressScheme::RoRaBgBaCoCh),
             clock_cpu: 0.0,
             instructions_dispatched: 0,
             reads_issued: 0,

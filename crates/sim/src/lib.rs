@@ -50,7 +50,9 @@ pub mod shardpool;
 pub mod system;
 
 pub use controller::{ControllerConfig, ControllerStats, MemoryController};
-pub use cpu::TraceCore;
+pub use cpu::{CoreConfig, TraceCore};
+// Part of `CoreConfig`'s public surface (the interleaving scheme field).
+pub use comet_dram::AddressScheme;
 pub use memory::{MemorySink, MemorySystem};
 pub use metrics::{geometric_mean, normalized_distribution, DistributionSummary, RunResult};
 pub use registry::{MechanismRegistry, MechanismSpec, RegisteredFactory};
