@@ -3,6 +3,7 @@
 //! ```text
 //! service --socket PATH submit [--scope smoke|quick|full] [--targets fig9,ranks]
 //!         [--priority N] [--id N] [--out FILE] [--expect-min-hit-rate X]
+//!         [--retries N] [--backoff-ms MS]
 //! service --socket PATH ping
 //! service --socket PATH stats
 //! service --socket PATH shutdown
@@ -14,6 +15,13 @@
 //! included). `--expect-min-hit-rate X` exits with status 3 if the request
 //! was served below the given cache-hit rate — the CI smoke job uses this to
 //! assert that a resubmitted sweep is served from cache.
+//!
+//! When the daemon sheds a request under load (an `"overloaded":true`
+//! response), the client retries up to `--retries` times (default 5) with
+//! jittered exponential backoff starting at `--backoff-ms` (default 200,
+//! or the daemon's `retry_after_ms` hint if larger). Exhausting the retries
+//! exits with status 4, distinguishing "the service is saturated" from
+//! request errors (status 1).
 
 #[cfg(unix)]
 fn main() {
@@ -42,6 +50,8 @@ mod unix {
         id: u64,
         out: Option<PathBuf>,
         expect_min_hit_rate: Option<f64>,
+        retries: u32,
+        backoff_ms: u64,
     }
 
     fn parse_args() -> Args {
@@ -53,6 +63,8 @@ mod unix {
         let mut id = std::process::id() as u64;
         let mut out = None;
         let mut expect_min_hit_rate = None;
+        let mut retries = 5u32;
+        let mut backoff_ms = 200u64;
         let mut iter = std::env::args().skip(1);
         while let Some(arg) = iter.next() {
             let mut value = |flag: &str| {
@@ -86,9 +98,21 @@ mod unix {
                         std::process::exit(2);
                     }))
                 }
+                "--retries" => {
+                    retries = value("--retries").parse().unwrap_or_else(|_| {
+                        eprintln!("error: invalid --retries");
+                        std::process::exit(2);
+                    })
+                }
+                "--backoff-ms" => {
+                    backoff_ms = value("--backoff-ms").parse().unwrap_or_else(|_| {
+                        eprintln!("error: invalid --backoff-ms");
+                        std::process::exit(2);
+                    })
+                }
                 "--help" | "-h" => {
                     println!(
-                        "usage: service --socket PATH <submit|ping|stats|shutdown> [--scope S] [--targets a,b] [--priority N] [--id N] [--out FILE] [--expect-min-hit-rate X]"
+                        "usage: service --socket PATH <submit|ping|stats|shutdown> [--scope S] [--targets a,b] [--priority N] [--id N] [--out FILE] [--expect-min-hit-rate X] [--retries N] [--backoff-ms MS]"
                     );
                     std::process::exit(0);
                 }
@@ -107,7 +131,7 @@ mod unix {
             eprintln!("error: a command (submit|ping|stats|shutdown) is required");
             std::process::exit(2);
         });
-        Args { socket, command, scope, targets, priority, id, out, expect_min_hit_rate }
+        Args { socket, command, scope, targets, priority, id, out, expect_min_hit_rate, retries, backoff_ms }
     }
 
     fn request_line(args: &Args) -> String {
@@ -132,25 +156,77 @@ mod unix {
         }
     }
 
+    /// One round-trip: connect, send the request line, read one response line.
+    fn exchange(socket: &std::path::Path, line: &str) -> Result<String, String> {
+        let stream = UnixStream::connect(socket)
+            .map_err(|error| format!("could not connect to {}: {error}", socket.display()))?;
+        let mut writer =
+            stream.try_clone().map_err(|error| format!("could not clone the socket: {error}"))?;
+        writeln!(writer, "{line}").map_err(|error| format!("request write failed: {error}"))?;
+        writer.flush().map_err(|error| format!("request flush failed: {error}"))?;
+
+        let mut response = String::new();
+        BufReader::new(stream)
+            .read_line(&mut response)
+            .map_err(|error| format!("response read failed: {error}"))?;
+        let response = response.trim().to_string();
+        if response.is_empty() {
+            return Err("daemon closed the connection without a response".to_string());
+        }
+        Ok(response)
+    }
+
+    /// Deterministic jitter in `[0, base)`: hashed from the pid and attempt
+    /// number, so concurrent clients desynchronize without randomness.
+    fn jitter_ms(base: u64, attempt: u32) -> u64 {
+        if base == 0 {
+            return 0;
+        }
+        let mut hash = 0xcbf29ce484222325u64;
+        for byte in std::process::id().to_le_bytes().into_iter().chain((attempt as u64).to_le_bytes()) {
+            hash ^= byte as u64;
+            hash = hash.wrapping_mul(0x100000001b3);
+        }
+        hash % base
+    }
+
     pub fn main() {
         let args = parse_args();
         let line = request_line(&args);
 
-        let stream = UnixStream::connect(&args.socket).unwrap_or_else(|error| {
-            eprintln!("error: could not connect to {}: {error}", args.socket.display());
-            std::process::exit(1);
-        });
-        let mut writer = stream.try_clone().expect("socket clone");
-        writeln!(writer, "{line}").expect("request write");
-        writer.flush().expect("request flush");
+        // Submit with retry-on-overloaded: a shed is the daemon protecting
+        // itself, not a failure — back off (exponentially, jittered) and
+        // resubmit. Other errors are terminal.
+        let mut retries_used = 0u32;
+        let (response, value) = loop {
+            let response = exchange(&args.socket, &line).unwrap_or_else(|message| {
+                eprintln!("error: {message}");
+                std::process::exit(1);
+            });
+            let value = json::parse(&response).unwrap_or_else(|error| {
+                eprintln!("error: unparseable response ({error}): {response}");
+                std::process::exit(1);
+            });
+            let overloaded = matches!(json::get(&value, "overloaded"), Some(serde::Value::Bool(true)));
+            if !overloaded {
+                break (response, value);
+            }
+            if retries_used >= args.retries {
+                eprintln!(
+                    "error: daemon still overloaded after {retries_used} retr{}",
+                    if retries_used == 1 { "y" } else { "ies" }
+                );
+                std::process::exit(4);
+            }
+            let hinted =
+                json::get(&value, "retry_after_ms").and_then(json::as_u64).unwrap_or(args.backoff_ms);
+            let base = hinted.max(args.backoff_ms) << retries_used.min(6);
+            let delay = base + jitter_ms(base, retries_used);
+            eprintln!("service: overloaded; retry {} in {delay} ms", retries_used + 1);
+            std::thread::sleep(std::time::Duration::from_millis(delay));
+            retries_used += 1;
+        };
 
-        let mut response = String::new();
-        BufReader::new(stream).read_line(&mut response).expect("response read");
-        let response = response.trim().to_string();
-        if response.is_empty() {
-            eprintln!("error: daemon closed the connection without a response");
-            std::process::exit(1);
-        }
         if let Some(path) = &args.out {
             std::fs::write(path, format!("{response}\n")).unwrap_or_else(|error| {
                 eprintln!("error: could not write {}: {error}", path.display());
@@ -158,10 +234,6 @@ mod unix {
             });
         }
 
-        let value = json::parse(&response).unwrap_or_else(|error| {
-            eprintln!("error: unparseable response ({error}): {response}");
-            std::process::exit(1);
-        });
         let ok = matches!(json::get(&value, "ok"), Some(serde::Value::Bool(true)));
         if !ok {
             let message = json::get(&value, "error").and_then(json::as_str).unwrap_or("unknown error");
@@ -177,7 +249,7 @@ mod unix {
                     |name: &str| stats.and_then(|s| json::get(s, name)).and_then(json::as_f64).unwrap_or(0.0);
                 let hit_rate = stat("hit_rate");
                 println!(
-                    "ok id={} wall_s={wall_s:.3} cells={} cache_hits={} batch_shared={} simulated={} hit_rate={hit_rate:.4}",
+                    "ok id={} wall_s={wall_s:.3} cells={} cache_hits={} batch_shared={} simulated={} hit_rate={hit_rate:.4} retries={retries_used}",
                     args.id,
                     stat("cells_requested"),
                     stat("cache_hits"),

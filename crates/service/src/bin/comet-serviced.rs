@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! comet-serviced [--socket PATH | --stdin] [--cache DIR] [--threads N] [--job-workers N]
+//!                [--queue-depth N] [--max-cells N] [--max-segments N]
 //! ```
 //!
 //! * `--socket PATH` — listen on a Unix-domain socket (the production mode;
@@ -9,12 +10,20 @@
 //! * `--stdin` — serve a single session on stdin/stdout (the default; handy
 //!   for scripting and tests: `echo '{"op":"ping"}' | comet-serviced`).
 //! * `--cache DIR` — persist the result cache as JSON-lines segments under
-//!   `DIR` and pre-load whatever is already there.
+//!   `DIR` and pre-load whatever is already there (corrupt segments are
+//!   quarantined under `DIR/quarantine/`, never fatal).
 //! * `--threads N` — worker threads for cell simulation (default: all cores).
 //! * `--job-workers N` — concurrent sweep requests (default 1: strict
 //!   priority order across clients).
+//! * `--queue-depth N` — admission bound: `run` requests past `N` queued
+//!   jobs are shed with a typed `overloaded` response (default 1024).
+//! * `--max-cells N` — in-memory cache bound: least-recently-used completed
+//!   cells are evicted past `N` (default: unbounded).
+//! * `--max-segments N` — on-disk bound: exceeding `N` segment files
+//!   triggers a compaction pass that rewrites only live keys (default:
+//!   never compact).
 
-use comet_service::{Daemon, ExperimentService};
+use comet_service::{Daemon, ExperimentService, ServiceConfig, DEFAULT_QUEUE_BOUND};
 use comet_sim::experiments::ParallelExecutor;
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -24,10 +33,21 @@ struct Args {
     cache: Option<PathBuf>,
     threads: Option<usize>,
     job_workers: usize,
+    queue_depth: usize,
+    max_cells: Option<usize>,
+    max_segments: Option<usize>,
 }
 
 fn parse_args() -> Args {
-    let mut args = Args { socket: None, cache: None, threads: None, job_workers: 1 };
+    let mut args = Args {
+        socket: None,
+        cache: None,
+        threads: None,
+        job_workers: 1,
+        queue_depth: DEFAULT_QUEUE_BOUND,
+        max_cells: None,
+        max_segments: None,
+    };
     let mut iter = std::env::args().skip(1);
     while let Some(arg) = iter.next() {
         let mut value = |flag: &str| {
@@ -36,27 +56,30 @@ fn parse_args() -> Args {
                 std::process::exit(2);
             })
         };
+        let parse_count = |flag: &str, text: String| -> usize {
+            match text.parse::<usize>() {
+                Ok(n) if n >= 1 => n,
+                _ => {
+                    eprintln!("error: invalid {flag} value");
+                    std::process::exit(2);
+                }
+            }
+        };
         match arg.as_str() {
             "--socket" => args.socket = Some(PathBuf::from(value("--socket"))),
             "--stdin" => args.socket = None,
             "--cache" => args.cache = Some(PathBuf::from(value("--cache"))),
-            "--threads" => match value("--threads").parse::<usize>() {
-                Ok(n) if n >= 1 => args.threads = Some(n),
-                _ => {
-                    eprintln!("error: invalid --threads value");
-                    std::process::exit(2);
-                }
-            },
-            "--job-workers" => match value("--job-workers").parse::<usize>() {
-                Ok(n) if n >= 1 => args.job_workers = n,
-                _ => {
-                    eprintln!("error: invalid --job-workers value");
-                    std::process::exit(2);
-                }
-            },
+            "--threads" => args.threads = Some(parse_count("--threads", value("--threads"))),
+            "--job-workers" => args.job_workers = parse_count("--job-workers", value("--job-workers")),
+            "--queue-depth" => args.queue_depth = parse_count("--queue-depth", value("--queue-depth")),
+            "--max-cells" => args.max_cells = Some(parse_count("--max-cells", value("--max-cells"))),
+            "--max-segments" => {
+                args.max_segments = Some(parse_count("--max-segments", value("--max-segments")))
+            }
             "--help" | "-h" => {
                 println!(
-                    "usage: comet-serviced [--socket PATH | --stdin] [--cache DIR] [--threads N] [--job-workers N]"
+                    "usage: comet-serviced [--socket PATH | --stdin] [--cache DIR] [--threads N] \
+                     [--job-workers N] [--queue-depth N] [--max-cells N] [--max-segments N]"
                 );
                 std::process::exit(0);
             }
@@ -75,24 +98,33 @@ fn main() {
         Some(threads) => ParallelExecutor::with_threads(threads),
         None => ParallelExecutor::new(),
     };
-    let service = match &args.cache {
-        Some(dir) => match ExperimentService::with_cache_dir(executor, dir) {
-            Ok(service) => {
-                eprintln!(
-                    "comet-serviced: loaded {} cached cell(s) from {}",
-                    service.stats().loaded_from_disk,
-                    dir.display()
-                );
-                service
-            }
-            Err(error) => {
-                eprintln!("error: could not open cache dir {}: {error}", dir.display());
-                std::process::exit(1);
-            }
-        },
-        None => ExperimentService::new(executor),
+    let config = ServiceConfig {
+        max_cached_cells: args.max_cells,
+        max_segments: args.max_segments,
+        ..ServiceConfig::default()
     };
-    let daemon = Daemon::new(Arc::new(service), args.job_workers);
+    let service = match ExperimentService::with_config(executor, args.cache.clone(), config) {
+        Ok(service) => {
+            if let Some(dir) = &args.cache {
+                let stats = service.stats();
+                eprintln!(
+                    "comet-serviced: loaded {} cached cell(s) from {} \
+                     ({} torn line(s) skipped, {} segment(s) quarantined)",
+                    stats.loaded_from_disk,
+                    dir.display(),
+                    stats.torn_lines,
+                    stats.quarantined_segments
+                );
+            }
+            service
+        }
+        Err(error) => {
+            let dir = args.cache.as_deref().map(|p| p.display().to_string()).unwrap_or_default();
+            eprintln!("error: could not open cache dir {dir}: {error}");
+            std::process::exit(1);
+        }
+    };
+    let daemon = Daemon::with_queue_bound(Arc::new(service), args.job_workers, args.queue_depth);
 
     let outcome = match &args.socket {
         Some(path) => {

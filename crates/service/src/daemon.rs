@@ -17,13 +17,28 @@
 //! any connection stops the daemon without waiting for a further connection,
 //! and handler reads use a timeout so open idle connections observe the
 //! shutdown flag promptly instead of pinning the daemon.
+//!
+//! ## Admission control and drain
+//!
+//! The queue is bounded ([`DEFAULT_QUEUE_BOUND`] unless overridden with
+//! [`Daemon::with_queue_bound`]): a `run` arriving while the queue is full
+//! is **shed** with a typed `overloaded` error response (carrying a
+//! `retry_after_ms` hint) instead of growing the queue without limit —
+//! clients retry with jittered exponential backoff. At shutdown the queue
+//! is closed and **drained**: in-flight sweeps finish normally, while
+//! queued-but-unstarted jobs each receive a clean `shutting_down` error
+//! response rather than being silently dropped.
 
+use crate::error::ServiceError;
 use crate::protocol::{self, Op, Request};
-use crate::queue::JobQueue;
+use crate::queue::{JobQueue, Push};
 use crate::service::ExperimentService;
 use std::io::{BufRead, Write};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc};
+
+/// Queued `run` jobs tolerated before admission control sheds new ones.
+pub const DEFAULT_QUEUE_BOUND: usize = 1024;
 
 /// One queued `run` job: the request plus the channel its response goes to.
 struct Job {
@@ -31,7 +46,7 @@ struct Job {
     reply: mpsc::Sender<String>,
 }
 
-/// The daemon: a shared service, a priority queue, and a worker pool.
+/// The daemon: a shared service, a bounded priority queue, and a worker pool.
 pub struct Daemon {
     service: Arc<ExperimentService>,
     queue: Arc<JobQueue<Job>>,
@@ -40,14 +55,22 @@ pub struct Daemon {
 }
 
 impl Daemon {
-    /// A daemon over `service` with `job_workers` concurrent sweep executors.
-    /// One worker (the default for the binary) gives strict priority order;
-    /// more workers trade ordering for sweep-level concurrency (cell-level
-    /// work is still deduplicated by the service).
+    /// A daemon over `service` with `job_workers` concurrent sweep executors
+    /// and the default admission bound. One worker (the default for the
+    /// binary) gives strict priority order; more workers trade ordering for
+    /// sweep-level concurrency (cell-level work is still deduplicated by the
+    /// service).
     pub fn new(service: Arc<ExperimentService>, job_workers: usize) -> Self {
+        Self::with_queue_bound(service, job_workers, DEFAULT_QUEUE_BOUND)
+    }
+
+    /// [`new`](Self::new) with an explicit admission bound: `run` requests
+    /// arriving while `queue_bound` jobs are already queued are shed with a
+    /// typed `overloaded` response.
+    pub fn with_queue_bound(service: Arc<ExperimentService>, job_workers: usize, queue_bound: usize) -> Self {
         Daemon {
             service,
-            queue: Arc::new(JobQueue::new()),
+            queue: Arc::new(JobQueue::bounded(queue_bound)),
             shutdown: Arc::new(AtomicBool::new(false)),
             job_workers: job_workers.max(1),
         }
@@ -56,6 +79,11 @@ impl Daemon {
     /// The shared service (for tests and in-process callers).
     pub fn service(&self) -> &Arc<ExperimentService> {
         &self.service
+    }
+
+    /// Jobs currently queued (not yet picked up by a worker).
+    pub fn queued_jobs(&self) -> usize {
+        self.queue.len()
     }
 
     /// Whether `shutdown` has been requested.
@@ -79,12 +107,25 @@ impl Daemon {
                         protocol::handle_request(&service, &request).0
                     }));
                     let line = outcome.unwrap_or_else(|_| {
-                        protocol::error_response(id, "internal error: request execution panicked")
+                        protocol::error_response(
+                            id,
+                            &ServiceError::Protocol("internal error: request execution panicked".to_string()),
+                        )
                     });
                     // A dropped receiver (client hung up) is not an error.
                     let _ = job.reply.send(line);
                 }
             });
+        }
+    }
+
+    /// Closes the queue and rejects every queued-but-unstarted job with a
+    /// clean `shutting_down` response. In-flight jobs (already popped by a
+    /// worker) finish normally; their connections get real responses.
+    fn reject_queued(&self) {
+        for job in self.queue.close_and_drain() {
+            let line = protocol::error_response(job.request.id, &ServiceError::ShuttingDown);
+            let _ = job.reply.send(line);
         }
     }
 
@@ -96,23 +137,31 @@ impl Daemon {
             return None;
         }
         Some(match protocol::parse_request(line) {
-            Err(message) => (protocol::error_response(0, &message), false),
+            Err(error) => (protocol::error_response(0, &error), false),
             Ok(request) => match &request.op {
                 Op::Run { priority, .. } => {
                     let priority = *priority;
+                    let id = request.id;
                     let (tx, rx) = mpsc::channel();
-                    let response = if self.queue.push(Job { request, reply: tx }, priority) {
-                        rx.recv()
-                            .unwrap_or_else(|_| protocol::error_response(0, "worker dropped the request"))
-                    } else {
-                        protocol::error_response(request_id_hint(line), "daemon is shutting down")
+                    let response = match self.queue.push(Job { request, reply: tx }, priority) {
+                        Push::Queued => rx.recv().unwrap_or_else(|_| {
+                            protocol::error_response(
+                                id,
+                                &ServiceError::Protocol("worker dropped the request".to_string()),
+                            )
+                        }),
+                        Push::Overloaded { queued, bound } => {
+                            self.service.note_shed();
+                            protocol::error_response(id, &ServiceError::Overloaded { queued, bound })
+                        }
+                        Push::Closed => protocol::error_response(id, &ServiceError::ShuttingDown),
                     };
                     (response, false)
                 }
                 Op::Shutdown => {
                     let (response, _) = protocol::handle_request(&self.service, &request);
                     self.shutdown.store(true, Ordering::Relaxed);
-                    self.queue.close();
+                    self.reject_queued();
                     (response, true)
                 }
                 _ => (protocol::handle_request(&self.service, &request).0, false),
@@ -142,8 +191,9 @@ impl Daemon {
         std::thread::scope(|scope| {
             self.spawn_workers(scope);
             let outcome = self.handle_connection(reader, writer);
-            // EOF without an explicit shutdown still ends the session.
-            self.queue.close();
+            // EOF without an explicit shutdown still ends the session; any
+            // still-queued jobs are rejected cleanly, not dropped.
+            self.reject_queued();
             outcome
         })
     }
@@ -184,7 +234,7 @@ impl Daemon {
                     }
                 }
             }
-            self.queue.close();
+            self.reject_queued();
             // The scope joins the handler threads; their read timeouts make
             // them observe the shutdown flag within one poll interval.
         });
@@ -251,15 +301,6 @@ impl Daemon {
             }
         }
     }
-}
-
-/// Best-effort id extraction for error paths where the request was parsed
-/// but can no longer be moved.
-fn request_id_hint(line: &str) -> u64 {
-    crate::json::parse(line)
-        .ok()
-        .and_then(|v| crate::json::get(&v, "id").and_then(crate::json::as_u64))
-        .unwrap_or(0)
 }
 
 #[cfg(test)]

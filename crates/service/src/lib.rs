@@ -34,7 +34,10 @@
 //! assert_eq!(service.stats().simulated, 1); // second call was a pure cache hit
 //! ```
 
+pub mod compact;
 pub mod daemon;
+pub mod error;
+pub mod faults;
 pub mod json;
 pub mod key;
 pub mod protocol;
@@ -43,8 +46,11 @@ pub mod service;
 pub mod store;
 pub mod targets;
 
-pub use daemon::Daemon;
+pub use compact::CompactionReport;
+pub use daemon::{Daemon, DEFAULT_QUEUE_BOUND};
+pub use error::ServiceError;
+pub use faults::FaultPlan;
 pub use key::{canonical_cell_form, cell_key, CellKey, KEY_SCHEMA};
-pub use queue::JobQueue;
-pub use service::{ExperimentService, ServiceStats};
-pub use store::{ResultStore, StoreReader};
+pub use queue::{JobQueue, Push};
+pub use service::{ExperimentService, ServiceConfig, ServiceStats};
+pub use store::{Recovery, ResultStore, StoreReader};

@@ -14,13 +14,24 @@
 //! response reports the wall-clock seconds, the request's cache-counter
 //! delta (cells, cache_hits, simulated, hit_rate, …), and the per-target
 //! datasets under `"results"`.
+//!
+//! Error responses are typed on the wire: an [`ServiceError::Overloaded`]
+//! shed carries `"overloaded":true` plus a `"retry_after_ms"` hint (clients
+//! retry with jittered exponential backoff), and
+//! [`ServiceError::ShuttingDown`] carries `"shutting_down":true` (clients
+//! reconnect elsewhere or give up cleanly — retrying the same daemon is
+//! pointless).
 
+use crate::error::ServiceError;
 use crate::json;
 use crate::service::{ExperimentService, ServiceStats};
 use crate::targets;
 use comet_sim::experiments::ExperimentScope;
 use serde::Serialize;
 use std::time::Instant;
+
+/// Backoff hint carried on `Overloaded` error responses.
+pub const RETRY_AFTER_MS: u64 = 200;
 
 /// A parsed request line.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -52,34 +63,40 @@ pub enum Op {
 }
 
 /// Parses one request line.
-pub fn parse_request(line: &str) -> Result<Request, String> {
-    let value = json::parse(line).map_err(|e| e.to_string())?;
+pub fn parse_request(line: &str) -> Result<Request, ServiceError> {
+    let value = json::parse(line)?;
     let id = json::get(&value, "id").and_then(json::as_u64).unwrap_or(0);
-    let op = json::get(&value, "op").and_then(json::as_str).ok_or("missing \"op\"")?;
+    let op = json::get(&value, "op")
+        .and_then(json::as_str)
+        .ok_or_else(|| ServiceError::Protocol("missing \"op\"".to_string()))?;
     let op = match op {
         "run" => {
             let scope = match json::get(&value, "scope").and_then(json::as_str).unwrap_or("smoke") {
                 "smoke" => ExperimentScope::Smoke,
                 "quick" => ExperimentScope::Quick,
                 "full" => ExperimentScope::Full,
-                other => return Err(format!("unknown scope {other:?}")),
+                other => return Err(ServiceError::Protocol(format!("unknown scope {other:?}"))),
             };
             let targets: Vec<String> = match json::get(&value, "targets").and_then(json::as_seq) {
                 Some(items) => items
                     .iter()
-                    .map(|item| json::as_str(item).map(str::to_string).ok_or("targets must be strings"))
+                    .map(|item| {
+                        json::as_str(item)
+                            .map(str::to_string)
+                            .ok_or_else(|| ServiceError::Protocol("targets must be strings".to_string()))
+                    })
                     .collect::<Result<_, _>>()?,
-                None => return Err("missing \"targets\"".to_string()),
+                None => return Err(ServiceError::Protocol("missing \"targets\"".to_string())),
             };
             if targets.is_empty() {
-                return Err("\"targets\" must not be empty".to_string());
+                return Err(ServiceError::Protocol("\"targets\" must not be empty".to_string()));
             }
             for target in &targets {
                 if !targets::KNOWN_TARGETS.contains(&target.as_str()) {
-                    return Err(format!(
+                    return Err(ServiceError::Protocol(format!(
                         "unknown target {target:?} (known: {})",
                         targets::KNOWN_TARGETS.join(", ")
-                    ));
+                    )));
                 }
             }
             let priority = json::get(&value, "priority").and_then(json::as_i64).unwrap_or(0);
@@ -88,7 +105,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         "stats" => Op::Stats,
         "ping" => Op::Ping,
         "shutdown" => Op::Shutdown,
-        other => return Err(format!("unknown op {other:?}")),
+        other => return Err(ServiceError::Protocol(format!("unknown op {other:?}"))),
     };
     Ok(Request { id, op })
 }
@@ -100,20 +117,33 @@ fn stats_json(stats: &ServiceStats) -> String {
     format!("{body},\"hit_rate\":{:.6}}}", stats.hit_rate())
 }
 
-/// An error response line.
-pub fn error_response(id: u64, message: &str) -> String {
+/// A typed error response line. Retryable and terminal conditions carry
+/// machine-readable flags so clients don't have to parse the message text.
+pub fn error_response(id: u64, error: &ServiceError) -> String {
     struct W(serde::Value);
     impl Serialize for W {
         fn to_value(&self) -> serde::Value {
             self.0.clone()
         }
     }
-    let value = serde::Value::Map(vec![
+    let mut fields = vec![
         ("id".to_string(), serde::Value::UInt(id)),
         ("ok".to_string(), serde::Value::Bool(false)),
-        ("error".to_string(), serde::Value::Str(message.to_string())),
-    ]);
-    serde_json::to_string(&W(value)).expect("value-tree serialization cannot fail")
+        ("error".to_string(), serde::Value::Str(error.to_string())),
+    ];
+    match error {
+        ServiceError::Overloaded { queued, bound } => {
+            fields.push(("overloaded".to_string(), serde::Value::Bool(true)));
+            fields.push(("queued".to_string(), serde::Value::UInt(*queued as u64)));
+            fields.push(("bound".to_string(), serde::Value::UInt(*bound as u64)));
+            fields.push(("retry_after_ms".to_string(), serde::Value::UInt(RETRY_AFTER_MS)));
+        }
+        ServiceError::ShuttingDown => {
+            fields.push(("shutting_down".to_string(), serde::Value::Bool(true)));
+        }
+        _ => {}
+    }
+    serde_json::to_string(&W(serde::Value::Map(fields))).expect("value-tree serialization cannot fail")
 }
 
 /// Executes a `run` request against `service` and builds the response line.
@@ -129,8 +159,10 @@ pub fn run_response(
     for name in target_names {
         match targets::run_target(name, scope, service) {
             Ok(Some(json)) => results.push((name.as_str(), json)),
-            Ok(None) => return error_response(id, &format!("unknown target {name:?}")),
-            Err(error) => return error_response(id, &format!("target {name} failed: {error}")),
+            Ok(None) => {
+                return error_response(id, &ServiceError::Protocol(format!("unknown target {name:?}")))
+            }
+            Err(error) => return error_response(id, &ServiceError::Runner(error)),
         }
     }
     let wall_s = started.elapsed().as_secs_f64();
@@ -181,8 +213,8 @@ mod tests {
     #[test]
     fn defaults_and_errors() {
         assert_eq!(parse_request(r#"{"op":"ping"}"#).unwrap(), Request { id: 0, op: Op::Ping });
-        assert!(parse_request("not json").is_err());
-        assert!(parse_request(r#"{"id":1}"#).is_err());
+        assert!(matches!(parse_request("not json"), Err(ServiceError::Json(_))));
+        assert!(matches!(parse_request(r#"{"id":1}"#), Err(ServiceError::Protocol(_))));
         assert!(parse_request(r#"{"op":"run","targets":[]}"#).is_err());
         assert!(parse_request(r#"{"op":"run","targets":["nope"]}"#).is_err());
         assert!(parse_request(r#"{"op":"run","scope":"huge","targets":["fig9"]}"#).is_err());
@@ -190,9 +222,23 @@ mod tests {
 
     #[test]
     fn error_responses_are_parseable_json() {
-        let line = error_response(3, "bad \"thing\"");
+        let line = error_response(3, &ServiceError::Protocol("bad \"thing\"".to_string()));
         let value = json::parse(&line).unwrap();
         assert_eq!(json::get(&value, "ok"), Some(&serde::Value::Bool(false)));
         assert_eq!(json::as_str(json::get(&value, "error").unwrap()), Some("bad \"thing\""));
+    }
+
+    #[test]
+    fn overloaded_responses_carry_the_retry_flags() {
+        let line = error_response(9, &ServiceError::Overloaded { queued: 4, bound: 4 });
+        let value = json::parse(&line).unwrap();
+        assert_eq!(json::get(&value, "overloaded"), Some(&serde::Value::Bool(true)));
+        assert_eq!(json::get(&value, "retry_after_ms").and_then(json::as_u64), Some(RETRY_AFTER_MS));
+        assert_eq!(json::get(&value, "queued").and_then(json::as_u64), Some(4));
+
+        let line = error_response(2, &ServiceError::ShuttingDown);
+        let value = json::parse(&line).unwrap();
+        assert_eq!(json::get(&value, "shutting_down"), Some(&serde::Value::Bool(true)));
+        assert_eq!(json::get(&value, "overloaded"), None);
     }
 }

@@ -1,12 +1,20 @@
-//! A blocking priority job queue for the experiment daemon.
+//! A blocking, bounded priority job queue for the experiment daemon.
 //!
 //! Jobs pop highest-priority first; ties break FIFO by arrival sequence, so
 //! equal-priority sweeps are served in submission order. `pop` blocks until a
-//! job is available or the queue is closed (drain-then-`None`), which is the
-//! worker-thread shutdown signal.
+//! job is available or the queue is closed, which is the worker-thread
+//! shutdown signal — a blocked `pop` wakes and returns `None` on close even
+//! when the queue is empty, so the daemon never leaks a worker waiting on
+//! the condvar.
+//!
+//! The queue is the service's admission bound: pushes past the configured
+//! capacity are refused with [`Push::Overloaded`] (load shedding) instead of
+//! growing without limit, and [`close_and_drain`](JobQueue::close_and_drain)
+//! hands queued-but-unstarted jobs back to the caller at shutdown so they
+//! can be rejected cleanly rather than silently dropped.
 
 use std::collections::BinaryHeap;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 
 struct Entry<T> {
     priority: i64,
@@ -38,10 +46,28 @@ struct Inner<T> {
     closed: bool,
 }
 
-/// A thread-safe blocking priority queue.
+/// The outcome of a [`JobQueue::push`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Push {
+    /// The job was enqueued.
+    Queued,
+    /// The job was shed: the queue already holds `queued` jobs against a
+    /// bound of `bound`. The job is dropped; clients should back off.
+    Overloaded {
+        /// Jobs queued at the moment of rejection.
+        queued: usize,
+        /// The configured admission bound.
+        bound: usize,
+    },
+    /// The queue is closed (shutdown); the job is dropped.
+    Closed,
+}
+
+/// A thread-safe blocking priority queue with an admission bound.
 pub struct JobQueue<T> {
     inner: Mutex<Inner<T>>,
     cv: Condvar,
+    bound: usize,
 }
 
 impl<T> Default for JobQueue<T> {
@@ -51,31 +77,57 @@ impl<T> Default for JobQueue<T> {
 }
 
 impl<T> JobQueue<T> {
-    /// An empty, open queue.
+    /// An empty, open, effectively unbounded queue.
     pub fn new() -> Self {
+        Self::bounded(usize::MAX)
+    }
+
+    /// An empty, open queue that sheds pushes past `bound` queued jobs
+    /// (`0` is clamped to 1: a queue that admits nothing deadlocks).
+    pub fn bounded(bound: usize) -> Self {
         JobQueue {
             inner: Mutex::new(Inner { heap: BinaryHeap::new(), next_seq: 0, closed: false }),
             cv: Condvar::new(),
+            bound: bound.max(1),
         }
     }
 
-    /// Enqueues `job`. Returns `false` (dropping the job) if the queue is closed.
-    pub fn push(&self, job: T, priority: i64) -> bool {
-        let mut inner = self.inner.lock().expect("queue lock");
+    /// The admission bound.
+    pub fn bound(&self) -> usize {
+        self.bound
+    }
+
+    /// Recovers the guard even if a holder panicked: the queue's invariants
+    /// hold at every await point, so poisoning must not cascade into every
+    /// connection thread.
+    fn lock(&self) -> MutexGuard<'_, Inner<T>> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Enqueues `job`, unless the queue is closed or full (the job is then
+    /// dropped and the outcome says why).
+    pub fn push(&self, job: T, priority: i64) -> Push {
+        let mut inner = self.lock();
         if inner.closed {
-            return false;
+            return Push::Closed;
+        }
+        if inner.heap.len() >= self.bound {
+            return Push::Overloaded { queued: inner.heap.len(), bound: self.bound };
         }
         let seq = inner.next_seq;
         inner.next_seq += 1;
         inner.heap.push(Entry { priority, seq, job });
         self.cv.notify_one();
-        true
+        Push::Queued
     }
 
     /// Blocks until a job is available (returning the highest-priority one)
-    /// or the queue is closed and drained (returning `None`).
+    /// or the queue is closed (returning `None`). After a plain
+    /// [`close`](Self::close) remaining jobs are drained first; after
+    /// [`close_and_drain`](Self::close_and_drain) the queue is already
+    /// empty and every popper wakes to `None` immediately.
     pub fn pop(&self) -> Option<T> {
-        let mut inner = self.inner.lock().expect("queue lock");
+        let mut inner = self.lock();
         loop {
             if let Some(entry) = inner.heap.pop() {
                 return Some(entry.job);
@@ -83,20 +135,35 @@ impl<T> JobQueue<T> {
             if inner.closed {
                 return None;
             }
-            inner = self.cv.wait(inner).expect("queue lock");
+            inner = self.cv.wait(inner).unwrap_or_else(PoisonError::into_inner);
         }
     }
 
     /// Closes the queue: future pushes are rejected, poppers drain what is
     /// left and then receive `None`.
     pub fn close(&self) {
-        self.inner.lock().expect("queue lock").closed = true;
+        self.lock().closed = true;
         self.cv.notify_all();
+    }
+
+    /// Closes the queue and takes every queued-but-unstarted job back, in
+    /// pop (priority) order, so the caller can reject each one cleanly.
+    /// In-flight jobs (already popped) are unaffected and run to completion.
+    pub fn close_and_drain(&self) -> Vec<T> {
+        let mut inner = self.lock();
+        inner.closed = true;
+        let mut drained = Vec::with_capacity(inner.heap.len());
+        while let Some(entry) = inner.heap.pop() {
+            drained.push(entry.job);
+        }
+        drop(inner);
+        self.cv.notify_all();
+        drained
     }
 
     /// Jobs currently queued.
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("queue lock").heap.len()
+        self.lock().heap.len()
     }
 
     /// Whether the queue is empty.
@@ -108,14 +175,15 @@ impl<T> JobQueue<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Arc;
 
     #[test]
     fn pops_by_priority_then_fifo() {
         let queue = JobQueue::new();
-        assert!(queue.push("low", 1));
-        assert!(queue.push("high", 10));
-        assert!(queue.push("mid-a", 5));
-        assert!(queue.push("mid-b", 5));
+        assert_eq!(queue.push("low", 1), Push::Queued);
+        assert_eq!(queue.push("high", 10), Push::Queued);
+        assert_eq!(queue.push("mid-a", 5), Push::Queued);
+        assert_eq!(queue.push("mid-b", 5), Push::Queued);
         assert_eq!(queue.pop(), Some("high"));
         assert_eq!(queue.pop(), Some("mid-a"));
         assert_eq!(queue.pop(), Some("mid-b"));
@@ -127,14 +195,13 @@ mod tests {
         let queue = JobQueue::new();
         queue.push(1, 0);
         queue.close();
-        assert!(!queue.push(2, 0), "closed queue rejects pushes");
+        assert_eq!(queue.push(2, 0), Push::Closed, "closed queue rejects pushes");
         assert_eq!(queue.pop(), Some(1));
         assert_eq!(queue.pop(), None);
     }
 
     #[test]
     fn blocking_pop_wakes_on_push() {
-        use std::sync::Arc;
         let queue = Arc::new(JobQueue::new());
         let popper = {
             let queue = queue.clone();
@@ -143,5 +210,58 @@ mod tests {
         std::thread::sleep(std::time::Duration::from_millis(20));
         queue.push(42, 0);
         assert_eq!(popper.join().unwrap(), Some(42));
+    }
+
+    /// Regression test for the worker-leak shutdown path: workers blocked in
+    /// `pop` on an *empty* queue must wake and return `None` as soon as the
+    /// queue closes — the daemon's polling accept loop joins its scope at
+    /// shutdown and would hang forever on a worker still parked on the
+    /// condvar.
+    #[test]
+    fn blocked_pop_on_an_empty_queue_wakes_and_returns_none_on_close() {
+        let queue: Arc<JobQueue<u32>> = Arc::new(JobQueue::new());
+        let poppers: Vec<_> = (0..4)
+            .map(|_| {
+                let queue = queue.clone();
+                std::thread::spawn(move || queue.pop())
+            })
+            .collect();
+        // Let every popper reach the condvar wait before closing.
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        queue.close();
+        for popper in poppers {
+            assert_eq!(popper.join().unwrap(), None, "blocked popper must wake to None");
+        }
+    }
+
+    #[test]
+    fn pushes_past_the_bound_are_shed() {
+        let queue = JobQueue::bounded(2);
+        assert_eq!(queue.push("a", 0), Push::Queued);
+        assert_eq!(queue.push("b", 5), Push::Queued);
+        assert_eq!(queue.push("c", 9), Push::Overloaded { queued: 2, bound: 2 });
+        // Shedding never reorders admitted work; a pop frees a slot.
+        assert_eq!(queue.pop(), Some("b"));
+        assert_eq!(queue.push("d", 0), Push::Queued);
+        assert_eq!(queue.len(), 2);
+    }
+
+    #[test]
+    fn zero_bound_is_clamped_to_one() {
+        let queue = JobQueue::bounded(0);
+        assert_eq!(queue.bound(), 1);
+        assert_eq!(queue.push(1, 0), Push::Queued);
+    }
+
+    #[test]
+    fn close_and_drain_hands_queued_jobs_back_in_pop_order() {
+        let queue = JobQueue::new();
+        queue.push("low", 1);
+        queue.push("high", 10);
+        queue.push("mid", 5);
+        let drained = queue.close_and_drain();
+        assert_eq!(drained, vec!["high", "mid", "low"]);
+        assert_eq!(queue.pop(), None, "drained queue pops None immediately");
+        assert_eq!(queue.push("late", 0), Push::Closed);
     }
 }

@@ -1,7 +1,7 @@
 //! The caching experiment service: a [`CellBackend`] that memoizes every
-//! completed cell in a content-addressed cache, deduplicates in-flight work
-//! across concurrent requests, and fans novel cells out over the existing
-//! [`ParallelExecutor`].
+//! completed cell in a bounded content-addressed cache, deduplicates
+//! in-flight work across concurrent requests, and fans novel cells out over
+//! the existing [`ParallelExecutor`].
 //!
 //! Every cell resolves exactly one way:
 //!
@@ -17,21 +17,117 @@
 //! Determinism makes all of this sound: a cell's result is a pure function
 //! of its key, so sharing a cached or in-flight result is bit-identical to
 //! re-running it.
+//!
+//! ## Fault tolerance
+//!
+//! The service is built to degrade, never to lie:
+//!
+//! * **Bounded cache** — [`ServiceConfig::max_cached_cells`] caps the
+//!   in-memory map with least-recently-touched eviction (hits refresh a
+//!   slot's clock; in-flight `Running` claims are never evicted), and
+//!   [`ServiceConfig::max_segments`] caps the segment directory by
+//!   triggering a compaction pass (see [`crate::compact`]) that rewrites
+//!   only the currently live keys.
+//! * **Worker panics** — a panicking cell simulation is caught at the cell
+//!   boundary, retried up to [`ServiceConfig::panic_retries`] times, and
+//!   surfaces as a typed [`RunnerError::WorkerPanic`] if it keeps
+//!   panicking. Sibling cells in the batch complete and cache normally.
+//! * **Degraded mode** — [`DEGRADE_AFTER_PERSIST_FAILURES`] consecutive
+//!   segment-append failures (disk full, I/O errors) flip the service into
+//!   cache-read-only degraded mode: requests keep being served (memory
+//!   cache + fresh simulation, both still bit-exact), nothing more is
+//!   written to disk, and [`ServiceStats::degraded`] reports the state.
 
+use crate::compact::CompactionReport;
+use crate::faults::FaultPlan;
 use crate::key::{cell_key, CellKey};
 use crate::store::ResultStore;
 use comet_sim::experiments::{CellBackend, CellSpec, ParallelExecutor};
 use comet_sim::{RunResult, Runner, RunnerError};
 use serde::Serialize;
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::collections::{HashMap, HashSet};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 
-/// One cache slot: a completed result, or a claim by an in-flight request.
+/// Consecutive persist failures before the service stops writing to disk.
+pub const DEGRADE_AFTER_PERSIST_FAILURES: u64 = 3;
+
+/// Resource bounds and containment knobs for an [`ExperimentService`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceConfig {
+    /// Completed cells kept in memory; least-recently-touched entries are
+    /// evicted past this. `None` = unbounded (the pre-bounds behavior).
+    pub max_cached_cells: Option<usize>,
+    /// Segment files tolerated on disk before a compaction pass rewrites
+    /// the live keys. `None` = never compact.
+    pub max_segments: Option<usize>,
+    /// Automatic re-runs of a cell whose simulation panicked before the
+    /// panic surfaces as [`RunnerError::WorkerPanic`].
+    pub panic_retries: u32,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig { max_cached_cells: None, max_segments: None, panic_retries: 2 }
+    }
+}
+
+/// One cache slot: a completed result (with its last-touched clock tick),
+/// or a claim by an in-flight request.
 #[derive(Debug, Clone)]
 enum Slot {
-    Ready(Arc<RunResult>),
+    Ready { result: Arc<RunResult>, touched: u64 },
     Running,
+}
+
+/// The cache map plus the LRU clock, guarded by one mutex.
+#[derive(Debug, Default)]
+struct CacheState {
+    slots: HashMap<CellKey, Slot>,
+    clock: u64,
+    ready: usize,
+}
+
+impl CacheState {
+    fn tick(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    /// Inserts a completed result, maintaining the ready count.
+    fn insert_ready(&mut self, key: CellKey, result: Arc<RunResult>) {
+        let touched = self.tick();
+        if !matches!(self.slots.insert(key, Slot::Ready { result, touched }), Some(Slot::Ready { .. })) {
+            self.ready += 1;
+        }
+    }
+
+    /// Evicts least-recently-touched `Ready` slots down to `max`; returns
+    /// how many were evicted. `Running` claims are never evicted.
+    fn evict_down_to(&mut self, max: usize) -> u64 {
+        let mut evicted = 0;
+        while self.ready > max {
+            let victim = self
+                .slots
+                .iter()
+                .filter_map(|(key, slot)| match slot {
+                    Slot::Ready { touched, .. } => Some((*touched, *key)),
+                    Slot::Running => None,
+                })
+                .min()
+                .map(|(_, key)| key);
+            match victim {
+                Some(key) => {
+                    self.slots.remove(&key);
+                    self.ready -= 1;
+                    evicted += 1;
+                }
+                None => break,
+            }
+        }
+        evicted
+    }
 }
 
 /// Monotonic service counters. All relaxed: they are reporting, not
@@ -45,10 +141,17 @@ struct Counters {
     simulated: AtomicU64,
     failed: AtomicU64,
     loaded_from_disk: AtomicU64,
+    evictions: AtomicU64,
+    compactions: AtomicU64,
+    worker_retries: AtomicU64,
+    sheds: AtomicU64,
+    persist_errors: AtomicU64,
+    quarantined_segments: AtomicU64,
+    torn_lines: AtomicU64,
 }
 
 /// A point-in-time snapshot of the service counters.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize)]
 pub struct ServiceStats {
     /// Cells requested across all `run_cells` calls (duplicates included).
     pub cells_requested: u64,
@@ -64,6 +167,22 @@ pub struct ServiceStats {
     pub failed: u64,
     /// Cache entries loaded from disk segments at startup.
     pub loaded_from_disk: u64,
+    /// Completed cells evicted from the bounded in-memory cache.
+    pub evictions: u64,
+    /// Segment-compaction passes run.
+    pub compactions: u64,
+    /// Automatic re-runs of cells whose simulation panicked.
+    pub worker_retries: u64,
+    /// Requests shed by admission control (reported by the daemon).
+    pub sheds: u64,
+    /// Failed segment appends/compactions (each costs only persistence).
+    pub persist_errors: u64,
+    /// Corrupt segments moved to quarantine during recovery.
+    pub quarantined_segments: u64,
+    /// Torn tail lines skipped during recovery (crash artifacts).
+    pub torn_lines: u64,
+    /// Whether the service is in cache-read-only degraded mode.
+    pub degraded: bool,
 }
 
 impl ServiceStats {
@@ -80,6 +199,8 @@ impl ServiceStats {
     }
 
     /// Counter-wise difference (`self - earlier`), for per-request deltas.
+    /// `degraded` is a state, not a counter: the later snapshot's value is
+    /// reported as-is.
     pub fn delta_since(&self, earlier: &ServiceStats) -> ServiceStats {
         ServiceStats {
             cells_requested: self.cells_requested - earlier.cells_requested,
@@ -89,6 +210,14 @@ impl ServiceStats {
             simulated: self.simulated - earlier.simulated,
             failed: self.failed - earlier.failed,
             loaded_from_disk: self.loaded_from_disk - earlier.loaded_from_disk,
+            evictions: self.evictions - earlier.evictions,
+            compactions: self.compactions - earlier.compactions,
+            worker_retries: self.worker_retries - earlier.worker_retries,
+            sheds: self.sheds - earlier.sheds,
+            persist_errors: self.persist_errors - earlier.persist_errors,
+            quarantined_segments: self.quarantined_segments - earlier.quarantined_segments,
+            torn_lines: self.torn_lines - earlier.torn_lines,
+            degraded: self.degraded,
         }
     }
 }
@@ -97,10 +226,14 @@ impl ServiceStats {
 /// connection handlers and job workers; all interior state is synchronized.
 pub struct ExperimentService {
     executor: ParallelExecutor,
-    cache: Mutex<HashMap<CellKey, Slot>>,
+    cache: Mutex<CacheState>,
     cv: Condvar,
     store: Option<Mutex<ResultStore>>,
     counters: Counters,
+    config: ServiceConfig,
+    faults: Option<Arc<FaultPlan>>,
+    degraded: AtomicBool,
+    consecutive_persist_failures: AtomicU64,
 }
 
 impl std::fmt::Debug for ExperimentService {
@@ -109,40 +242,89 @@ impl std::fmt::Debug for ExperimentService {
             .field("threads", &self.executor.threads())
             .field("cached_cells", &self.cached_cells())
             .field("persistent", &self.store.is_some())
+            .field("degraded", &self.is_degraded())
             .finish()
     }
 }
 
 impl ExperimentService {
-    /// An in-memory service (no persistence) over `executor`.
+    /// An in-memory service (no persistence, default bounds) over `executor`.
     pub fn new(executor: ParallelExecutor) -> Self {
-        ExperimentService {
+        Self::build(executor, None, ServiceConfig::default(), None)
+            .expect("in-memory service construction is infallible")
+    }
+
+    /// A persistent service with default bounds: existing segments under
+    /// `dir` are recovered into the in-memory cache (corrupt segments are
+    /// quarantined, never fatal), and every newly completed cell is appended.
+    pub fn with_cache_dir(executor: ParallelExecutor, dir: impl Into<PathBuf>) -> std::io::Result<Self> {
+        Self::with_config(executor, Some(dir.into()), ServiceConfig::default())
+    }
+
+    /// A service with explicit bounds, optionally persistent.
+    pub fn with_config(
+        executor: ParallelExecutor,
+        dir: Option<PathBuf>,
+        config: ServiceConfig,
+    ) -> std::io::Result<Self> {
+        Self::build(executor, dir, config, None)
+    }
+
+    /// Test-only constructor: a service with a deterministic fault-injection
+    /// plan threaded into its store-I/O and worker boundaries. Production
+    /// callers use the other constructors; without a plan every fault hook
+    /// is dead code.
+    #[doc(hidden)]
+    pub fn with_fault_plan(
+        executor: ParallelExecutor,
+        dir: Option<PathBuf>,
+        config: ServiceConfig,
+        faults: Arc<FaultPlan>,
+    ) -> std::io::Result<Self> {
+        Self::build(executor, dir, config, Some(faults))
+    }
+
+    fn build(
+        executor: ParallelExecutor,
+        dir: Option<PathBuf>,
+        config: ServiceConfig,
+        faults: Option<Arc<FaultPlan>>,
+    ) -> std::io::Result<Self> {
+        let service = ExperimentService {
             executor,
-            cache: Mutex::new(HashMap::new()),
+            cache: Mutex::new(CacheState::default()),
             cv: Condvar::new(),
             store: None,
             counters: Counters::default(),
-        }
-    }
+            config,
+            faults: faults.clone(),
+            degraded: AtomicBool::new(false),
+            consecutive_persist_failures: AtomicU64::new(0),
+        };
+        let Some(dir) = dir else { return Ok(service) };
 
-    /// A persistent service: existing segments under `dir` are streamed into
-    /// the in-memory cache, and every newly completed cell is appended.
-    pub fn with_cache_dir(
-        executor: ParallelExecutor,
-        dir: impl Into<std::path::PathBuf>,
-    ) -> std::io::Result<Self> {
-        let service = Self::new(executor);
-        let store = ResultStore::open(dir)?;
+        let mut store = ResultStore::open_faulted(dir, faults)?;
+        let recovery = store.recover()?;
+        service.counters.quarantined_segments.store(recovery.quarantined as u64, Ordering::Relaxed);
+        service.counters.torn_lines.store(recovery.torn_lines as u64, Ordering::Relaxed);
         let mut loaded = 0u64;
         {
-            let mut cache = service.cache.lock().expect("cache lock");
-            for (key, result) in store.stream()? {
+            let mut cache = service.lock_cache();
+            for (key, result) in recovery.entries {
                 // Last write wins (a later segment may re-record a key, e.g.
                 // two processes sharing the directory), and only unique keys
                 // count as loaded cells.
-                if cache.insert(key, Slot::Ready(Arc::new(result))).is_none() {
+                let fresh = !matches!(cache.slots.get(&key), Some(Slot::Ready { .. }));
+                cache.insert_ready(key, Arc::new(result));
+                if fresh {
                     loaded += 1;
                 }
+            }
+            // The bound applies to reloaded state too: keep the most
+            // recently written cells, evict the oldest.
+            if let Some(max) = service.config.max_cached_cells {
+                let evicted = cache.evict_down_to(max);
+                service.counters.evictions.fetch_add(evicted, Ordering::Relaxed);
             }
         }
         service.counters.loaded_from_disk.store(loaded, Ordering::Relaxed);
@@ -154,9 +336,34 @@ impl ExperimentService {
         self.executor.threads()
     }
 
+    /// The service's resource bounds.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// Whether the service is in cache-read-only degraded mode (persistent
+    /// disk errors; the in-memory cache and fresh simulation still serve
+    /// every request bit-exactly, but nothing more is written to disk).
+    pub fn is_degraded(&self) -> bool {
+        self.degraded.load(Ordering::Relaxed)
+    }
+
+    /// Recovers the cache guard even if a panicking thread poisoned it:
+    /// simulation panics happen outside the lock, so the map is consistent,
+    /// and cascading the poison would wedge every connection.
+    fn lock_cache(&self) -> MutexGuard<'_, CacheState> {
+        self.cache.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Completed cells currently cached in memory.
     pub fn cached_cells(&self) -> usize {
-        self.cache.lock().expect("cache lock").values().filter(|slot| matches!(slot, Slot::Ready(_))).count()
+        self.lock_cache().ready
+    }
+
+    /// Records one admission-control shed (called by the daemon so floods
+    /// show up in `stats`).
+    pub fn note_shed(&self) {
+        self.counters.sheds.fetch_add(1, Ordering::Relaxed);
     }
 
     /// A snapshot of the service counters.
@@ -169,45 +376,142 @@ impl ExperimentService {
             simulated: self.counters.simulated.load(Ordering::Relaxed),
             failed: self.counters.failed.load(Ordering::Relaxed),
             loaded_from_disk: self.counters.loaded_from_disk.load(Ordering::Relaxed),
+            evictions: self.counters.evictions.load(Ordering::Relaxed),
+            compactions: self.counters.compactions.load(Ordering::Relaxed),
+            worker_retries: self.counters.worker_retries.load(Ordering::Relaxed),
+            sheds: self.counters.sheds.load(Ordering::Relaxed),
+            persist_errors: self.counters.persist_errors.load(Ordering::Relaxed),
+            quarantined_segments: self.counters.quarantined_segments.load(Ordering::Relaxed),
+            torn_lines: self.counters.torn_lines.load(Ordering::Relaxed),
+            degraded: self.is_degraded(),
         }
     }
 
-    /// Looks one cell up without running anything.
+    /// Looks one cell up without running anything (refreshes its LRU clock).
     pub fn peek(&self, runner: &Runner, cell: &CellSpec) -> Option<Arc<RunResult>> {
-        match self.cache.lock().expect("cache lock").get(&cell_key(runner, cell)) {
-            Some(Slot::Ready(result)) => Some(result.clone()),
+        let key = cell_key(runner, cell);
+        let mut cache = self.lock_cache();
+        let tick = cache.tick();
+        match cache.slots.get_mut(&key) {
+            Some(Slot::Ready { result, touched }) => {
+                *touched = tick;
+                Some(result.clone())
+            }
             _ => None,
         }
     }
 
-    /// Records `result` for `key` and wakes waiters. Persistence errors are
-    /// reported to stderr but never fail the request — the cache stays
-    /// correct in memory either way.
-    fn complete(&self, key: CellKey, result: Arc<RunResult>) {
-        self.cache.lock().expect("cache lock").insert(key, Slot::Ready(result.clone()));
-        self.cv.notify_all();
-        if let Some(store) = &self.store {
-            if let Err(error) = store.lock().expect("store lock").append(key, &result) {
-                eprintln!("comet-service: warning: could not persist cell {key}: {error}");
+    /// Runs one cell with panic containment: a panicking simulation is
+    /// retried up to the configured bound, then surfaced as a typed
+    /// [`RunnerError::WorkerPanic`] instead of unwinding through the batch.
+    fn run_cell_contained(&self, runner: &Runner, cell: &CellSpec) -> Result<RunResult, RunnerError> {
+        let attempts = self.config.panic_retries.saturating_add(1);
+        for attempt in 1..=attempts {
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                if let Some(plan) = &self.faults {
+                    plan.on_simulate(&cell.label());
+                }
+                cell.run(runner)
+            }));
+            match outcome {
+                Ok(result) => return result,
+                Err(_) if attempt < attempts => {
+                    self.counters.worker_retries.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(_) => {}
             }
+        }
+        Err(RunnerError::WorkerPanic { label: cell.label(), attempts })
+    }
+
+    /// Records `result` for `key`, evicts past the bound, wakes waiters,
+    /// and persists. Persistence errors are contained — the cache stays
+    /// correct in memory either way — and persistent disk failure flips the
+    /// service into degraded mode instead of failing requests.
+    fn complete(&self, key: CellKey, result: Arc<RunResult>) {
+        {
+            let mut cache = self.lock_cache();
+            cache.insert_ready(key, result.clone());
+            if let Some(max) = self.config.max_cached_cells {
+                let evicted = cache.evict_down_to(max);
+                self.counters.evictions.fetch_add(evicted, Ordering::Relaxed);
+            }
+        }
+        self.cv.notify_all();
+        self.persist(key, &result);
+    }
+
+    fn persist(&self, key: CellKey, result: &RunResult) {
+        if self.is_degraded() {
+            return;
+        }
+        let Some(store) = &self.store else { return };
+        let outcome = store.lock().unwrap_or_else(PoisonError::into_inner).append(key, result);
+        match outcome {
+            Ok(()) => {
+                self.consecutive_persist_failures.store(0, Ordering::Relaxed);
+                self.maybe_compact();
+            }
+            Err(error) => self.note_persist_failure("persist cell", &error.to_string()),
         }
     }
 
-    /// Releases a failed claim and wakes waiters so one of them can re-claim.
-    fn release(&self, key: CellKey) {
-        self.cache.lock().expect("cache lock").remove(&key);
-        self.cv.notify_all();
+    fn note_persist_failure(&self, context: &str, message: &str) {
+        self.counters.persist_errors.fetch_add(1, Ordering::Relaxed);
+        let consecutive = self.consecutive_persist_failures.fetch_add(1, Ordering::Relaxed) + 1;
+        eprintln!("comet-service: warning: could not {context}: {message}");
+        if consecutive >= DEGRADE_AFTER_PERSIST_FAILURES && !self.degraded.swap(true, Ordering::Relaxed) {
+            eprintln!(
+                "comet-service: {consecutive} consecutive persist failures: entering \
+                 cache-read-only degraded mode (results stay bit-exact in memory; \
+                 nothing more is written to disk)"
+            );
+        }
+    }
+
+    /// Runs a compaction pass when the segment directory exceeds its bound.
+    /// The live set is the in-memory `Ready` keys: everything superseded or
+    /// evicted is dropped from disk.
+    fn maybe_compact(&self) {
+        let Some(max_segments) = self.config.max_segments else { return };
+        let Some(store) = &self.store else { return };
+        // Cheap check without touching the cache lock.
+        {
+            let store = store.lock().unwrap_or_else(PoisonError::into_inner);
+            if store.segments_on_disk() <= max_segments {
+                return;
+            }
+        }
+        let live: HashSet<CellKey> = {
+            let cache = self.lock_cache();
+            cache
+                .slots
+                .iter()
+                .filter_map(|(key, slot)| matches!(slot, Slot::Ready { .. }).then_some(*key))
+                .collect()
+        };
+        let outcome = store.lock().unwrap_or_else(PoisonError::into_inner).compact(&live);
+        match outcome {
+            Ok(CompactionReport { kept, dropped, segments_before, segments_after }) => {
+                self.counters.compactions.fetch_add(1, Ordering::Relaxed);
+                eprintln!(
+                    "comet-service: compacted {segments_before} segment(s) down to \
+                     {segments_after} ({kept} live cell(s) kept, {dropped} record(s) dropped)"
+                );
+            }
+            Err(error) => self.note_persist_failure("compact segments", &error.to_string()),
+        }
     }
 }
 
 /// Unwind guard over the `Running` claims one `run_cells` call holds.
 ///
-/// If a cell simulation panics, the panic propagates out of `run_cells` —
-/// but without this guard the call's claims would stay `Running` forever and
-/// every waiter (and every future request for those keys) would block
-/// indefinitely. The guard releases whatever tracked keys are still
-/// `Running` on drop, so waiters re-claim and re-run them; keys are
-/// untracked as they resolve, making the normal-path drop a no-op.
+/// Cell panics are contained by `run_cell_contained`, but a panic anywhere
+/// else in the batch path (or a `catch_unwind`-escaping foreign panic)
+/// would leave this call's claims `Running` forever and block every waiter.
+/// The guard releases whatever tracked keys are still `Running` on drop, so
+/// waiters re-claim and re-run them; keys are untracked as they resolve,
+/// making the normal-path drop a no-op.
 struct ClaimGuard<'a> {
     service: &'a ExperimentService,
     keys: std::collections::HashSet<CellKey>,
@@ -232,20 +536,22 @@ impl Drop for ClaimGuard<'_> {
         if self.keys.is_empty() {
             return;
         }
-        // The panic happened outside the cache lock (simulation code), but
-        // recover from poisoning anyway: a wedged Drop here would defeat the
-        // guard's whole purpose.
-        let mut cache = match self.service.cache.lock() {
-            Ok(cache) => cache,
-            Err(poisoned) => poisoned.into_inner(),
-        };
+        let mut cache = self.service.lock_cache();
         for key in &self.keys {
-            if matches!(cache.get(key), Some(Slot::Running)) {
-                cache.remove(key);
+            if matches!(cache.slots.get(key), Some(Slot::Running)) {
+                cache.slots.remove(key);
             }
         }
         drop(cache);
         self.service.cv.notify_all();
+    }
+}
+
+impl ExperimentService {
+    /// Releases a failed claim and wakes waiters so one of them can re-claim.
+    fn release(&self, key: CellKey) {
+        self.lock_cache().slots.remove(&key);
+        self.cv.notify_all();
     }
 }
 
@@ -270,21 +576,23 @@ impl CellBackend for ExperimentService {
         };
 
         // Claim phase: classify every unique key under one lock hold. Claims
-        // are tracked by an unwind guard so a panicking simulation releases
-        // them instead of wedging every waiter.
+        // are tracked by an unwind guard so a panic escaping the containment
+        // boundary still releases them instead of wedging every waiter.
         let mut claims = ClaimGuard::new(self);
         let mut owned: Vec<(CellKey, usize)> = Vec::new();
         let mut foreign: Vec<CellKey> = Vec::new();
         {
-            let mut cache = self.cache.lock().expect("cache lock");
+            let mut cache = self.lock_cache();
             for (index, &key) in keys.iter().enumerate() {
                 if first_index[&key] != index {
                     self.counters.batch_shared.fetch_add(1, Ordering::Relaxed);
                     continue;
                 }
-                match cache.get(&key) {
-                    Some(Slot::Ready(result)) => {
+                let tick = cache.tick();
+                match cache.slots.get_mut(&key) {
+                    Some(Slot::Ready { result, touched }) => {
                         self.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
+                        *touched = tick;
                         resolved.insert(key, result.clone());
                     }
                     Some(Slot::Running) => {
@@ -292,7 +600,7 @@ impl CellBackend for ExperimentService {
                         foreign.push(key);
                     }
                     None => {
-                        cache.insert(key, Slot::Running);
+                        cache.slots.insert(key, Slot::Running);
                         owned.push((key, index));
                     }
                 }
@@ -306,7 +614,8 @@ impl CellBackend for ExperimentService {
         // not abort the batch — completed siblings are still cached, and the
         // failed keys are released for waiters.
         if !owned.is_empty() {
-            let outcomes = self.executor.run(&owned, |_, &(_, index)| cells[index].run(runner));
+            let outcomes =
+                self.executor.run(&owned, |_, &(_, index)| self.run_cell_contained(runner, &cells[index]));
             for (&(key, index), outcome) in owned.iter().zip(outcomes) {
                 match outcome {
                     Ok(result) => {
@@ -333,30 +642,43 @@ impl CellBackend for ExperimentService {
         while !pending.is_empty() {
             let mut reclaimed: Vec<CellKey> = Vec::new();
             {
-                let mut cache = self.cache.lock().expect("cache lock");
+                let mut cache = self.lock_cache();
                 loop {
-                    pending.retain(|&key| match cache.get(&key) {
-                        Some(Slot::Ready(result)) => {
-                            resolved.insert(key, result.clone());
+                    let tick = cache.tick();
+                    let mut changed: Vec<(CellKey, Option<Arc<RunResult>>)> = Vec::new();
+                    pending.retain(|&key| match cache.slots.get_mut(&key) {
+                        Some(Slot::Ready { result, touched }) => {
+                            *touched = tick;
+                            changed.push((key, Some(result.clone())));
                             false
                         }
                         Some(Slot::Running) => true,
                         None => {
-                            cache.insert(key, Slot::Running);
-                            reclaimed.push(key);
+                            changed.push((key, None));
                             false
                         }
                     });
+                    for (key, ready) in changed {
+                        match ready {
+                            Some(result) => {
+                                resolved.insert(key, result);
+                            }
+                            None => {
+                                cache.slots.insert(key, Slot::Running);
+                                reclaimed.push(key);
+                            }
+                        }
+                    }
                     if pending.is_empty() || !reclaimed.is_empty() {
                         break;
                     }
-                    cache = self.cv.wait(cache).expect("cache lock");
+                    cache = self.cv.wait(cache).unwrap_or_else(PoisonError::into_inner);
                 }
             }
             for key in reclaimed {
                 claims.track(key);
                 let index = first_index[&key];
-                match cells[index].run(runner) {
+                match self.run_cell_contained(runner, &cells[index]) {
                     Ok(result) => {
                         self.counters.simulated.fetch_add(1, Ordering::Relaxed);
                         let result = Arc::new(result);

@@ -3,9 +3,19 @@
 //!
 //! Layout: `<dir>/segment-NNNNNN.jsonl`, one `{"key": "<32 hex>", "result":
 //! {…}}` object per line, appended in completion order and rotated every
-//! [`SEGMENT_CAPACITY`] entries. Segments are append-only and fsync-free by
-//! design — a torn final line (crash mid-append) is detected by the parser
-//! and skipped, costing one re-simulation, never a wrong result.
+//! [`SEGMENT_CAPACITY`] entries. The *open* segment is append-only and
+//! fsync-free by design — a torn final line (crash mid-append) is detected
+//! by the parser and skipped, costing one re-simulation, never a wrong
+//! result. Sealing a segment (rotation, compaction, shutdown) fsyncs it, so
+//! every *sealed* segment is durable.
+//!
+//! Recovery ([`ResultStore::recover`]) distinguishes two failure shapes:
+//! a malformed **final** line is the expected torn-append crash artifact
+//! and is skipped in place, while a malformed line **mid-file** means the
+//! segment was corrupted after the fact (bit rot, foreign writes) — the
+//! whole file is moved into `<dir>/quarantine/` rather than trusted, and
+//! only the entries before the corruption point are loaded. Recovery never
+//! aborts a service start.
 //!
 //! Reading back reconstructs [`RunResult`] field by field from the parsed
 //! value tree. The two `#[serde(skip)]` fields (`energy_breakdown`,
@@ -13,6 +23,7 @@
 //! experiment assembly works off the serialized fields only, so cached and
 //! fresh results are interchangeable where the service hands them out.
 
+use crate::faults::{AppendFault, FaultPlan};
 use crate::json;
 use crate::key::CellKey;
 use comet_sim::RunResult;
@@ -20,9 +31,13 @@ use serde::Value;
 use std::fs::{self, File, OpenOptions};
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// Entries per segment file before rotating to a new one.
 pub const SEGMENT_CAPACITY: usize = 512;
+
+/// Subdirectory corrupt segments are moved into during recovery.
+pub const QUARANTINE_DIR: &str = "quarantine";
 
 /// Append-only content-addressed result store.
 #[derive(Debug)]
@@ -31,18 +46,58 @@ pub struct ResultStore {
     writer: Option<BufWriter<File>>,
     segment_index: u64,
     entries_in_segment: usize,
+    segments_on_disk: usize,
+    faults: Option<Arc<FaultPlan>>,
+}
+
+/// What [`ResultStore::recover`] found on disk.
+#[derive(Debug, Default)]
+pub struct Recovery {
+    /// Every trusted `(key, result)` entry, in write order (callers apply
+    /// last-write-wins for re-recorded keys).
+    pub entries: Vec<(CellKey, RunResult)>,
+    /// Malformed final lines skipped in place (torn appends).
+    pub torn_lines: usize,
+    /// Segments moved into [`QUARANTINE_DIR`] because of mid-file
+    /// corruption or an unreadable file.
+    pub quarantined: usize,
 }
 
 impl ResultStore {
     /// Opens (creating if needed) the store directory. Existing segments are
     /// left untouched; new entries go to a fresh segment after the highest
-    /// existing index. Use [`stream`](Self::stream) to load what's already
-    /// there.
+    /// existing index. Use [`recover`](Self::recover) (or the legacy
+    /// [`stream`](Self::stream)) to load what's already there.
     pub fn open(dir: impl Into<PathBuf>) -> std::io::Result<ResultStore> {
+        Self::open_faulted(dir, None)
+    }
+
+    /// [`open`](Self::open) with a fault-injection plan threaded into the
+    /// append path (test-only; production callers pass no plan).
+    pub fn open_faulted(
+        dir: impl Into<PathBuf>,
+        faults: Option<Arc<FaultPlan>>,
+    ) -> std::io::Result<ResultStore> {
         let dir = dir.into();
         fs::create_dir_all(&dir)?;
-        let segment_index = segment_files(&dir)?.last().map(|(index, _)| index + 1).unwrap_or(0);
-        Ok(ResultStore { dir, writer: None, segment_index, entries_in_segment: 0 })
+        // An interrupted compaction may leave `*.tmp` files behind; they were
+        // never renamed into place, so their content is not yet trusted.
+        for entry in fs::read_dir(&dir)? {
+            let path = entry?.path();
+            if path.extension().is_some_and(|ext| ext == "tmp") {
+                let _ = fs::remove_file(&path);
+            }
+        }
+        let files = segment_files(&dir)?;
+        let segment_index = files.last().map(|(index, _)| index + 1).unwrap_or(0);
+        Ok(ResultStore {
+            dir,
+            writer: None,
+            segment_index,
+            entries_in_segment: 0,
+            segments_on_disk: files.len(),
+            faults,
+        })
     }
 
     /// The store directory.
@@ -50,19 +105,60 @@ impl ResultStore {
         &self.dir
     }
 
+    /// Segment files currently on disk (sealed and open).
+    pub fn segments_on_disk(&self) -> usize {
+        self.segments_on_disk
+    }
+
+    pub(crate) fn set_layout(&mut self, next_segment_index: u64, segments_on_disk: usize) {
+        self.segment_index = next_segment_index;
+        self.entries_in_segment = 0;
+        self.segments_on_disk = segments_on_disk;
+    }
+
+    /// Flushes and fsyncs the open segment (if any) and closes it; the next
+    /// append starts a fresh segment. Called on rotation, before
+    /// compaction, and at graceful shutdown — a sealed segment is durable.
+    pub fn seal(&mut self) -> std::io::Result<()> {
+        if let Some(mut writer) = self.writer.take() {
+            writer.flush()?;
+            writer.get_ref().sync_all()?;
+        }
+        self.entries_in_segment = 0;
+        Ok(())
+    }
+
     /// Appends one completed cell. Flushed per entry so a reader (or a
-    /// restart) sees every fully written line.
+    /// restart) sees every fully written line; the previous segment is
+    /// fsynced when a rotation seals it.
     pub fn append(&mut self, key: CellKey, result: &RunResult) -> std::io::Result<()> {
-        if self.writer.is_none() || self.entries_in_segment >= SEGMENT_CAPACITY {
+        if self.entries_in_segment >= SEGMENT_CAPACITY {
+            self.seal()?;
+        }
+        if self.writer.is_none() {
             let path = self.dir.join(format!("segment-{:06}.jsonl", self.segment_index));
             let file = OpenOptions::new().create(true).append(true).open(path)?;
             self.writer = Some(BufWriter::new(file));
             self.segment_index += 1;
             self.entries_in_segment = 0;
+            self.segments_on_disk += 1;
         }
         let writer = self.writer.as_mut().expect("writer opened above");
         let result_json = serde_json::to_string(result).expect("value-tree serialization cannot fail");
-        writeln!(writer, "{{\"key\":\"{key}\",\"result\":{result_json}}}")?;
+        let line = format!("{{\"key\":\"{key}\",\"result\":{result_json}}}");
+        if let Some(plan) = &self.faults {
+            match plan.on_append() {
+                AppendFault::Proceed => {}
+                AppendFault::Enospc => return Err(FaultPlan::enospc_error()),
+                AppendFault::Torn { keep_bytes } => {
+                    let keep = keep_bytes.min(line.len());
+                    writer.write_all(&line.as_bytes()[..keep])?;
+                    writer.flush()?;
+                    return Err(FaultPlan::torn_error());
+                }
+            }
+        }
+        writeln!(writer, "{line}")?;
         writer.flush()?;
         self.entries_in_segment += 1;
         Ok(())
@@ -74,10 +170,76 @@ impl ResultStore {
         let files = segment_files(&self.dir)?;
         Ok(StoreReader { files, current: None, skipped: 0 })
     }
+
+    /// Loads every trusted entry from disk, quarantining corrupt segments
+    /// instead of aborting (see the module docs for the torn-tail vs
+    /// mid-file-corruption distinction). Never fails on segment *content*;
+    /// only directory-level I/O errors propagate.
+    pub fn recover(&mut self) -> std::io::Result<Recovery> {
+        let mut recovery = Recovery::default();
+        for (_, path) in segment_files(&self.dir)? {
+            let file = match File::open(&path) {
+                Ok(file) => file,
+                Err(_) => {
+                    if self.quarantine(&path) {
+                        recovery.quarantined += 1;
+                        self.segments_on_disk = self.segments_on_disk.saturating_sub(1);
+                    }
+                    continue;
+                }
+            };
+            let mut segment_entries: Vec<(CellKey, RunResult)> = Vec::new();
+            // (line number, total lines) of the first malformed line, if any.
+            let mut first_bad: Option<usize> = None;
+            let mut lines_seen = 0usize;
+            for line in BufReader::new(file).lines() {
+                lines_seen += 1;
+                let parsed = match line {
+                    Ok(line) if line.trim().is_empty() => continue,
+                    Ok(line) => parse_entry(&line),
+                    Err(_) => None,
+                };
+                match parsed {
+                    Some(entry) if first_bad.is_none() => segment_entries.push(entry),
+                    Some(_) => {} // past the corruption point: not trusted
+                    None => first_bad = first_bad.or(Some(lines_seen)),
+                }
+            }
+            if let Some(bad) = first_bad {
+                if bad == lines_seen {
+                    // A malformed *final* line is the expected torn-append
+                    // artifact: skip it, trust the rest of the segment.
+                    recovery.torn_lines += 1;
+                } else if self.quarantine(&path) {
+                    // Malformed mid-file: the segment is corrupt. Keep the
+                    // entries before the corruption point, quarantine the file.
+                    recovery.quarantined += 1;
+                    self.segments_on_disk = self.segments_on_disk.saturating_sub(1);
+                }
+            }
+            recovery.entries.append(&mut segment_entries);
+        }
+        Ok(recovery)
+    }
+
+    /// Moves `path` into the quarantine subdirectory; returns whether the
+    /// move succeeded (a failed move leaves the file where it was — it will
+    /// be re-quarantined on the next recovery).
+    fn quarantine(&self, path: &Path) -> bool {
+        let quarantine = self.dir.join(QUARANTINE_DIR);
+        if fs::create_dir_all(&quarantine).is_err() {
+            return false;
+        }
+        let name = match path.file_name() {
+            Some(name) => name,
+            None => return false,
+        };
+        fs::rename(path, quarantine.join(name)).is_ok()
+    }
 }
 
 /// Segment files under `dir`, sorted by index.
-fn segment_files(dir: &Path) -> std::io::Result<Vec<(u64, PathBuf)>> {
+pub(crate) fn segment_files(dir: &Path) -> std::io::Result<Vec<(u64, PathBuf)>> {
     let mut files = Vec::new();
     if !dir.exists() {
         return Ok(files);

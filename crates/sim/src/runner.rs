@@ -96,6 +96,16 @@ pub enum RunnerError {
     UnknownMechanism(String),
     /// The simulation configuration failed validation.
     InvalidConfig(Vec<String>),
+    /// A worker thread panicked while simulating this cell, and kept
+    /// panicking through every bounded automatic retry. The panic is
+    /// contained at the cell boundary: sibling cells in the same batch
+    /// complete (and cache) normally.
+    WorkerPanic {
+        /// Label of the cell whose simulation panicked.
+        label: String,
+        /// Total attempts made (first run plus retries).
+        attempts: u32,
+    },
 }
 
 impl std::fmt::Display for RunnerError {
@@ -105,6 +115,9 @@ impl std::fmt::Display for RunnerError {
             RunnerError::UnknownMechanism(key) => write!(f, "unknown mechanism: {key}"),
             RunnerError::InvalidConfig(problems) => {
                 write!(f, "invalid simulation configuration: {}", problems.join("; "))
+            }
+            RunnerError::WorkerPanic { label, attempts } => {
+                write!(f, "worker panicked simulating cell {label} ({attempts} attempts)")
             }
         }
     }
