@@ -3,7 +3,7 @@
 //! ```text
 //! service --socket PATH submit [--scope smoke|quick|full] [--targets fig9,ranks]
 //!         [--priority N] [--id N] [--out FILE] [--expect-min-hit-rate X]
-//!         [--retries N] [--backoff-ms MS]
+//!         [--retries N] [--backoff-ms MS] [--timeout-ms MS]
 //! service --socket PATH ping
 //! service --socket PATH stats
 //! service --socket PATH shutdown
@@ -22,6 +22,12 @@
 //! or the daemon's `retry_after_ms` hint if larger). Exhausting the retries
 //! exits with status 4, distinguishing "the service is saturated" from
 //! request errors (status 1).
+//!
+//! `--timeout-ms MS` puts a read deadline on every round-trip: a daemon that
+//! accepts the connection but never answers surfaces as a typed I/O timeout
+//! (also status 4 — the service is unavailable, the request was fine)
+//! instead of blocking the client forever. Without the flag the client
+//! waits indefinitely, as before.
 
 #[cfg(unix)]
 fn main() {
@@ -37,9 +43,10 @@ fn main() {
 #[cfg(unix)]
 mod unix {
     use comet_service::json;
-    use std::io::{BufRead, BufReader, Write};
+    use comet_service::protocol::{LineConn, LineEvent};
     use std::os::unix::net::UnixStream;
     use std::path::PathBuf;
+    use std::time::{Duration, Instant};
 
     struct Args {
         socket: PathBuf,
@@ -52,6 +59,7 @@ mod unix {
         expect_min_hit_rate: Option<f64>,
         retries: u32,
         backoff_ms: u64,
+        timeout_ms: Option<u64>,
     }
 
     fn parse_args() -> Args {
@@ -65,6 +73,7 @@ mod unix {
         let mut expect_min_hit_rate = None;
         let mut retries = 5u32;
         let mut backoff_ms = 200u64;
+        let mut timeout_ms = None;
         let mut iter = std::env::args().skip(1);
         while let Some(arg) = iter.next() {
             let mut value = |flag: &str| {
@@ -110,9 +119,17 @@ mod unix {
                         std::process::exit(2);
                     })
                 }
+                "--timeout-ms" => {
+                    timeout_ms = Some(
+                        value("--timeout-ms").parse::<u64>().ok().filter(|&n| n >= 1).unwrap_or_else(|| {
+                            eprintln!("error: invalid --timeout-ms");
+                            std::process::exit(2);
+                        }),
+                    )
+                }
                 "--help" | "-h" => {
                     println!(
-                        "usage: service --socket PATH <submit|ping|stats|shutdown> [--scope S] [--targets a,b] [--priority N] [--id N] [--out FILE] [--expect-min-hit-rate X] [--retries N] [--backoff-ms MS]"
+                        "usage: service --socket PATH <submit|ping|stats|shutdown> [--scope S] [--targets a,b] [--priority N] [--id N] [--out FILE] [--expect-min-hit-rate X] [--retries N] [--backoff-ms MS] [--timeout-ms MS]"
                     );
                     std::process::exit(0);
                 }
@@ -131,7 +148,19 @@ mod unix {
             eprintln!("error: a command (submit|ping|stats|shutdown) is required");
             std::process::exit(2);
         });
-        Args { socket, command, scope, targets, priority, id, out, expect_min_hit_rate, retries, backoff_ms }
+        Args {
+            socket,
+            command,
+            scope,
+            targets,
+            priority,
+            id,
+            out,
+            expect_min_hit_rate,
+            retries,
+            backoff_ms,
+            timeout_ms,
+        }
     }
 
     fn request_line(args: &Args) -> String {
@@ -156,24 +185,56 @@ mod unix {
         }
     }
 
-    /// One round-trip: connect, send the request line, read one response line.
-    fn exchange(socket: &std::path::Path, line: &str) -> Result<String, String> {
-        let stream = UnixStream::connect(socket)
-            .map_err(|error| format!("could not connect to {}: {error}", socket.display()))?;
-        let mut writer =
-            stream.try_clone().map_err(|error| format!("could not clone the socket: {error}"))?;
-        writeln!(writer, "{line}").map_err(|error| format!("request write failed: {error}"))?;
-        writer.flush().map_err(|error| format!("request flush failed: {error}"))?;
+    /// The ways one round-trip can fail. A timeout is its own variant so the
+    /// caller can exit with the "service unavailable" status (4) instead of
+    /// the generic request-error status (1).
+    enum ExchangeError {
+        Io(String),
+        TimedOut { waited_ms: u64 },
+    }
 
-        let mut response = String::new();
-        BufReader::new(stream)
-            .read_line(&mut response)
-            .map_err(|error| format!("response read failed: {error}"))?;
-        let response = response.trim().to_string();
-        if response.is_empty() {
-            return Err("daemon closed the connection without a response".to_string());
+    /// One round-trip on the shared line codec: connect, send the request
+    /// line, read one response line. With a deadline, the socket read timeout
+    /// is kept short so the deadline is checked every ~250 ms — a hung
+    /// coordinator surfaces as [`ExchangeError::TimedOut`], never as an
+    /// indefinite block.
+    fn exchange(
+        socket: &std::path::Path,
+        line: &str,
+        timeout_ms: Option<u64>,
+    ) -> Result<String, ExchangeError> {
+        let io = |message: String| ExchangeError::Io(message);
+        let stream = UnixStream::connect(socket)
+            .map_err(|error| io(format!("could not connect to {}: {error}", socket.display())))?;
+        if let Some(ms) = timeout_ms {
+            stream
+                .set_read_timeout(Some(Duration::from_millis(ms.clamp(1, 250))))
+                .map_err(|error| io(format!("could not set the read deadline: {error}")))?;
         }
-        Ok(response)
+        let started = Instant::now();
+        let mut conn = LineConn::new(stream);
+        conn.write_line(line).map_err(|error| io(format!("request write failed: {error}")))?;
+        loop {
+            match conn.read_event() {
+                Ok(LineEvent::Line(response)) => {
+                    let response = response.trim().to_string();
+                    if response.is_empty() {
+                        return Err(io("daemon sent an empty response line".to_string()));
+                    }
+                    return Ok(response);
+                }
+                Ok(LineEvent::TimedOut) => {
+                    let waited_ms = started.elapsed().as_millis() as u64;
+                    if timeout_ms.is_some_and(|ms| waited_ms >= ms) {
+                        return Err(ExchangeError::TimedOut { waited_ms });
+                    }
+                }
+                Ok(LineEvent::Eof { .. }) => {
+                    return Err(io("daemon closed the connection without a response".to_string()));
+                }
+                Err(error) => return Err(io(format!("response read failed: {error}"))),
+            }
+        }
     }
 
     /// Deterministic jitter in `[0, base)`: hashed from the pid and attempt
@@ -199,10 +260,20 @@ mod unix {
         // resubmit. Other errors are terminal.
         let mut retries_used = 0u32;
         let (response, value) = loop {
-            let response = exchange(&args.socket, &line).unwrap_or_else(|message| {
-                eprintln!("error: {message}");
-                std::process::exit(1);
-            });
+            let response =
+                exchange(&args.socket, &line, args.timeout_ms).unwrap_or_else(|error| match error {
+                    ExchangeError::TimedOut { waited_ms } => {
+                        eprintln!(
+                            "error: io timeout: no response within {waited_ms} ms (deadline {} ms)",
+                            args.timeout_ms.unwrap_or(0)
+                        );
+                        std::process::exit(4);
+                    }
+                    ExchangeError::Io(message) => {
+                        eprintln!("error: {message}");
+                        std::process::exit(1);
+                    }
+                });
             let value = json::parse(&response).unwrap_or_else(|error| {
                 eprintln!("error: unparseable response ({error}): {response}");
                 std::process::exit(1);

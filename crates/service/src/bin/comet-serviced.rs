@@ -1,12 +1,18 @@
 //! The experiment daemon binary.
 //!
 //! ```text
-//! comet-serviced [--socket PATH | --stdin] [--cache DIR] [--threads N] [--job-workers N]
-//!                [--queue-depth N] [--max-cells N] [--max-segments N]
+//! comet-serviced [--socket PATH | --stdin] [--listen tcp://HOST:PORT] [--cache DIR]
+//!                [--threads N] [--job-workers N] [--queue-depth N]
+//!                [--max-cells N] [--max-segments N]
+//!                [--lease-timeout-ms N] [--max-redeliveries N]
 //! ```
 //!
 //! * `--socket PATH` — listen on a Unix-domain socket (the production mode;
 //!   pair it with the `service` client in `comet-bench`).
+//! * `--listen tcp://HOST:PORT` — additionally listen on TCP and act as a
+//!   **fleet coordinator**: `comet-worker` processes connect here, register,
+//!   and pull leased cells. With zero connected workers every cell runs
+//!   locally, exactly as without `--listen` (graceful degradation).
 //! * `--stdin` — serve a single session on stdin/stdout (the default; handy
 //!   for scripting and tests: `echo '{"op":"ping"}' | comet-serviced`).
 //! * `--cache DIR` — persist the result cache as JSON-lines segments under
@@ -22,31 +28,42 @@
 //! * `--max-segments N` — on-disk bound: exceeding `N` segment files
 //!   triggers a compaction pass that rewrites only live keys (default:
 //!   never compact).
+//! * `--lease-timeout-ms N` — fleet lease/heartbeat timeout: a worker silent
+//!   for `N` ms loses its leases, and its cells requeue (default 2000).
+//! * `--max-redeliveries N` — redelivery budget per cell before the
+//!   coordinator gives up with a typed `lease exhausted` error (default 3).
 
-use comet_service::{Daemon, ExperimentService, ServiceConfig, DEFAULT_QUEUE_BOUND};
+use comet_service::{Daemon, ExperimentService, Fleet, LeaseConfig, ServiceConfig, DEFAULT_QUEUE_BOUND};
 use comet_sim::experiments::ParallelExecutor;
 use std::path::PathBuf;
 use std::sync::Arc;
 
 struct Args {
     socket: Option<PathBuf>,
+    listen: Option<String>,
     cache: Option<PathBuf>,
     threads: Option<usize>,
     job_workers: usize,
     queue_depth: usize,
     max_cells: Option<usize>,
     max_segments: Option<usize>,
+    lease_timeout_ms: u64,
+    max_redeliveries: u32,
 }
 
 fn parse_args() -> Args {
+    let defaults = LeaseConfig::default();
     let mut args = Args {
         socket: None,
+        listen: None,
         cache: None,
         threads: None,
         job_workers: 1,
         queue_depth: DEFAULT_QUEUE_BOUND,
         max_cells: None,
         max_segments: None,
+        lease_timeout_ms: defaults.lease_timeout_ms,
+        max_redeliveries: defaults.max_redeliveries,
     };
     let mut iter = std::env::args().skip(1);
     while let Some(arg) = iter.next() {
@@ -68,6 +85,16 @@ fn parse_args() -> Args {
         match arg.as_str() {
             "--socket" => args.socket = Some(PathBuf::from(value("--socket"))),
             "--stdin" => args.socket = None,
+            "--listen" => {
+                let spec = value("--listen");
+                match comet_service::protocol::parse_tcp_spec(&spec) {
+                    Some(addr) => args.listen = Some(addr.to_string()),
+                    None => {
+                        eprintln!("error: --listen expects tcp://HOST:PORT, got {spec:?}");
+                        std::process::exit(2);
+                    }
+                }
+            }
             "--cache" => args.cache = Some(PathBuf::from(value("--cache"))),
             "--threads" => args.threads = Some(parse_count("--threads", value("--threads"))),
             "--job-workers" => args.job_workers = parse_count("--job-workers", value("--job-workers")),
@@ -76,10 +103,17 @@ fn parse_args() -> Args {
             "--max-segments" => {
                 args.max_segments = Some(parse_count("--max-segments", value("--max-segments")))
             }
+            "--lease-timeout-ms" => {
+                args.lease_timeout_ms = parse_count("--lease-timeout-ms", value("--lease-timeout-ms")) as u64
+            }
+            "--max-redeliveries" => {
+                args.max_redeliveries = parse_count("--max-redeliveries", value("--max-redeliveries")) as u32
+            }
             "--help" | "-h" => {
                 println!(
-                    "usage: comet-serviced [--socket PATH | --stdin] [--cache DIR] [--threads N] \
-                     [--job-workers N] [--queue-depth N] [--max-cells N] [--max-segments N]"
+                    "usage: comet-serviced [--socket PATH | --stdin] [--listen tcp://HOST:PORT] \
+                     [--cache DIR] [--threads N] [--job-workers N] [--queue-depth N] \
+                     [--max-cells N] [--max-segments N] [--lease-timeout-ms N] [--max-redeliveries N]"
                 );
                 std::process::exit(0);
             }
@@ -124,26 +158,35 @@ fn main() {
             std::process::exit(1);
         }
     };
-    let daemon = Daemon::with_queue_bound(Arc::new(service), args.job_workers, args.queue_depth);
+    let mut daemon = Daemon::with_queue_bound(Arc::new(service), args.job_workers, args.queue_depth);
+    if args.listen.is_some() {
+        let lease =
+            LeaseConfig { lease_timeout_ms: args.lease_timeout_ms, max_redeliveries: args.max_redeliveries };
+        daemon = daemon.with_fleet(Arc::new(Fleet::new(lease)));
+    }
 
-    let outcome = match &args.socket {
-        Some(path) => {
-            #[cfg(unix)]
-            {
-                eprintln!("comet-serviced: listening on {}", path.display());
-                daemon.serve_unix(path)
-            }
-            #[cfg(not(unix))]
-            {
-                let _ = path;
-                eprintln!("error: --socket requires a Unix platform; use --stdin");
-                std::process::exit(2);
-            }
-        }
-        None => {
+    let outcome = match (&args.socket, &args.listen) {
+        (None, None) => {
             let stdin = std::io::stdin();
             let stdout = std::io::stdout();
             daemon.serve_session(stdin.lock(), stdout.lock())
+        }
+        (socket, listen) => {
+            #[cfg(unix)]
+            {
+                if let Some(path) = socket {
+                    eprintln!("comet-serviced: listening on {}", path.display());
+                }
+                if let Some(addr) = listen {
+                    eprintln!("comet-serviced: fleet coordinator on tcp://{addr}");
+                }
+                daemon.serve(socket.as_deref(), listen.as_deref())
+            }
+            #[cfg(not(unix))]
+            {
+                eprintln!("error: --socket/--listen require a Unix platform; use --stdin");
+                std::process::exit(2);
+            }
         }
     };
     if let Err(error) = outcome {

@@ -28,12 +28,27 @@
 //! is closed and **drained**: in-flight sweeps finish normally, while
 //! queued-but-unstarted jobs each receive a clean `shutting_down` error
 //! response rather than being silently dropped.
+//!
+//! ## The fleet coordinator
+//!
+//! With a [`Fleet`] attached ([`Daemon::with_fleet`]) the daemon also
+//! speaks the fleet side of the protocol — `register` / `pull` /
+//! `heartbeat` / `complete` — on every listener (workers usually arrive
+//! over TCP via [`Daemon::serve`], but the ops work on any connection).
+//! Each connection remembers the worker registered on it: when the
+//! connection drops, the worker's leases expire immediately and its cells
+//! requeue, which is what makes a SIGKILLed worker's cells complete
+//! elsewhere without waiting out the heartbeat timeout. `shutdown` drains
+//! the fleet alongside the queue, so leased cells resolve as typed
+//! `shutting_down` rejections instead of hanging.
 
 use crate::error::ServiceError;
-use crate::protocol::{self, Op, Request};
-use crate::queue::{JobQueue, Push};
+use crate::fleet::{Fleet, PullOutcome};
+use crate::protocol::{self, LineConn, LineEvent, Op, Request};
+use crate::queue::{JobQueue, PopWait, Push};
 use crate::service::ExperimentService;
-use std::io::{BufRead, Write};
+use crate::store;
+use std::io::{BufRead, Read, Write};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc};
 
@@ -52,6 +67,7 @@ pub struct Daemon {
     queue: Arc<JobQueue<Job>>,
     shutdown: Arc<AtomicBool>,
     job_workers: usize,
+    fleet: Option<Arc<Fleet>>,
 }
 
 impl Daemon {
@@ -73,7 +89,22 @@ impl Daemon {
             queue: Arc::new(JobQueue::bounded(queue_bound)),
             shutdown: Arc::new(AtomicBool::new(false)),
             job_workers: job_workers.max(1),
+            fleet: None,
         }
+    }
+
+    /// Attaches a fleet coordinator: the daemon answers fleet ops on every
+    /// listener and the service offers cells to remote workers first. The
+    /// same `Arc` is attached to the service so dispatch and stats agree.
+    pub fn with_fleet(mut self, fleet: Arc<Fleet>) -> Self {
+        self.service.attach_fleet(fleet.clone());
+        self.fleet = Some(fleet);
+        self
+    }
+
+    /// The attached fleet coordinator, if any.
+    pub fn fleet(&self) -> Option<&Arc<Fleet>> {
+        self.fleet.as_ref()
     }
 
     /// The shared service (for tests and in-process callers).
@@ -95,8 +126,23 @@ impl Daemon {
         for _ in 0..self.job_workers {
             let queue = self.queue.clone();
             let service = self.service.clone();
+            let shutdown = self.shutdown.clone();
             scope.spawn(move || {
-                while let Some(job) = queue.pop() {
+                loop {
+                    // A bounded wait so a worker parked on an empty queue
+                    // still observes the shutdown flag even if no one closed
+                    // the queue (a defensive backstop: `begin_shutdown`
+                    // normally closes it).
+                    let job = match queue.pop_timeout(std::time::Duration::from_millis(200)) {
+                        PopWait::Job(job) => job,
+                        PopWait::TimedOut => {
+                            if shutdown.load(Ordering::Relaxed) {
+                                return;
+                            }
+                            continue;
+                        }
+                        PopWait::Closed => return,
+                    };
                     // A panicking simulation must not kill the worker: the
                     // service's claim guard has already released the cell
                     // claims during unwind, so catching here turns the panic
@@ -129,10 +175,22 @@ impl Daemon {
         }
     }
 
+    /// Starts the shutdown sequence: flag, fleet drain (leased cells resolve
+    /// as typed `shutting_down` rejections), queue drain. Idempotent.
+    fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        if let Some(fleet) = &self.fleet {
+            fleet.drain();
+        }
+        self.reject_queued();
+    }
+
     /// Computes the response line for one request line. Returns `None` for
     /// blank lines; the boolean is `true` when the request was `shutdown`
     /// (the connection should close after writing the response).
-    fn response_for(&self, line: &str) -> Option<(String, bool)> {
+    /// `registered` is this connection's fleet-worker registration, updated
+    /// on `register` and used by the caller's disconnect cleanup.
+    fn respond(&self, line: &str, registered: &mut Option<u64>) -> Option<(String, bool)> {
         if line.trim().is_empty() {
             return None;
         }
@@ -160,29 +218,106 @@ impl Daemon {
                 }
                 Op::Shutdown => {
                     let (response, _) = protocol::handle_request(&self.service, &request);
-                    self.shutdown.store(true, Ordering::Relaxed);
-                    self.reject_queued();
+                    self.begin_shutdown();
                     (response, true)
+                }
+                Op::Register { .. } | Op::Pull { .. } | Op::Heartbeat { .. } | Op::Complete { .. }
+                    if self.fleet.is_some() =>
+                {
+                    (self.fleet_response(&request, registered), false)
                 }
                 _ => (protocol::handle_request(&self.service, &request).0, false),
             },
         })
     }
 
-    /// Handles one connection's request stream until EOF or shutdown.
-    fn handle_connection(&self, reader: impl BufRead, mut writer: impl Write) -> std::io::Result<()> {
-        for line in reader.lines() {
-            let line = line?;
-            let Some((response, closing)) = self.response_for(&line) else {
-                continue;
-            };
-            writeln!(writer, "{response}")?;
-            writer.flush()?;
-            if closing || self.is_shutdown() {
-                break;
+    /// Answers one fleet op against the attached coordinator.
+    fn fleet_response(&self, request: &Request, registered: &mut Option<u64>) -> String {
+        let fleet = self.fleet.as_ref().expect("caller checked the fleet exists");
+        let id = request.id;
+        match &request.op {
+            Op::Register { threads, schema } => match protocol::check_schema(schema) {
+                Err(error) => protocol::error_response(id, &error),
+                Ok(()) => {
+                    let worker = fleet.register(*threads);
+                    *registered = Some(worker);
+                    protocol::register_response(id, worker, fleet.lease_timeout_ms())
+                }
+            },
+            Op::Pull { worker, wait_ms } => match fleet.pull(*worker, *wait_ms) {
+                PullOutcome::Job(key, redeliveries, payload) => {
+                    protocol::pull_response(id, Some((key, redeliveries, &payload)))
+                }
+                PullOutcome::Empty => protocol::pull_response(id, None),
+                PullOutcome::UnknownWorker => protocol::error_response(
+                    id,
+                    &ServiceError::Protocol("unknown worker (lease timeout?); re-register".to_string()),
+                ),
+                PullOutcome::Draining => protocol::error_response(id, &ServiceError::ShuttingDown),
+            },
+            Op::Heartbeat { worker } => protocol::heartbeat_response(id, fleet.heartbeat(*worker)),
+            Op::Complete { worker, key, outcome } => {
+                let outcome = match outcome {
+                    // An undecodable projection is reported as a failure so
+                    // the service re-runs the cell locally — the cache must
+                    // never absorb a result the coordinator cannot read.
+                    Ok(value) => store::run_result_from_value(value)
+                        .ok_or_else(|| "undecodable result projection".to_string()),
+                    Err(message) => Err(message.clone()),
+                };
+                protocol::complete_response(id, fleet.complete(*worker, *key, outcome))
+            }
+            _ => unreachable!("fleet_response is only called for fleet ops"),
+        }
+    }
+
+    /// Serves one framed connection until EOF, `shutdown`, or an I/O error,
+    /// then cleans up any fleet-worker registration the connection carried
+    /// (dropping a worker's connection expires its leases immediately).
+    fn serve_conn<S: Read + Write>(&self, stream: S) -> std::io::Result<()> {
+        let mut conn = LineConn::new(stream);
+        let mut registered: Option<u64> = None;
+        let outcome = self.conn_loop(&mut conn, &mut registered);
+        if let (Some(worker), Some(fleet)) = (registered, &self.fleet) {
+            fleet.disconnect(worker);
+        }
+        outcome
+    }
+
+    fn conn_loop<S: Read + Write>(
+        &self,
+        conn: &mut LineConn<S>,
+        registered: &mut Option<u64>,
+    ) -> std::io::Result<()> {
+        loop {
+            if self.is_shutdown() {
+                return Ok(());
+            }
+            match conn.read_event()? {
+                LineEvent::Line(line) => {
+                    let Some((response, closing)) = self.respond(&line, registered) else {
+                        continue;
+                    };
+                    conn.write_line(&response)?;
+                    if closing || self.is_shutdown() {
+                        return Ok(());
+                    }
+                }
+                // The read timeout makes idle connections re-check the
+                // shutdown flag instead of pinning the daemon open.
+                LineEvent::TimedOut => continue,
+                LineEvent::Eof { partial } => {
+                    // EOF with an unterminated final line: answer it anyway —
+                    // a client may shut down its write side and still read.
+                    if let Some(line) = partial {
+                        if let Some((response, _)) = self.respond(&line, registered) {
+                            conn.write_line(&response)?;
+                        }
+                    }
+                    return Ok(());
+                }
             }
         }
-        Ok(())
     }
 
     /// Serves a single session on arbitrary reader/writer pairs (stdin mode,
@@ -190,7 +325,7 @@ impl Daemon {
     pub fn serve_session(&self, reader: impl BufRead, writer: impl Write) -> std::io::Result<()> {
         std::thread::scope(|scope| {
             self.spawn_workers(scope);
-            let outcome = self.handle_connection(reader, writer);
+            let outcome = self.serve_conn(Duplex { reader, writer });
             // EOF without an explicit shutdown still ends the session; any
             // still-queued jobs are rejected cleanly, not dropped.
             self.reject_queued();
@@ -204,52 +339,122 @@ impl Daemon {
     /// the accept loop — they multiplex through the priority queue instead.
     #[cfg(unix)]
     pub fn serve_unix(&self, path: &std::path::Path) -> std::io::Result<()> {
-        use std::os::unix::net::UnixListener;
-        // A stale socket file from a previous run would make bind fail.
-        let _ = std::fs::remove_file(path);
-        let listener = UnixListener::bind(path)?;
-        // Poll the listener instead of blocking in accept: a `shutdown`
-        // received on any connection must end the loop without requiring one
-        // more client to connect.
-        listener.set_nonblocking(true)?;
+        self.serve(Some(path), None)
+    }
+
+    /// Binds the requested listeners (a Unix socket path, a TCP address, or
+    /// both) and serves until `shutdown`. The TCP listener is how fleet
+    /// workers usually arrive; both listeners answer the full protocol.
+    #[cfg(unix)]
+    pub fn serve(&self, unix_path: Option<&std::path::Path>, tcp_addr: Option<&str>) -> std::io::Result<()> {
+        let unix = match unix_path {
+            Some(path) => {
+                // A stale socket file from a previous run would make bind fail.
+                let _ = std::fs::remove_file(path);
+                Some(std::os::unix::net::UnixListener::bind(path)?)
+            }
+            None => None,
+        };
+        let tcp = tcp_addr.map(std::net::TcpListener::bind).transpose()?;
+        let outcome = self.serve_listeners(unix, tcp);
+        if let Some(path) = unix_path {
+            let _ = std::fs::remove_file(path);
+        }
+        outcome
+    }
+
+    /// [`serve`](Self::serve) over pre-bound listeners (tests bind port 0
+    /// themselves to learn the address).
+    #[cfg(unix)]
+    pub fn serve_listeners(
+        &self,
+        unix: Option<std::os::unix::net::UnixListener>,
+        tcp: Option<std::net::TcpListener>,
+    ) -> std::io::Result<()> {
+        // Poll the listeners instead of blocking in accept: a `shutdown`
+        // received on any connection must end the loops without requiring
+        // one more client to connect.
+        if let Some(listener) = &unix {
+            listener.set_nonblocking(true)?;
+        }
+        if let Some(listener) = &tcp {
+            listener.set_nonblocking(true)?;
+        }
         std::thread::scope(|scope| {
             self.spawn_workers(scope);
-            while !self.is_shutdown() {
-                match listener.accept() {
-                    Ok((stream, _)) => {
-                        // A connection-level IO error (client hung up
-                        // mid-write) never kills the daemon.
-                        scope.spawn(move || {
-                            if let Err(error) = self.handle_stream(stream) {
-                                eprintln!("comet-serviced: connection error: {error}");
-                            }
-                        });
-                    }
-                    Err(error) if error.kind() == std::io::ErrorKind::WouldBlock => {
-                        std::thread::sleep(std::time::Duration::from_millis(25));
-                    }
-                    Err(error) => {
-                        eprintln!("comet-serviced: accept error: {error}");
-                        std::thread::sleep(std::time::Duration::from_millis(100));
-                    }
-                }
+            let mut accepts = Vec::new();
+            if let Some(listener) = &unix {
+                accepts.push(scope.spawn(move || self.accept_unix(scope, listener)));
             }
-            self.reject_queued();
+            if let Some(listener) = &tcp {
+                accepts.push(scope.spawn(move || self.accept_tcp(scope, listener)));
+            }
+            for accept in accepts {
+                let _ = accept.join();
+            }
+            self.begin_shutdown();
             // The scope joins the handler threads; their read timeouts make
             // them observe the shutdown flag within one poll interval.
         });
-        let _ = std::fs::remove_file(path);
         Ok(())
     }
 
-    /// Handles one Unix-socket connection on its own thread. Reads with a
-    /// timeout and assembles lines manually (a `BufReader` may drop
-    /// partially buffered data on a timeout error), so an idle connection
-    /// re-checks the shutdown flag every poll interval instead of pinning
-    /// the daemon open.
     #[cfg(unix)]
-    fn handle_stream(&self, mut stream: std::os::unix::net::UnixStream) -> std::io::Result<()> {
-        use std::io::Read;
+    fn accept_unix<'scope>(
+        &'scope self,
+        scope: &'scope std::thread::Scope<'scope, '_>,
+        listener: &std::os::unix::net::UnixListener,
+    ) {
+        while !self.is_shutdown() {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    // A connection-level IO error (client hung up mid-write)
+                    // never kills the daemon.
+                    scope.spawn(move || {
+                        if let Err(error) = self.handle_unix(stream) {
+                            eprintln!("comet-serviced: connection error: {error}");
+                        }
+                    });
+                }
+                Err(error) if error.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(std::time::Duration::from_millis(25));
+                }
+                Err(error) => {
+                    eprintln!("comet-serviced: accept error: {error}");
+                    std::thread::sleep(std::time::Duration::from_millis(100));
+                }
+            }
+        }
+    }
+
+    #[cfg(unix)]
+    fn accept_tcp<'scope>(
+        &'scope self,
+        scope: &'scope std::thread::Scope<'scope, '_>,
+        listener: &std::net::TcpListener,
+    ) {
+        while !self.is_shutdown() {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    scope.spawn(move || {
+                        if let Err(error) = self.handle_tcp(stream) {
+                            eprintln!("comet-serviced: connection error: {error}");
+                        }
+                    });
+                }
+                Err(error) if error.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(std::time::Duration::from_millis(25));
+                }
+                Err(error) => {
+                    eprintln!("comet-serviced: accept error: {error}");
+                    std::thread::sleep(std::time::Duration::from_millis(100));
+                }
+            }
+        }
+    }
+
+    #[cfg(unix)]
+    fn handle_unix(&self, stream: std::os::unix::net::UnixStream) -> std::io::Result<()> {
         // Accepted sockets can inherit the listener's non-blocking flag.
         stream.set_nonblocking(false)?;
         stream.set_read_timeout(Some(std::time::Duration::from_millis(200)))?;
@@ -257,49 +462,39 @@ impl Daemon {
         // that cannot complete within the (generous) timeout errors out and
         // drops the connection, so shutdown never waits on a dead peer.
         stream.set_write_timeout(Some(std::time::Duration::from_secs(30)))?;
-        let mut pending: Vec<u8> = Vec::new();
-        let mut chunk = [0u8; 4096];
-        loop {
-            if self.is_shutdown() {
-                return Ok(());
-            }
-            match stream.read(&mut chunk) {
-                Ok(0) => {
-                    // EOF with an unterminated final line: answer it anyway,
-                    // matching the `BufRead::lines`-based session path — a
-                    // client may shut down its write side and still read.
-                    let line = String::from_utf8_lossy(&pending).into_owned();
-                    if let Some((response, _)) = self.response_for(&line) {
-                        writeln!(stream, "{response}")?;
-                        stream.flush()?;
-                    }
-                    return Ok(());
-                }
-                Ok(read) => {
-                    pending.extend_from_slice(&chunk[..read]);
-                    while let Some(newline) = pending.iter().position(|&b| b == b'\n') {
-                        let line: Vec<u8> = pending.drain(..=newline).collect();
-                        let line = String::from_utf8_lossy(&line[..newline]).into_owned();
-                        if let Some((response, closing)) = self.response_for(&line) {
-                            writeln!(stream, "{response}")?;
-                            stream.flush()?;
-                            if closing || self.is_shutdown() {
-                                return Ok(());
-                            }
-                        }
-                    }
-                }
-                Err(error)
-                    if matches!(
-                        error.kind(),
-                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
-                    ) =>
-                {
-                    continue;
-                }
-                Err(error) => return Err(error),
-            }
-        }
+        self.serve_conn(stream)
+    }
+
+    #[cfg(unix)]
+    fn handle_tcp(&self, stream: std::net::TcpStream) -> std::io::Result<()> {
+        stream.set_nonblocking(false)?;
+        stream.set_read_timeout(Some(std::time::Duration::from_millis(200)))?;
+        stream.set_write_timeout(Some(std::time::Duration::from_secs(30)))?;
+        stream.set_nodelay(true).ok();
+        self.serve_conn(stream)
+    }
+}
+
+/// A reader/writer pair masquerading as one stream, so stdin sessions frame
+/// through the same [`LineConn`] codec as socket connections.
+struct Duplex<R, W> {
+    reader: R,
+    writer: W,
+}
+
+impl<R: Read, W: Write> Read for Duplex<R, W> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        self.reader.read(buf)
+    }
+}
+
+impl<R: Read, W: Write> Write for Duplex<R, W> {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.writer.write(buf)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.writer.flush()
     }
 }
 

@@ -53,6 +53,17 @@ impl ServiceError {
     pub fn is_retryable(&self) -> bool {
         matches!(self, ServiceError::Overloaded { .. })
     }
+
+    /// Wraps a runner error for the wire, lifting fleet-drain sentinels to
+    /// the typed shutdown rejection: a cell drained because the coordinator
+    /// is stopping must reach clients as `"shutting_down":true` (reconnect
+    /// elsewhere), not as a simulation failure.
+    pub fn from_runner(error: RunnerError) -> Self {
+        match error {
+            RunnerError::Draining { .. } => ServiceError::ShuttingDown,
+            other => ServiceError::Runner(other),
+        }
+    }
 }
 
 impl std::fmt::Display for ServiceError {

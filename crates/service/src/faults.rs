@@ -12,7 +12,14 @@
 //! * **workers** — [`FaultPlan::on_simulate`] runs at the top of every cell
 //!   simulation attempt and can panic on schedule (worker-crash simulation)
 //!   or hold all workers at a gate until the test releases them (the
-//!   deterministic way to fill the job queue for admission-control tests).
+//!   deterministic way to fill the job queue for admission-control tests);
+//! * **the fleet** — [`FaultPlan::on_deliver`] runs before a remote worker
+//!   reports a completed cell and can drop the connection outright or
+//!   truncate the result line mid-write (network-partition simulation);
+//!   [`FaultPlan::heartbeats_muted`] silences a worker's heartbeat loop
+//!   (missed-heartbeat → lease-expiry simulation); and
+//!   [`FaultPlan::on_worker_cell`] can kill a worker mid-cell on schedule
+//!   (crash-under-lease simulation, the failover-to-another-worker path).
 //!
 //! Everything is driven by counters and labels, never clocks, so every
 //! fault fires at exactly the same point on every run. Production builds
@@ -37,6 +44,23 @@ pub enum AppendFault {
     Enospc,
 }
 
+/// What a fleet worker should do with one result delivery.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeliverFault {
+    /// Send the result normally.
+    Proceed,
+    /// Drop the connection without sending anything — the coordinator sees
+    /// a clean disconnect with the lease still open.
+    Drop,
+    /// Write only the first `keep_bytes` bytes of the result line (no
+    /// newline), then drop the connection — a half-delivered result the
+    /// coordinator's framing must refuse to act on.
+    Truncate {
+        /// Bytes of the encoded result line that reach the wire.
+        keep_bytes: usize,
+    },
+}
+
 #[derive(Default)]
 struct PlanState {
     appends_seen: u64,
@@ -47,6 +71,10 @@ struct PlanState {
     hold_workers: bool,
     workers_held: usize,
     simulations_seen: u64,
+    deliveries_seen: u64,
+    deliver_faults: HashMap<u64, DeliverFault>,
+    heartbeats_muted: bool,
+    cell_deaths: HashMap<String, u32>,
 }
 
 /// A deterministic, scripted fault plan. Cheap to share (`Arc`) between the
@@ -130,6 +158,69 @@ impl FaultPlan {
     /// Simulation attempts observed so far.
     pub fn simulations_seen(&self) -> u64 {
         self.lock().simulations_seen
+    }
+
+    /// Scripts the `nth` fleet result delivery (0-based, counted across the
+    /// plan's lifetime) to misbehave: drop the connection before sending, or
+    /// truncate the result line mid-write.
+    pub fn fail_delivery(self, nth: u64, fault: DeliverFault) -> Self {
+        self.lock().deliver_faults.insert(nth, fault);
+        self
+    }
+
+    /// Silences worker heartbeat loops: heartbeats stop flowing, the
+    /// coordinator's supervision sees a silent worker, and leases expire.
+    pub fn mute_heartbeats(&self) {
+        self.lock().heartbeats_muted = true;
+    }
+
+    /// Lets heartbeats flow again.
+    pub fn unmute_heartbeats(&self) {
+        self.lock().heartbeats_muted = false;
+    }
+
+    /// Whether worker heartbeat loops are currently silenced.
+    pub fn heartbeats_muted(&self) -> bool {
+        self.lock().heartbeats_muted
+    }
+
+    /// Scripts the first `times` remote executions of the cell labelled
+    /// `label` to kill the worker mid-cell (the worker's run loop exits with
+    /// the lease still open). Pass [`u32::MAX`] for "always dies" — the
+    /// redelivery-exhaustion path.
+    pub fn die_on_cell(self, label: impl Into<String>, times: u32) -> Self {
+        self.lock().cell_deaths.insert(label.into(), times);
+        self
+    }
+
+    /// Fleet result-delivery hook: consumes one delivery slot and returns
+    /// the scripted fault.
+    pub fn on_deliver(&self) -> DeliverFault {
+        let mut state = self.lock();
+        let nth = state.deliveries_seen;
+        state.deliveries_seen += 1;
+        state.deliver_faults.get(&nth).cloned().unwrap_or(DeliverFault::Proceed)
+    }
+
+    /// Result deliveries observed so far.
+    pub fn deliveries_seen(&self) -> u64 {
+        self.lock().deliveries_seen
+    }
+
+    /// Fleet worker hook, called before a worker simulates a leased cell:
+    /// `true` means the worker must die now (exit its run loop with the
+    /// lease open), exercising lease expiry and failover.
+    pub fn on_worker_cell(&self, label: &str) -> bool {
+        let mut state = self.lock();
+        if let Some(remaining) = state.cell_deaths.get_mut(label) {
+            if *remaining > 0 {
+                if *remaining != u32::MAX {
+                    *remaining -= 1;
+                }
+                return true;
+            }
+        }
+        false
     }
 
     /// Store hook: consumes one append slot and returns the scripted fault
@@ -217,6 +308,28 @@ mod tests {
         plan.on_simulate("cell-a"); // third attempt succeeds
         plan.on_simulate("cell-b"); // other labels are never touched
         assert_eq!(plan.simulations_seen(), 4);
+    }
+
+    #[test]
+    fn fleet_faults_fire_on_exact_counters() {
+        let plan = FaultPlan::new()
+            .fail_delivery(0, DeliverFault::Drop)
+            .fail_delivery(2, DeliverFault::Truncate { keep_bytes: 7 })
+            .die_on_cell("victim", 1);
+        assert_eq!(plan.on_deliver(), DeliverFault::Drop);
+        assert_eq!(plan.on_deliver(), DeliverFault::Proceed);
+        assert_eq!(plan.on_deliver(), DeliverFault::Truncate { keep_bytes: 7 });
+        assert_eq!(plan.deliveries_seen(), 3);
+
+        assert!(plan.on_worker_cell("victim"), "first attempt dies");
+        assert!(!plan.on_worker_cell("victim"), "budget spent");
+        assert!(!plan.on_worker_cell("bystander"));
+
+        assert!(!plan.heartbeats_muted());
+        plan.mute_heartbeats();
+        assert!(plan.heartbeats_muted());
+        plan.unmute_heartbeats();
+        assert!(!plan.heartbeats_muted());
     }
 
     #[test]

@@ -38,19 +38,26 @@ pub mod compact;
 pub mod daemon;
 pub mod error;
 pub mod faults;
+pub mod fleet;
 pub mod json;
 pub mod key;
+pub mod lease;
 pub mod protocol;
 pub mod queue;
 pub mod service;
 pub mod store;
 pub mod targets;
+pub mod wire;
+pub mod worker;
 
 pub use compact::CompactionReport;
 pub use daemon::{Daemon, DEFAULT_QUEUE_BOUND};
 pub use error::ServiceError;
-pub use faults::FaultPlan;
+pub use faults::{DeliverFault, FaultPlan};
+pub use fleet::{Fleet, FleetDisposition, FleetStats, LocalReason, PullOutcome};
 pub use key::{canonical_cell_form, cell_key, CellKey, KEY_SCHEMA};
-pub use queue::{JobQueue, Push};
+pub use lease::{CompleteOutcome, JobEvent, LeaseConfig, LeaseCounters, LeaseTable};
+pub use queue::{JobQueue, PopWait, Push};
 pub use service::{ExperimentService, ServiceConfig, ServiceStats};
 pub use store::{Recovery, ResultStore, StoreReader};
+pub use worker::{run_worker, WorkerConfig, WorkerReport};

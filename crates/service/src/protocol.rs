@@ -21,20 +21,156 @@
 //! [`ServiceError::ShuttingDown`] carries `"shutting_down":true` (clients
 //! reconnect elsewhere or give up cleanly — retrying the same daemon is
 //! pointless).
+//!
+//! ## Fleet operations
+//!
+//! Worker processes speak the same line protocol over their outbound TCP
+//! (or Unix) connections:
+//!
+//! ```text
+//! {"op":"register","id":1,"threads":4,"schema":"comet-cell/v2"}
+//! {"op":"pull","id":2,"worker":3,"wait_ms":500}
+//! {"op":"heartbeat","id":3,"worker":3}
+//! {"op":"complete","id":4,"worker":3,"key":"<32 hex>","result":{...}}
+//! {"op":"complete","id":5,"worker":3,"key":"<32 hex>","error":"..."}
+//! ```
+//!
+//! `register` advertises capabilities and is refused unless the worker's
+//! `schema` matches this coordinator's [`KEY_SCHEMA`] — a mixed-version
+//! fleet must fail loudly at the door, not poison the cache later. `pull`
+//! long-polls for a leased cell (the response's `job` is `null` when none
+//! arrived within `wait_ms`); `heartbeat` extends every lease the worker
+//! holds; `complete` reports a result (or a typed failure) and answers with
+//! `"accepted"` — `false` marks a stale duplicate after lease expiry.
+//!
+//! ## Line framing
+//!
+//! Every transport — Unix socket, TCP, stdin session, and the CLI client —
+//! frames messages through one [`LineConn`] codec (newline-delimited,
+//! timeout-aware, partial-final-line tolerant), so the paths cannot drift
+//! apart in how they assemble lines from reads.
 
 use crate::error::ServiceError;
 use crate::json;
+use crate::key::{CellKey, KEY_SCHEMA};
 use crate::service::{ExperimentService, ServiceStats};
 use crate::targets;
 use comet_sim::experiments::ExperimentScope;
-use serde::Serialize;
+use serde::{Serialize, Value};
+use std::io::Read;
 use std::time::Instant;
 
 /// Backoff hint carried on `Overloaded` error responses.
 pub const RETRY_AFTER_MS: u64 = 200;
 
-/// A parsed request line.
+/// One newline-framed connection: assembles lines from timeout-aware reads
+/// without losing partially buffered bytes (a `BufReader` may drop them on a
+/// timeout error). Shared by the daemon's Unix/TCP/stdin paths and the CLI
+/// client.
+#[derive(Debug)]
+pub struct LineConn<S> {
+    stream: S,
+    pending: Vec<u8>,
+    eof: bool,
+}
+
+/// What one [`LineConn::read_event`] call observed.
 #[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LineEvent {
+    /// A complete line (without its newline).
+    Line(String),
+    /// The read timed out (the stream has a read timeout set); buffered
+    /// partial data is retained for the next call.
+    TimedOut,
+    /// End of stream. A final unterminated line, if any, is surfaced once —
+    /// a client may shut down its write side and still expect an answer.
+    Eof {
+        /// The unterminated final line, if the stream ended mid-line.
+        partial: Option<String>,
+    },
+}
+
+impl<S: Read + std::io::Write> LineConn<S> {
+    /// Wraps a stream.
+    pub fn new(stream: S) -> Self {
+        LineConn { stream, pending: Vec::new(), eof: false }
+    }
+
+    /// The underlying stream (for setting socket timeouts).
+    pub fn get_ref(&self) -> &S {
+        &self.stream
+    }
+
+    /// The underlying stream, mutably (for deliberately unframed writes in
+    /// fault injection — a torn result line must bypass the codec).
+    pub fn get_mut(&mut self) -> &mut S {
+        &mut self.stream
+    }
+
+    /// Reads until one complete line, a timeout, or EOF (whichever first).
+    pub fn read_event(&mut self) -> std::io::Result<LineEvent> {
+        loop {
+            if let Some(newline) = self.pending.iter().position(|&b| b == b'\n') {
+                let line: Vec<u8> = self.pending.drain(..=newline).collect();
+                return Ok(LineEvent::Line(String::from_utf8_lossy(&line[..newline]).into_owned()));
+            }
+            if self.eof {
+                return Ok(LineEvent::Eof { partial: None });
+            }
+            let mut chunk = [0u8; 4096];
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    self.eof = true;
+                    let partial = (!self.pending.is_empty())
+                        .then(|| String::from_utf8_lossy(&self.pending).into_owned());
+                    self.pending.clear();
+                    return Ok(LineEvent::Eof { partial });
+                }
+                Ok(read) => self.pending.extend_from_slice(&chunk[..read]),
+                Err(error)
+                    if matches!(
+                        error.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    return Ok(LineEvent::TimedOut);
+                }
+                Err(error) => return Err(error),
+            }
+        }
+    }
+
+    /// Writes one line and flushes it.
+    pub fn write_line(&mut self, line: &str) -> std::io::Result<()> {
+        self.stream.write_all(line.as_bytes())?;
+        self.stream.write_all(b"\n")?;
+        self.stream.flush()
+    }
+}
+
+/// Strips the `tcp://` prefix from a listen/connect spec, e.g.
+/// `tcp://127.0.0.1:7801` → `127.0.0.1:7801`.
+pub fn parse_tcp_spec(spec: &str) -> Option<&str> {
+    spec.strip_prefix("tcp://").filter(|addr| !addr.is_empty())
+}
+
+/// Deterministic backoff jitter in `[0, base)`, hashed from a caller
+/// identity and the attempt number so concurrent reconnecting workers
+/// desynchronize without randomness.
+pub fn backoff_jitter_ms(identity: u64, base: u64, attempt: u32) -> u64 {
+    if base == 0 {
+        return 0;
+    }
+    let mut hash = 0xcbf29ce484222325u64;
+    for byte in identity.to_le_bytes().into_iter().chain((attempt as u64).to_le_bytes()) {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(0x100000001b3);
+    }
+    hash % base
+}
+
+/// A parsed request line.
+#[derive(Debug, Clone, PartialEq)]
 pub struct Request {
     /// Client-chosen correlation id, echoed in the response.
     pub id: u64,
@@ -43,7 +179,7 @@ pub struct Request {
 }
 
 /// The operations the daemon understands.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Op {
     /// Run experiment targets at a scope, with a queue priority.
     Run {
@@ -60,6 +196,35 @@ pub enum Op {
     Ping,
     /// Stop the daemon after answering.
     Shutdown,
+    /// A fleet worker registers itself, advertising capabilities.
+    Register {
+        /// The worker's simulation threads.
+        threads: usize,
+        /// The worker's cell-key schema; must match [`KEY_SCHEMA`].
+        schema: String,
+    },
+    /// A registered worker long-polls for a leased cell.
+    Pull {
+        /// The worker id from registration.
+        worker: u64,
+        /// How long the coordinator may hold the poll open (bounded).
+        wait_ms: u64,
+    },
+    /// A registered worker proves liveness, extending its leases.
+    Heartbeat {
+        /// The worker id from registration.
+        worker: u64,
+    },
+    /// A worker reports the outcome of a leased cell.
+    Complete {
+        /// The worker id from registration.
+        worker: u64,
+        /// The cell being completed.
+        key: CellKey,
+        /// `Ok`: the serialized result projection. `Err`: the worker-side
+        /// error text (deterministic failures reproduce locally).
+        outcome: Result<Value, String>,
+    },
 }
 
 /// Parses one request line.
@@ -105,9 +270,43 @@ pub fn parse_request(line: &str) -> Result<Request, ServiceError> {
         "stats" => Op::Stats,
         "ping" => Op::Ping,
         "shutdown" => Op::Shutdown,
+        "register" => Op::Register {
+            threads: json::get(&value, "threads").and_then(json::as_u64).unwrap_or(1) as usize,
+            schema: json::get(&value, "schema")
+                .and_then(json::as_str)
+                .ok_or_else(|| ServiceError::Protocol("register requires \"schema\"".to_string()))?
+                .to_string(),
+        },
+        "pull" => Op::Pull {
+            worker: worker_field(&value)?,
+            wait_ms: json::get(&value, "wait_ms").and_then(json::as_u64).unwrap_or(0),
+        },
+        "heartbeat" => Op::Heartbeat { worker: worker_field(&value)? },
+        "complete" => {
+            let key = json::get(&value, "key")
+                .and_then(json::as_str)
+                .and_then(CellKey::from_hex)
+                .ok_or_else(|| ServiceError::Protocol("complete requires a 32-hex \"key\"".to_string()))?;
+            let outcome = match json::get(&value, "result") {
+                Some(result) => Ok(result.clone()),
+                None => Err(json::get(&value, "error")
+                    .and_then(json::as_str)
+                    .ok_or_else(|| {
+                        ServiceError::Protocol("complete requires \"result\" or \"error\"".to_string())
+                    })?
+                    .to_string()),
+            };
+            Op::Complete { worker: worker_field(&value)?, key, outcome }
+        }
         other => return Err(ServiceError::Protocol(format!("unknown op {other:?}"))),
     };
     Ok(Request { id, op })
+}
+
+fn worker_field(value: &Value) -> Result<u64, ServiceError> {
+    json::get(value, "worker")
+        .and_then(json::as_u64)
+        .ok_or_else(|| ServiceError::Protocol("fleet ops require a \"worker\" id".to_string()))
 }
 
 fn stats_json(stats: &ServiceStats) -> String {
@@ -146,6 +345,49 @@ pub fn error_response(id: u64, error: &ServiceError) -> String {
     serde_json::to_string(&W(serde::Value::Map(fields))).expect("value-tree serialization cannot fail")
 }
 
+/// Response to a successful `register`: the worker's id and the lease
+/// timeout it must heartbeat within.
+pub fn register_response(id: u64, worker: u64, lease_timeout_ms: u64) -> String {
+    format!("{{\"id\":{id},\"ok\":true,\"worker\":{worker},\"lease_timeout_ms\":{lease_timeout_ms}}}")
+}
+
+/// Response to a `pull`: the leased cell (its key, redelivery count, and
+/// the canonical-form payload, embedded raw — it is already JSON), or
+/// `"job":null` when nothing arrived within the poll window.
+pub fn pull_response(id: u64, job: Option<(CellKey, u32, &str)>) -> String {
+    match job {
+        Some((key, redeliveries, payload)) => format!(
+            "{{\"id\":{id},\"ok\":true,\"job\":{{\"key\":\"{key}\",\"redeliveries\":{redeliveries},\"payload\":{payload}}}}}"
+        ),
+        None => format!("{{\"id\":{id},\"ok\":true,\"job\":null}}"),
+    }
+}
+
+/// Response to a `heartbeat`. `live: false` tells the worker it has been
+/// presumed dead and must re-register.
+pub fn heartbeat_response(id: u64, live: bool) -> String {
+    format!("{{\"id\":{id},\"ok\":true,\"live\":{live}}}")
+}
+
+/// Response to a `complete`. `accepted: false` marks a stale duplicate
+/// (the lease expired and the cell was re-dispatched); the worker just
+/// moves on.
+pub fn complete_response(id: u64, accepted: bool) -> String {
+    format!("{{\"id\":{id},\"ok\":true,\"accepted\":{accepted}}}")
+}
+
+/// Validates a registering worker's schema advertisement against this
+/// coordinator's [`KEY_SCHEMA`].
+pub fn check_schema(schema: &str) -> Result<(), ServiceError> {
+    if schema == KEY_SCHEMA {
+        Ok(())
+    } else {
+        Err(ServiceError::Protocol(format!(
+            "worker schema {schema:?} does not match coordinator schema {KEY_SCHEMA:?}"
+        )))
+    }
+}
+
 /// Executes a `run` request against `service` and builds the response line.
 pub fn run_response(
     service: &ExperimentService,
@@ -162,7 +404,7 @@ pub fn run_response(
             Ok(None) => {
                 return error_response(id, &ServiceError::Protocol(format!("unknown target {name:?}")))
             }
-            Err(error) => return error_response(id, &ServiceError::Runner(error)),
+            Err(error) => return error_response(id, &ServiceError::from_runner(error)),
         }
     }
     let wall_s = started.elapsed().as_secs_f64();
@@ -192,6 +434,15 @@ pub fn handle_request(service: &ExperimentService, request: &Request) -> (String
         }
         Op::Ping => (format!("{{\"id\":{},\"ok\":true,\"pong\":true}}", request.id), false),
         Op::Shutdown => (format!("{{\"id\":{},\"ok\":true,\"shutdown\":true}}", request.id), true),
+        // Fleet ops are routed by the daemon when a fleet is attached; a
+        // fleet-less path (stdin session, plain tests) refuses them loudly.
+        Op::Register { .. } | Op::Pull { .. } | Op::Heartbeat { .. } | Op::Complete { .. } => (
+            error_response(
+                request.id,
+                &ServiceError::Protocol("this endpoint has no fleet coordinator".to_string()),
+            ),
+            false,
+        ),
     }
 }
 

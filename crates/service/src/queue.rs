@@ -46,6 +46,17 @@ struct Inner<T> {
     closed: bool,
 }
 
+/// The outcome of a [`JobQueue::pop_timeout`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PopWait<T> {
+    /// The highest-priority queued job.
+    Job(T),
+    /// Nothing arrived within the timeout; the queue is still open.
+    TimedOut,
+    /// The queue is closed and empty.
+    Closed,
+}
+
 /// The outcome of a [`JobQueue::push`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Push {
@@ -136,6 +147,31 @@ impl<T> JobQueue<T> {
                 return None;
             }
             inner = self.cv.wait(inner).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Like [`pop`](Self::pop), but bounded: waits at most `timeout` for a
+    /// job. The timed-out case lets pool workers re-check an external
+    /// shutdown signal instead of parking on the condvar forever — the
+    /// daemon's defence against any path that raises its shutdown flag
+    /// without closing the queue.
+    pub fn pop_timeout(&self, timeout: std::time::Duration) -> PopWait<T> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut inner = self.lock();
+        loop {
+            if let Some(entry) = inner.heap.pop() {
+                return PopWait::Job(entry.job);
+            }
+            if inner.closed {
+                return PopWait::Closed;
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return PopWait::TimedOut;
+            }
+            let (next, _) =
+                self.cv.wait_timeout(inner, deadline - now).unwrap_or_else(PoisonError::into_inner);
+            inner = next;
         }
     }
 
@@ -251,6 +287,16 @@ mod tests {
         let queue = JobQueue::bounded(0);
         assert_eq!(queue.bound(), 1);
         assert_eq!(queue.push(1, 0), Push::Queued);
+    }
+
+    #[test]
+    fn pop_timeout_distinguishes_empty_from_closed() {
+        let queue = JobQueue::new();
+        queue.push(7, 0);
+        assert_eq!(queue.pop_timeout(std::time::Duration::from_millis(10)), PopWait::Job(7));
+        assert_eq!(queue.pop_timeout(std::time::Duration::from_millis(10)), PopWait::TimedOut);
+        queue.close();
+        assert_eq!(queue.pop_timeout(std::time::Duration::from_millis(10)), PopWait::Closed);
     }
 
     #[test]

@@ -40,6 +40,7 @@
 
 use crate::compact::CompactionReport;
 use crate::faults::FaultPlan;
+use crate::fleet::{Fleet, FleetDisposition};
 use crate::key::{cell_key, CellKey};
 use crate::store::ResultStore;
 use comet_sim::experiments::{CellBackend, CellSpec, ParallelExecutor};
@@ -48,7 +49,7 @@ use serde::Serialize;
 use std::collections::{HashMap, HashSet};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
 
 /// Consecutive persist failures before the service stops writing to disk.
 pub const DEGRADE_AFTER_PERSIST_FAILURES: u64 = 3;
@@ -148,6 +149,8 @@ struct Counters {
     persist_errors: AtomicU64,
     quarantined_segments: AtomicU64,
     torn_lines: AtomicU64,
+    remote_cells: AtomicU64,
+    local_fallbacks: AtomicU64,
 }
 
 /// A point-in-time snapshot of the service counters.
@@ -181,6 +184,19 @@ pub struct ServiceStats {
     pub quarantined_segments: u64,
     /// Torn tail lines skipped during recovery (crash artifacts).
     pub torn_lines: u64,
+    /// Cells completed remotely by fleet workers.
+    pub remote_cells: u64,
+    /// Cells the fleet handed back for local execution (no workers, a
+    /// remote failure, or an unclaimed cell) — the degraded-to-local path.
+    pub local_fallbacks: u64,
+    /// Fleet workers currently registered and live (a gauge, not a counter).
+    pub workers_live: u64,
+    /// Fleet leases that expired (missed heartbeats, dropped connections).
+    pub leases_expired: u64,
+    /// Cells re-dispatched to another worker after a lease expiry.
+    pub redeliveries: u64,
+    /// Duplicate completions dropped after lease expiry.
+    pub stale_completions: u64,
     /// Whether the service is in cache-read-only degraded mode.
     pub degraded: bool,
 }
@@ -217,6 +233,13 @@ impl ServiceStats {
             persist_errors: self.persist_errors - earlier.persist_errors,
             quarantined_segments: self.quarantined_segments - earlier.quarantined_segments,
             torn_lines: self.torn_lines - earlier.torn_lines,
+            remote_cells: self.remote_cells - earlier.remote_cells,
+            local_fallbacks: self.local_fallbacks - earlier.local_fallbacks,
+            // Like `degraded`, `workers_live` is a state, not a counter.
+            workers_live: self.workers_live,
+            leases_expired: self.leases_expired - earlier.leases_expired,
+            redeliveries: self.redeliveries - earlier.redeliveries,
+            stale_completions: self.stale_completions - earlier.stale_completions,
             degraded: self.degraded,
         }
     }
@@ -232,6 +255,7 @@ pub struct ExperimentService {
     counters: Counters,
     config: ServiceConfig,
     faults: Option<Arc<FaultPlan>>,
+    fleet: OnceLock<Arc<Fleet>>,
     degraded: AtomicBool,
     consecutive_persist_failures: AtomicU64,
 }
@@ -298,6 +322,7 @@ impl ExperimentService {
             counters: Counters::default(),
             config,
             faults: faults.clone(),
+            fleet: OnceLock::new(),
             degraded: AtomicBool::new(false),
             consecutive_persist_failures: AtomicU64::new(0),
         };
@@ -366,8 +391,23 @@ impl ExperimentService {
         self.counters.sheds.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// A snapshot of the service counters.
+    /// Attaches a fleet coordinator: cell simulations are offered to remote
+    /// workers first and fall back to the local executor when the fleet
+    /// declines (zero workers, remote failure, unclaimed cell). At most one
+    /// fleet per service; later calls are ignored.
+    pub fn attach_fleet(&self, fleet: Arc<Fleet>) {
+        let _ = self.fleet.set(fleet);
+    }
+
+    /// The attached fleet coordinator, if any.
+    pub fn fleet(&self) -> Option<&Arc<Fleet>> {
+        self.fleet.get()
+    }
+
+    /// A snapshot of the service counters (fleet supervision counters
+    /// included when a coordinator is attached).
     pub fn stats(&self) -> ServiceStats {
+        let fleet = self.fleet.get().map(|fleet| fleet.stats()).unwrap_or_default();
         ServiceStats {
             cells_requested: self.counters.cells_requested.load(Ordering::Relaxed),
             cache_hits: self.counters.cache_hits.load(Ordering::Relaxed),
@@ -383,6 +423,12 @@ impl ExperimentService {
             persist_errors: self.counters.persist_errors.load(Ordering::Relaxed),
             quarantined_segments: self.counters.quarantined_segments.load(Ordering::Relaxed),
             torn_lines: self.counters.torn_lines.load(Ordering::Relaxed),
+            remote_cells: self.counters.remote_cells.load(Ordering::Relaxed),
+            local_fallbacks: self.counters.local_fallbacks.load(Ordering::Relaxed),
+            workers_live: fleet.workers_live,
+            leases_expired: fleet.leases_expired,
+            redeliveries: fleet.redeliveries,
+            stale_completions: fleet.stale_completions,
             degraded: self.is_degraded(),
         }
     }
@@ -404,7 +450,29 @@ impl ExperimentService {
     /// Runs one cell with panic containment: a panicking simulation is
     /// retried up to the configured bound, then surfaced as a typed
     /// [`RunnerError::WorkerPanic`] instead of unwinding through the batch.
+    ///
+    /// With a fleet attached, the cell is offered to remote workers first.
+    /// A remote completion is authoritative (bit-exact by key construction);
+    /// a declined cell falls through to the local path below; lease
+    /// exhaustion and coordinator drain surface as typed errors.
     fn run_cell_contained(&self, runner: &Runner, cell: &CellSpec) -> Result<RunResult, RunnerError> {
+        if let Some(fleet) = self.fleet.get() {
+            match fleet.run_cell(runner, cell) {
+                FleetDisposition::Completed(result) => {
+                    self.counters.remote_cells.fetch_add(1, Ordering::Relaxed);
+                    return Ok(*result);
+                }
+                FleetDisposition::Exhausted { redeliveries } => {
+                    return Err(RunnerError::LeaseExhausted { label: cell.label(), redeliveries });
+                }
+                FleetDisposition::Draining => {
+                    return Err(RunnerError::Draining { label: cell.label() });
+                }
+                FleetDisposition::RunLocal(_) => {
+                    self.counters.local_fallbacks.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
         let attempts = self.config.panic_retries.saturating_add(1);
         for attempt in 1..=attempts {
             let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {

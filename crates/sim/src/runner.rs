@@ -106,6 +106,23 @@ pub enum RunnerError {
         /// Total attempts made (first run plus retries).
         attempts: u32,
     },
+    /// A distributed fleet gave up on this cell: every lease it handed out
+    /// was lost (worker death, dropped connection, missed heartbeats) and
+    /// the bounded redelivery budget is spent. Surfaced instead of looping
+    /// forever on a cell that keeps killing whoever runs it.
+    LeaseExhausted {
+        /// Label of the cell whose leases kept expiring.
+        label: String,
+        /// Redeliveries attempted before giving up.
+        redeliveries: u32,
+    },
+    /// The coordinator began shutting down while this cell was queued or
+    /// leased; its lease was drained rather than re-dispatched. Protocol
+    /// layers map this to their typed shutting-down rejection.
+    Draining {
+        /// Label of the drained cell.
+        label: String,
+    },
 }
 
 impl std::fmt::Display for RunnerError {
@@ -118,6 +135,12 @@ impl std::fmt::Display for RunnerError {
             }
             RunnerError::WorkerPanic { label, attempts } => {
                 write!(f, "worker panicked simulating cell {label} ({attempts} attempts)")
+            }
+            RunnerError::LeaseExhausted { label, redeliveries } => {
+                write!(f, "lease exhausted for cell {label} after {redeliveries} redeliveries")
+            }
+            RunnerError::Draining { label } => {
+                write!(f, "cell {label} drained: coordinator is shutting down")
             }
         }
     }
