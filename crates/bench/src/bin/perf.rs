@@ -5,6 +5,7 @@
 //!
 //! ```text
 //! perf [--cells smoke|full|all] [--shard-threads N] [--out FILE] [--label TEXT] [--before FILE]
+//!      [--spans OUT.jsonl]
 //! perf --check FILE [--max-regress PCT]
 //! perf --diff OLD.json NEW.json
 //! perf --print-goldens
@@ -23,6 +24,11 @@
 //! * `--print-goldens` runs the smoke basket and the FCFS stress cells and
 //!   prints the golden checksum tables consumed by
 //!   `crates/bench/tests/bitexact_hotpath.rs`.
+//! * `--spans OUT.jsonl` enables span tracing for the run and drains the
+//!   collected spans (one JSON object per line: name, thread, start, and
+//!   duration in microseconds) to the given file on exit. Tracing is off by
+//!   default and costs one relaxed atomic load per span site when disabled,
+//!   so a plain `perf` run measures the same hot path as ever.
 //! * `--shard-threads N` runs the requested baskets through the
 //!   shard-parallel windowed engine (N stepping threads per simulation,
 //!   capped at the host's parallelism and each cell's channel count)
@@ -87,6 +93,7 @@ struct Args {
     diff: Option<(PathBuf, PathBuf)>,
     max_regress_pct: f64,
     print_goldens: bool,
+    spans: Option<PathBuf>,
 }
 
 fn parse_args() -> Args {
@@ -102,6 +109,7 @@ fn parse_args() -> Args {
         diff: None,
         max_regress_pct: 30.0,
         print_goldens: false,
+        spans: None,
     };
     let mut it = std::env::args().skip(1);
     let value_for = |it: &mut dyn Iterator<Item = String>, flag: &str| {
@@ -152,9 +160,10 @@ fn parse_args() -> Args {
             "--suite" => args.suite = true,
             "--tracker" => args.tracker = true,
             "--print-goldens" => args.print_goldens = true,
+            "--spans" => args.spans = Some(PathBuf::from(value_for(&mut it, "--spans"))),
             "help" | "--help" | "-h" => {
                 println!(
-                    "usage: perf [--cells smoke|full|all] [--shard-threads N] [--suite] [--out FILE] [--label TEXT] [--before FILE]"
+                    "usage: perf [--cells smoke|full|all] [--shard-threads N] [--suite] [--out FILE] [--label TEXT] [--before FILE] [--spans OUT.jsonl]"
                 );
                 println!("       perf --tracker [--out FILE] [--label TEXT] [--before FILE]");
                 println!("       perf --check FILE [--max-regress PCT]");
@@ -541,6 +550,24 @@ fn run_diff(old_path: &PathBuf, new_path: &PathBuf) -> ExitCode {
 
 fn main() -> ExitCode {
     let args = parse_args();
+    if args.spans.is_some() {
+        comet_telemetry::set_spans_enabled(true);
+    }
+    let code = run(&args);
+    if let Some(path) = &args.spans {
+        let jsonl = comet_telemetry::drain_spans_jsonl();
+        match std::fs::write(path, &jsonl) {
+            Ok(()) => println!("wrote {} span(s) to {}", jsonl.lines().count(), path.display()),
+            Err(e) => {
+                eprintln!("error: cannot write {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        }
+    }
+    code
+}
+
+fn run(args: &Args) -> ExitCode {
     if let Some((old, new)) = &args.diff {
         return run_diff(old, new);
     }
@@ -551,7 +578,7 @@ fn main() -> ExitCode {
         return print_goldens();
     }
     if args.tracker {
-        return run_tracker(&args);
+        return run_tracker(args);
     }
 
     let mut snapshot = Snapshot {

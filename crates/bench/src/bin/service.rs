@@ -6,6 +6,7 @@
 //!         [--retries N] [--backoff-ms MS] [--timeout-ms MS]
 //! service --socket PATH ping
 //! service --socket PATH stats
+//! service --socket PATH metrics [--watch]
 //! service --socket PATH shutdown
 //! ```
 //!
@@ -22,6 +23,11 @@
 //! or the daemon's `retry_after_ms` hint if larger). Exhausting the retries
 //! exits with status 4, distinguishing "the service is saturated" from
 //! request errors (status 1).
+//!
+//! `metrics` fetches the daemon's full metrics registry (the same body the
+//! `--metrics` HTTP endpoint serves) and renders it as an aligned two-column
+//! table. `--watch` refreshes the table in place once a second until
+//! interrupted — a poor man's dashboard for watching a sweep drain.
 //!
 //! `--timeout-ms MS` puts a read deadline on every round-trip: a daemon that
 //! accepts the connection but never answers surfaces as a typed I/O timeout
@@ -60,6 +66,7 @@ mod unix {
         retries: u32,
         backoff_ms: u64,
         timeout_ms: Option<u64>,
+        watch: bool,
     }
 
     fn parse_args() -> Args {
@@ -74,6 +81,7 @@ mod unix {
         let mut retries = 5u32;
         let mut backoff_ms = 200u64;
         let mut timeout_ms = None;
+        let mut watch = false;
         let mut iter = std::env::args().skip(1);
         while let Some(arg) = iter.next() {
             let mut value = |flag: &str| {
@@ -127,9 +135,10 @@ mod unix {
                         }),
                     )
                 }
+                "--watch" => watch = true,
                 "--help" | "-h" => {
                     println!(
-                        "usage: service --socket PATH <submit|ping|stats|shutdown> [--scope S] [--targets a,b] [--priority N] [--id N] [--out FILE] [--expect-min-hit-rate X] [--retries N] [--backoff-ms MS] [--timeout-ms MS]"
+                        "usage: service --socket PATH <submit|ping|stats|metrics|shutdown> [--scope S] [--targets a,b] [--priority N] [--id N] [--out FILE] [--expect-min-hit-rate X] [--retries N] [--backoff-ms MS] [--timeout-ms MS] [--watch]"
                     );
                     std::process::exit(0);
                 }
@@ -145,7 +154,7 @@ mod unix {
             std::process::exit(2);
         });
         let command = command.unwrap_or_else(|| {
-            eprintln!("error: a command (submit|ping|stats|shutdown) is required");
+            eprintln!("error: a command (submit|ping|stats|metrics|shutdown) is required");
             std::process::exit(2);
         });
         Args {
@@ -160,6 +169,7 @@ mod unix {
             retries,
             backoff_ms,
             timeout_ms,
+            watch,
         }
     }
 
@@ -175,7 +185,7 @@ mod unix {
                     args.priority
                 )
             }
-            "ping" | "stats" | "shutdown" => {
+            "ping" | "stats" | "metrics" | "shutdown" => {
                 format!("{{\"op\":\"{}\",\"id\":{}}}", args.command, args.id)
             }
             other => {
@@ -251,9 +261,43 @@ mod unix {
         hash % base
     }
 
+    /// Pulls one metrics exposition over the line protocol and renders it
+    /// as the aligned two-column table.
+    fn metrics_table(args: &Args, line: &str) -> Result<String, String> {
+        let response = match exchange(&args.socket, line, args.timeout_ms) {
+            Ok(response) => response,
+            Err(ExchangeError::TimedOut { waited_ms }) => {
+                return Err(format!("io timeout: no response within {waited_ms} ms"))
+            }
+            Err(ExchangeError::Io(message)) => return Err(message),
+        };
+        let value = json::parse(&response).map_err(|error| format!("unparseable response ({error})"))?;
+        let exposition = json::get(&value, "exposition")
+            .and_then(json::as_str)
+            .ok_or_else(|| format!("response carried no exposition: {response}"))?;
+        Ok(comet_telemetry::tabulate(exposition))
+    }
+
     pub fn main() {
         let args = parse_args();
         let line = request_line(&args);
+
+        // Watch mode: refresh the metrics table in place until interrupted.
+        // Transient failures (daemon restarting, scrape racing shutdown) are
+        // reported inline and retried on the next tick, not fatal.
+        if args.command == "metrics" && args.watch {
+            loop {
+                match metrics_table(&args, &line) {
+                    Ok(table) => {
+                        print!("\x1b[2J\x1b[H{table}");
+                        use std::io::Write as _;
+                        std::io::stdout().flush().ok();
+                    }
+                    Err(message) => eprintln!("service: metrics poll failed: {message}"),
+                }
+                std::thread::sleep(Duration::from_millis(1000));
+            }
+        }
 
         // Submit with retry-on-overloaded: a shed is the daemon protecting
         // itself, not a failure — back off (exponentially, jittered) and
@@ -335,6 +379,10 @@ mod unix {
                 }
             }
             "stats" => println!("{response}"),
+            "metrics" => {
+                let exposition = json::get(&value, "exposition").and_then(json::as_str).unwrap_or_default();
+                print!("{}", comet_telemetry::tabulate(exposition));
+            }
             _ => println!("ok id={}", args.id),
         }
     }

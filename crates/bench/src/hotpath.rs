@@ -378,6 +378,7 @@ pub fn run_basket(scope: HotpathScope) -> Result<BasketResult, RunnerError> {
 ///
 /// Propagates the first [`RunnerError`] a cell reports.
 pub fn run_basket_with(scope: HotpathScope, exec: CellExec) -> Result<BasketResult, RunnerError> {
+    let _span = comet_telemetry::span("perf.basket");
     let cells = basket(scope);
     let started = Instant::now();
     let results = run_cells_with(&cells, scope, exec)?;

@@ -240,6 +240,21 @@ impl RowHammerMitigation for Comet {
         let tag_bits = self.geometry.row_bits();
         self.config.storage_bits_per_bank(tag_bits) * self.geometry.banks_per_channel() as u64
     }
+
+    fn telemetry_gauges(&self) -> Vec<(&'static str, f64)> {
+        let banks = self.banks.len().max(1) as f64;
+        let cms_saturation: f64 = self.banks.iter().map(|b| b.ct.saturation_fraction()).sum::<f64>() / banks;
+        let rat_occupancy: f64 = self.banks.iter().map(|b| b.rat.len() as f64).sum::<f64>() / banks;
+        vec![
+            ("cms_saturation", cms_saturation),
+            ("rat_occupancy", rat_occupancy),
+            ("rat_hits", self.detail.rat_hits as f64),
+            ("ct_estimates", self.detail.ct_estimates as f64),
+            ("rat_capacity_misses", self.detail.rat_capacity_misses as f64),
+            ("rat_compulsory_misses", self.detail.rat_compulsory_misses as f64),
+            ("rat_evictions", self.detail.rat_evictions as f64),
+        ]
+    }
 }
 
 #[cfg(test)]

@@ -271,6 +271,16 @@ impl RowHammerMitigation for BlockHammer {
     fn storage_bits(&self) -> u64 {
         self.config.storage_bits_per_bank() * self.geometry.banks_per_channel() as u64
     }
+
+    fn telemetry_gauges(&self) -> Vec<(&'static str, f64)> {
+        // Blacklist size is the live count of rows currently rate-limited;
+        // filter load is the mean insert count per active CBF, a proxy for
+        // how close the epoch's filters are to alias-driven false positives.
+        let banks = self.filters.len().max(1) as f64;
+        let filter_load: f64 =
+            self.filters.iter().map(|pair| pair[self.active].len() as f64).sum::<f64>() / banks;
+        vec![("blacklisted_rows", self.last_allowed.len() as f64), ("cbf_filter_load", filter_load)]
+    }
 }
 
 #[cfg(test)]

@@ -248,6 +248,19 @@ impl RowHammerMitigation for Hydra {
     fn storage_bits(&self) -> u64 {
         self.config.storage_bits(&self.geometry)
     }
+
+    fn telemetry_gauges(&self) -> Vec<(&'static str, f64)> {
+        // RCC pressure is Hydra's whole performance story (every RCC miss is
+        // off-chip counter traffic), so expose how full the cache and the
+        // DRAM-resident row-count table are, plus how many groups have
+        // escalated to per-row tracking.
+        let escalated = self.gct.iter().filter(|&&c| c >= self.config.group_threshold).count();
+        vec![
+            ("rcc_occupancy", self.rcc.entries.len() as f64),
+            ("rct_rows", self.rct.len() as f64),
+            ("gct_escalated_groups", escalated as f64),
+        ]
+    }
 }
 
 #[cfg(test)]

@@ -44,6 +44,23 @@ impl MitigationStats {
         }
     }
 
+    /// The counters as `(name, value)` pairs, in field order — the telemetry
+    /// publisher iterates this instead of naming each field, so a counter
+    /// added here automatically reaches the metrics registry.
+    pub fn named_counts(&self) -> [(&'static str, u64); 9] {
+        [
+            ("activations_observed", self.activations_observed),
+            ("preventive_refreshes", self.preventive_refreshes),
+            ("aggressors_identified", self.aggressors_identified),
+            ("early_rank_refreshes", self.early_rank_refreshes),
+            ("counter_reads", self.counter_reads),
+            ("counter_writes", self.counter_writes),
+            ("throttled_activations", self.throttled_activations),
+            ("throttle_cycles", self.throttle_cycles),
+            ("periodic_resets", self.periodic_resets),
+        ]
+    }
+
     /// Field-wise sum (`self + other`), used to aggregate per-channel shards.
     pub fn merged(&self, other: &MitigationStats) -> MitigationStats {
         MitigationStats {

@@ -138,6 +138,16 @@ pub trait RowHammerMitigation: Send {
     /// Processor-side storage the mechanism requires, in bits, for the whole
     /// channel it protects. Used for cross-checking the analytic area model.
     fn storage_bits(&self) -> u64;
+
+    /// Cold-path structure gauges for the telemetry layer: `(name, value)`
+    /// pairs describing internal tracker state the [`MitigationStats`]
+    /// counters cannot see (cache occupancy, sketch saturation). Called once
+    /// at run end — never on the activation path — and surfaced as
+    /// `comet_tracker_<name>` gauges labeled by mechanism and channel.
+    /// Mechanisms without interesting internal structure report nothing.
+    fn telemetry_gauges(&self) -> Vec<(&'static str, f64)> {
+        Vec::new()
+    }
 }
 
 /// Builds one independent mitigation instance per memory-channel shard.

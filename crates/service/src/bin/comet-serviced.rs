@@ -1,7 +1,8 @@
 //! The experiment daemon binary.
 //!
 //! ```text
-//! comet-serviced [--socket PATH | --stdin] [--listen tcp://HOST:PORT] [--cache DIR]
+//! comet-serviced [--socket PATH | --stdin] [--listen tcp://HOST:PORT]
+//!                [--metrics tcp://HOST:PORT] [--cache DIR]
 //!                [--threads N] [--job-workers N] [--queue-depth N]
 //!                [--max-cells N] [--max-segments N]
 //!                [--lease-timeout-ms N] [--max-redeliveries N]
@@ -13,6 +14,9 @@
 //!   **fleet coordinator**: `comet-worker` processes connect here, register,
 //!   and pull leased cells. With zero connected workers every cell runs
 //!   locally, exactly as without `--listen` (graceful degradation).
+//! * `--metrics tcp://HOST:PORT` — serve the metrics registry as Prometheus
+//!   text exposition over plain HTTP on this address (`GET /metrics`, or
+//!   any request at all — the endpoint is read-only and single-purpose).
 //! * `--stdin` — serve a single session on stdin/stdout (the default; handy
 //!   for scripting and tests: `echo '{"op":"ping"}' | comet-serviced`).
 //! * `--cache DIR` — persist the result cache as JSON-lines segments under
@@ -41,6 +45,7 @@ use std::sync::Arc;
 struct Args {
     socket: Option<PathBuf>,
     listen: Option<String>,
+    metrics: Option<String>,
     cache: Option<PathBuf>,
     threads: Option<usize>,
     job_workers: usize,
@@ -56,6 +61,7 @@ fn parse_args() -> Args {
     let mut args = Args {
         socket: None,
         listen: None,
+        metrics: None,
         cache: None,
         threads: None,
         job_workers: 1,
@@ -95,6 +101,16 @@ fn parse_args() -> Args {
                     }
                 }
             }
+            "--metrics" => {
+                let spec = value("--metrics");
+                match comet_service::protocol::parse_tcp_spec(&spec) {
+                    Some(addr) => args.metrics = Some(addr.to_string()),
+                    None => {
+                        eprintln!("error: --metrics expects tcp://HOST:PORT, got {spec:?}");
+                        std::process::exit(2);
+                    }
+                }
+            }
             "--cache" => args.cache = Some(PathBuf::from(value("--cache"))),
             "--threads" => args.threads = Some(parse_count("--threads", value("--threads"))),
             "--job-workers" => args.job_workers = parse_count("--job-workers", value("--job-workers")),
@@ -112,8 +128,9 @@ fn parse_args() -> Args {
             "--help" | "-h" => {
                 println!(
                     "usage: comet-serviced [--socket PATH | --stdin] [--listen tcp://HOST:PORT] \
-                     [--cache DIR] [--threads N] [--job-workers N] [--queue-depth N] \
-                     [--max-cells N] [--max-segments N] [--lease-timeout-ms N] [--max-redeliveries N]"
+                     [--metrics tcp://HOST:PORT] [--cache DIR] [--threads N] [--job-workers N] \
+                     [--queue-depth N] [--max-cells N] [--max-segments N] [--lease-timeout-ms N] \
+                     [--max-redeliveries N]"
                 );
                 std::process::exit(0);
             }
@@ -165,13 +182,13 @@ fn main() {
         daemon = daemon.with_fleet(Arc::new(Fleet::new(lease)));
     }
 
-    let outcome = match (&args.socket, &args.listen) {
-        (None, None) => {
+    let outcome = match (&args.socket, &args.listen, &args.metrics) {
+        (None, None, None) => {
             let stdin = std::io::stdin();
             let stdout = std::io::stdout();
             daemon.serve_session(stdin.lock(), stdout.lock())
         }
-        (socket, listen) => {
+        (socket, listen, metrics) => {
             #[cfg(unix)]
             {
                 if let Some(path) = socket {
@@ -180,11 +197,14 @@ fn main() {
                 if let Some(addr) = listen {
                     eprintln!("comet-serviced: fleet coordinator on tcp://{addr}");
                 }
-                daemon.serve(socket.as_deref(), listen.as_deref())
+                if let Some(addr) = metrics {
+                    eprintln!("comet-serviced: metrics endpoint on http://{addr}/metrics");
+                }
+                daemon.serve(socket.as_deref(), listen.as_deref(), metrics.as_deref())
             }
             #[cfg(not(unix))]
             {
-                eprintln!("error: --socket/--listen require a Unix platform; use --stdin");
+                eprintln!("error: --socket/--listen/--metrics require a Unix platform; use --stdin");
                 std::process::exit(2);
             }
         }

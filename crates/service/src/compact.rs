@@ -39,6 +39,7 @@ impl ResultStore {
     /// open segment is sealed first; the next append starts a fresh segment
     /// above the compacted ones.
     pub fn compact(&mut self, live: &HashSet<CellKey>) -> std::io::Result<CompactionReport> {
+        let _span = comet_telemetry::span("store.compact");
         self.seal()?;
         let dir = self.dir().to_path_buf();
         let old_files = segment_files(&dir)?;

@@ -255,7 +255,18 @@ impl Daemon {
                 ),
                 PullOutcome::Draining => protocol::error_response(id, &ServiceError::ShuttingDown),
             },
-            Op::Heartbeat { worker } => protocol::heartbeat_response(id, fleet.heartbeat(*worker)),
+            Op::Heartbeat { worker, cells, busy } => {
+                let live = fleet.heartbeat(*worker);
+                // The piggybacked snapshot feeds the per-worker scrape
+                // gauges; a dead worker's snapshot is ignored so its series
+                // never resurrect after disconnect cleanup.
+                if live {
+                    if let (Some(cells), Some(busy)) = (cells, busy) {
+                        fleet.note_worker_snapshot(*worker, *cells, *busy);
+                    }
+                }
+                protocol::heartbeat_response(id, live)
+            }
             Op::Complete { worker, key, outcome } => {
                 let outcome = match outcome {
                     // An undecodable projection is reported as a failure so
@@ -339,14 +350,21 @@ impl Daemon {
     /// the accept loop — they multiplex through the priority queue instead.
     #[cfg(unix)]
     pub fn serve_unix(&self, path: &std::path::Path) -> std::io::Result<()> {
-        self.serve(Some(path), None)
+        self.serve(Some(path), None, None)
     }
 
     /// Binds the requested listeners (a Unix socket path, a TCP address, or
     /// both) and serves until `shutdown`. The TCP listener is how fleet
     /// workers usually arrive; both listeners answer the full protocol.
+    /// `metrics_addr`, if given, additionally serves the Prometheus scrape
+    /// endpoint over plain HTTP on that TCP address.
     #[cfg(unix)]
-    pub fn serve(&self, unix_path: Option<&std::path::Path>, tcp_addr: Option<&str>) -> std::io::Result<()> {
+    pub fn serve(
+        &self,
+        unix_path: Option<&std::path::Path>,
+        tcp_addr: Option<&str>,
+        metrics_addr: Option<&str>,
+    ) -> std::io::Result<()> {
         let unix = match unix_path {
             Some(path) => {
                 // A stale socket file from a previous run would make bind fail.
@@ -356,7 +374,8 @@ impl Daemon {
             None => None,
         };
         let tcp = tcp_addr.map(std::net::TcpListener::bind).transpose()?;
-        let outcome = self.serve_listeners(unix, tcp);
+        let metrics = metrics_addr.map(std::net::TcpListener::bind).transpose()?;
+        let outcome = self.serve_listeners(unix, tcp, metrics);
         if let Some(path) = unix_path {
             let _ = std::fs::remove_file(path);
         }
@@ -370,6 +389,7 @@ impl Daemon {
         &self,
         unix: Option<std::os::unix::net::UnixListener>,
         tcp: Option<std::net::TcpListener>,
+        metrics: Option<std::net::TcpListener>,
     ) -> std::io::Result<()> {
         // Poll the listeners instead of blocking in accept: a `shutdown`
         // received on any connection must end the loops without requiring
@@ -380,6 +400,9 @@ impl Daemon {
         if let Some(listener) = &tcp {
             listener.set_nonblocking(true)?;
         }
+        if let Some(listener) = &metrics {
+            listener.set_nonblocking(true)?;
+        }
         std::thread::scope(|scope| {
             self.spawn_workers(scope);
             let mut accepts = Vec::new();
@@ -388,6 +411,9 @@ impl Daemon {
             }
             if let Some(listener) = &tcp {
                 accepts.push(scope.spawn(move || self.accept_tcp(scope, listener)));
+            }
+            if let Some(listener) = &metrics {
+                accepts.push(scope.spawn(move || self.accept_metrics(scope, listener)));
             }
             for accept in accepts {
                 let _ = accept.join();
@@ -451,6 +477,56 @@ impl Daemon {
                 }
             }
         }
+    }
+
+    /// Accept loop for the Prometheus scrape listener. Each connection gets
+    /// one hand-rolled HTTP response and is closed — scrape endpoints need
+    /// no keep-alive, routing, or method handling.
+    #[cfg(unix)]
+    fn accept_metrics<'scope>(
+        &'scope self,
+        scope: &'scope std::thread::Scope<'scope, '_>,
+        listener: &std::net::TcpListener,
+    ) {
+        while !self.is_shutdown() {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    scope.spawn(move || {
+                        if let Err(error) = self.handle_metrics(stream) {
+                            eprintln!("comet-serviced: metrics connection error: {error}");
+                        }
+                    });
+                }
+                Err(error) if error.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(std::time::Duration::from_millis(25));
+                }
+                Err(error) => {
+                    eprintln!("comet-serviced: metrics accept error: {error}");
+                    std::thread::sleep(std::time::Duration::from_millis(100));
+                }
+            }
+        }
+    }
+
+    /// Answers one scrape connection with an HTTP/1.0 response carrying the
+    /// full text exposition. The request head is drained best-effort and
+    /// ignored: the endpoint is read-only and serves the same body for every
+    /// path, so even a bare `GET /metrics` with no headers — or no request
+    /// at all — gets the exposition.
+    #[cfg(unix)]
+    fn handle_metrics(&self, mut stream: std::net::TcpStream) -> std::io::Result<()> {
+        stream.set_nonblocking(false)?;
+        stream.set_read_timeout(Some(std::time::Duration::from_millis(500)))?;
+        stream.set_write_timeout(Some(std::time::Duration::from_secs(30)))?;
+        let mut head = [0u8; 1024];
+        let _ = stream.read(&mut head);
+        let body = self.service.render_metrics();
+        let response = format!(
+            "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len()
+        );
+        stream.write_all(response.as_bytes())?;
+        stream.flush()
     }
 
     #[cfg(unix)]

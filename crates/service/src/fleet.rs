@@ -30,8 +30,9 @@ use crate::key::{canonical_cell_form, cell_key, CellKey};
 use crate::lease::{CompleteOutcome, JobEvent, LeaseConfig, LeaseCounters, LeaseTable};
 use comet_sim::experiments::CellSpec;
 use comet_sim::{RunResult, Runner};
+use comet_telemetry::{registry::exponential_bounds, Counter, Gauge, Histogram, Registry};
 use std::collections::HashMap;
-use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
 use std::time::{Duration, Instant};
 
 /// Upper bound on one `pull` long-poll, whatever the worker asked for.
@@ -82,6 +83,11 @@ enum CellOutcome {
 }
 
 /// Point-in-time fleet statistics, merged into [`crate::ServiceStats`].
+///
+/// Remote completions are deliberately *not* counted here: the service-side
+/// `remote_cells_total` registry counter (incremented where the completed
+/// result is consumed) is the single source of truth, so the same event can
+/// never be tallied in two places that drift.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct FleetStats {
     /// Workers currently registered and live.
@@ -94,8 +100,6 @@ pub struct FleetStats {
     pub exhausted: u64,
     /// Duplicate completions dropped after lease expiry.
     pub stale_completions: u64,
-    /// Cells completed remotely (authoritative worker completions).
-    pub remote_cells: u64,
 }
 
 #[derive(Debug)]
@@ -104,8 +108,56 @@ struct FleetState {
     payloads: HashMap<CellKey, String>,
     outcomes: HashMap<CellKey, CellOutcome>,
     draining: bool,
-    remote_cells: u64,
     last_remote_failure: Option<String>,
+    /// Last heartbeat time per worker, for the interval histogram.
+    last_heartbeat_ms: HashMap<u64, u64>,
+}
+
+/// Registry handles the coordinator mirrors its supervision counters into.
+/// Bound once by [`crate::ExperimentService::attach_fleet`]; the lease table
+/// stays the authority, and [`Fleet::sync_metrics`] copies its counters into
+/// these series so a scrape and `stats()` can never disagree.
+struct FleetMetrics {
+    registry: Arc<Registry>,
+    workers_live: Gauge,
+    leases_expired: Counter,
+    redeliveries: Counter,
+    exhausted: Counter,
+    stale_completions: Counter,
+    heartbeat_interval_ms: Histogram,
+    pull_wait_ms: Histogram,
+}
+
+impl FleetMetrics {
+    fn new(registry: Arc<Registry>) -> Self {
+        let latency_bounds = exponential_bounds(1.0, 4.0, 8);
+        FleetMetrics {
+            workers_live: registry
+                .gauge("fleet_workers_live", "Fleet workers currently registered and live."),
+            leases_expired: registry.counter(
+                "fleet_leases_expired_total",
+                "Leases that expired (missed heartbeats, dropped connections).",
+            ),
+            redeliveries: registry
+                .counter("fleet_redeliveries_total", "Cells handed out again after a lease expiry."),
+            exhausted: registry.counter("fleet_exhausted_total", "Cells that ran out of redeliveries."),
+            stale_completions: registry.counter(
+                "fleet_stale_completions_total",
+                "Duplicate completions dropped after lease expiry.",
+            ),
+            heartbeat_interval_ms: registry.histogram(
+                "fleet_heartbeat_interval_ms",
+                "Observed interval between consecutive heartbeats of one worker.",
+                &latency_bounds,
+            ),
+            pull_wait_ms: registry.histogram(
+                "fleet_pull_wait_ms",
+                "Time one worker pull long-polled before returning.",
+                &latency_bounds,
+            ),
+            registry,
+        }
+    }
 }
 
 /// Outcome of a worker `pull`.
@@ -123,11 +175,20 @@ pub enum PullOutcome {
 
 /// The fleet coordinator. Cheap to share (`Arc`) between the service, the
 /// daemon's connection handlers, and tests.
-#[derive(Debug)]
 pub struct Fleet {
     state: Mutex<FleetState>,
     cv: Condvar,
     epoch: Instant,
+    metrics: OnceLock<FleetMetrics>,
+}
+
+impl std::fmt::Debug for Fleet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Fleet")
+            .field("state", &self.state)
+            .field("metrics_bound", &self.metrics.get().is_some())
+            .finish()
+    }
 }
 
 impl Fleet {
@@ -139,12 +200,74 @@ impl Fleet {
                 payloads: HashMap::new(),
                 outcomes: HashMap::new(),
                 draining: false,
-                remote_cells: 0,
                 last_remote_failure: None,
+                last_heartbeat_ms: HashMap::new(),
             }),
             cv: Condvar::new(),
             epoch: Instant::now(),
+            metrics: OnceLock::new(),
         }
+    }
+
+    /// Binds the coordinator to a metrics registry (once; later calls are
+    /// ignored). From then on every supervision mutation mirrors the lease
+    /// counters into the registry, and worker heartbeat snapshots surface as
+    /// per-worker gauges.
+    pub fn bind_metrics(&self, registry: Arc<Registry>) {
+        let _ = self.metrics.set(FleetMetrics::new(registry));
+        self.sync_metrics();
+    }
+
+    /// Copies the authoritative lease-table counters into the bound registry
+    /// series. Called after supervision mutations and before a scrape; a
+    /// no-op with no registry bound.
+    pub fn sync_metrics(&self) {
+        if self.metrics.get().is_some() {
+            let state = self.lock();
+            self.sync_metrics_locked(&state);
+        }
+    }
+
+    fn sync_metrics_locked(&self, state: &FleetState) {
+        let Some(metrics) = self.metrics.get() else { return };
+        let LeaseCounters { leases_expired, redeliveries, exhausted, stale_completions } =
+            state.table.counters();
+        metrics.workers_live.set(state.table.workers_live() as f64);
+        metrics.leases_expired.store(leases_expired);
+        metrics.redeliveries.store(redeliveries);
+        metrics.exhausted.store(exhausted);
+        metrics.stale_completions.store(stale_completions);
+    }
+
+    /// Records a worker's piggybacked heartbeat snapshot as per-worker
+    /// labeled gauges (`worker_cells_total`, `worker_busy`).
+    pub fn note_worker_snapshot(&self, worker: u64, cells: u64, busy: bool) {
+        let Some(metrics) = self.metrics.get() else { return };
+        let id = worker.to_string();
+        metrics
+            .registry
+            .counter_with(
+                "worker_cells_total",
+                "Cells completed by this worker, as of its last heartbeat.",
+                &[("worker", &id)],
+            )
+            .store(cells);
+        metrics
+            .registry
+            .gauge_with(
+                "worker_busy",
+                "1 while this worker is executing a job, as of its last heartbeat.",
+                &[("worker", &id)],
+            )
+            .set(if busy { 1.0 } else { 0.0 });
+    }
+
+    /// Drops a disconnected worker's per-worker series from the registry.
+    fn drop_worker_series(&self, worker: u64) {
+        let Some(metrics) = self.metrics.get() else { return };
+        let id = worker.to_string();
+        metrics.registry.remove_series("worker_cells_total", &[("worker", &id)]);
+        metrics.registry.remove_series("worker_busy", &[("worker", &id)]);
     }
 
     fn now_ms(&self) -> u64 {
@@ -182,7 +305,6 @@ impl Fleet {
             redeliveries,
             exhausted,
             stale_completions,
-            remote_cells: state.remote_cells,
         }
     }
 
@@ -190,6 +312,7 @@ impl Fleet {
     fn tick_locked(&self, state: &mut FleetState) {
         let events = state.table.tick(self.now_ms());
         Self::apply_events(state, events);
+        self.sync_metrics_locked(state);
     }
 
     fn apply_events(state: &mut FleetState, events: Vec<JobEvent>) {
@@ -216,6 +339,7 @@ impl Fleet {
     /// (drain, exhaustion, worker death, and an unclaimed-cell patience
     /// window all terminate the wait).
     pub fn run_cell(&self, runner: &Runner, cell: &CellSpec) -> FleetDisposition {
+        let _span = comet_telemetry::span("fleet.cell");
         let key = cell_key(runner, cell);
         let submitted_ms = self.now_ms();
         // A pending cell no worker pulls within the patience window degrades
@@ -243,10 +367,7 @@ impl Fleet {
             if let Some(outcome) = state.outcomes.remove(&key) {
                 state.payloads.remove(&key);
                 return match outcome {
-                    CellOutcome::Completed(result) => {
-                        state.remote_cells += 1;
-                        FleetDisposition::Completed(result)
-                    }
+                    CellOutcome::Completed(result) => FleetDisposition::Completed(result),
                     CellOutcome::Failed(message) => {
                         state.last_remote_failure = Some(message);
                         FleetDisposition::RunLocal(LocalReason::RemoteFailed)
@@ -311,14 +432,30 @@ impl Fleet {
     /// validated the schema advertisement.
     pub fn register(&self, threads: usize) -> u64 {
         let now = self.now_ms();
-        let id = self.lock().table.register(threads, now);
+        let id = {
+            let mut state = self.lock();
+            let id = state.table.register(threads, now);
+            state.last_heartbeat_ms.insert(id, now);
+            self.sync_metrics_locked(&state);
+            id
+        };
         self.cv.notify_all();
         id
     }
 
     /// Long-polls for a cell on behalf of `worker`, up to `wait_ms` (capped
-    /// at [`PULL_WAIT_CAP_MS`]).
+    /// at [`PULL_WAIT_CAP_MS`]). The observed wait lands in the
+    /// `fleet_pull_wait_ms` histogram whatever the outcome.
     pub fn pull(&self, worker: u64, wait_ms: u64) -> PullOutcome {
+        let started = Instant::now();
+        let outcome = self.pull_inner(worker, wait_ms);
+        if let Some(metrics) = self.metrics.get() {
+            metrics.pull_wait_ms.observe(started.elapsed().as_millis() as f64);
+        }
+        outcome
+    }
+
+    fn pull_inner(&self, worker: u64, wait_ms: u64) -> PullOutcome {
         let deadline = Instant::now() + Duration::from_millis(wait_ms.min(PULL_WAIT_CAP_MS));
         let mut state = self.lock();
         loop {
@@ -350,7 +487,15 @@ impl Fleet {
         let now = self.now_ms();
         let mut state = self.lock();
         self.tick_locked(&mut state);
-        state.table.heartbeat(worker, now)
+        let known = state.table.heartbeat(worker, now);
+        if known {
+            if let Some(metrics) = self.metrics.get() {
+                if let Some(last) = state.last_heartbeat_ms.insert(worker, now) {
+                    metrics.heartbeat_interval_ms.observe(now.saturating_sub(last) as f64);
+                }
+            }
+        }
+        known
     }
 
     /// Reports a completion. `outcome` is `Ok(result)` for a successful
@@ -369,9 +514,13 @@ impl Fleet {
                     };
                     state.payloads.remove(&key);
                     state.outcomes.insert(key, cell_outcome);
+                    self.sync_metrics_locked(&state);
                     true
                 }
-                CompleteOutcome::Stale => false,
+                CompleteOutcome::Stale => {
+                    self.sync_metrics_locked(&state);
+                    false
+                }
             }
         };
         self.cv.notify_all();
@@ -385,7 +534,10 @@ impl Fleet {
             let mut state = self.lock();
             let events = state.table.disconnect(worker);
             Self::apply_events(&mut state, events);
+            state.last_heartbeat_ms.remove(&worker);
+            self.sync_metrics_locked(&state);
         }
+        self.drop_worker_series(worker);
         self.cv.notify_all();
     }
 }
@@ -450,7 +602,6 @@ mod tests {
             other => panic!("expected completion, got {other:?}"),
         }
         server.join().unwrap();
-        assert_eq!(fleet.stats().remote_cells, 1);
     }
 
     #[test]

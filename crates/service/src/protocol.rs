@@ -8,6 +8,7 @@
 //! {"op":"stats","id":2}
 //! {"op":"ping","id":3}
 //! {"op":"shutdown","id":4}
+//! {"op":"metrics","id":5}
 //! ```
 //!
 //! Responses always echo `id` (0 if absent) and carry `"ok"`. A `run`
@@ -30,7 +31,7 @@
 //! ```text
 //! {"op":"register","id":1,"threads":4,"schema":"comet-cell/v2"}
 //! {"op":"pull","id":2,"worker":3,"wait_ms":500}
-//! {"op":"heartbeat","id":3,"worker":3}
+//! {"op":"heartbeat","id":3,"worker":3,"cells":17,"busy":true}
 //! {"op":"complete","id":4,"worker":3,"key":"<32 hex>","result":{...}}
 //! {"op":"complete","id":5,"worker":3,"key":"<32 hex>","error":"..."}
 //! ```
@@ -192,6 +193,8 @@ pub enum Op {
     },
     /// Report cumulative service statistics.
     Stats,
+    /// Render the full metrics registry as Prometheus text exposition.
+    Metrics,
     /// Liveness check.
     Ping,
     /// Stop the daemon after answering.
@@ -210,10 +213,17 @@ pub enum Op {
         /// How long the coordinator may hold the poll open (bounded).
         wait_ms: u64,
     },
-    /// A registered worker proves liveness, extending its leases.
+    /// A registered worker proves liveness, extending its leases. The
+    /// optional fields piggyback a compact metrics snapshot so the
+    /// coordinator's scrape shows per-worker gauges without extra round
+    /// trips.
     Heartbeat {
         /// The worker id from registration.
         worker: u64,
+        /// Cells this worker has completed over its session, if reported.
+        cells: Option<u64>,
+        /// Whether the worker is currently executing a job, if reported.
+        busy: Option<bool>,
     },
     /// A worker reports the outcome of a leased cell.
     Complete {
@@ -268,6 +278,7 @@ pub fn parse_request(line: &str) -> Result<Request, ServiceError> {
             Op::Run { scope, targets, priority }
         }
         "stats" => Op::Stats,
+        "metrics" => Op::Metrics,
         "ping" => Op::Ping,
         "shutdown" => Op::Shutdown,
         "register" => Op::Register {
@@ -281,7 +292,14 @@ pub fn parse_request(line: &str) -> Result<Request, ServiceError> {
             worker: worker_field(&value)?,
             wait_ms: json::get(&value, "wait_ms").and_then(json::as_u64).unwrap_or(0),
         },
-        "heartbeat" => Op::Heartbeat { worker: worker_field(&value)? },
+        "heartbeat" => Op::Heartbeat {
+            worker: worker_field(&value)?,
+            cells: json::get(&value, "cells").and_then(json::as_u64),
+            busy: json::get(&value, "busy").and_then(|v| match v {
+                Value::Bool(b) => Some(*b),
+                _ => None,
+            }),
+        },
         "complete" => {
             let key = json::get(&value, "key")
                 .and_then(json::as_str)
@@ -343,6 +361,20 @@ pub fn error_response(id: u64, error: &ServiceError) -> String {
         _ => {}
     }
     serde_json::to_string(&W(serde::Value::Map(fields))).expect("value-tree serialization cannot fail")
+}
+
+/// Response to a `metrics` request: the full Prometheus text exposition,
+/// JSON-quoted under `"exposition"`.
+pub fn metrics_response(id: u64, exposition: &str) -> String {
+    struct W(serde::Value);
+    impl Serialize for W {
+        fn to_value(&self) -> serde::Value {
+            self.0.clone()
+        }
+    }
+    let quoted = serde_json::to_string(&W(serde::Value::Str(exposition.to_string())))
+        .expect("value-tree serialization cannot fail");
+    format!("{{\"id\":{id},\"ok\":true,\"exposition\":{quoted}}}")
 }
 
 /// Response to a successful `register`: the worker's id and the lease
@@ -432,6 +464,7 @@ pub fn handle_request(service: &ExperimentService, request: &Request) -> (String
             );
             (line, false)
         }
+        Op::Metrics => (metrics_response(request.id, &service.render_metrics()), false),
         Op::Ping => (format!("{{\"id\":{},\"ok\":true,\"pong\":true}}", request.id), false),
         Op::Shutdown => (format!("{{\"id\":{},\"ok\":true,\"shutdown\":true}}", request.id), true),
         // Fleet ops are routed by the daemon when a fleet is attached; a

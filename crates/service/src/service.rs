@@ -45,6 +45,7 @@ use crate::key::{cell_key, CellKey};
 use crate::store::ResultStore;
 use comet_sim::experiments::{CellBackend, CellSpec, ParallelExecutor};
 use comet_sim::{RunResult, Runner, RunnerError};
+use comet_telemetry::{Counter, Gauge, Registry};
 use serde::Serialize;
 use std::collections::{HashMap, HashSet};
 use std::path::PathBuf;
@@ -131,26 +132,87 @@ impl CacheState {
     }
 }
 
-/// Monotonic service counters. All relaxed: they are reporting, not
-/// synchronization (the cache mutex orders the data).
-#[derive(Debug, Default)]
+/// Registry-backed service counters. Each handle is an `Arc` straight to the
+/// series' atomic, so every increment is still one relaxed atomic add — the
+/// registry only matters at registration and scrape time. These are the
+/// *only* copies of the service counters: `stats()` and the `/metrics`
+/// scrape are projections of the same atomics and cannot drift.
 struct Counters {
-    cells_requested: AtomicU64,
-    cache_hits: AtomicU64,
-    batch_shared: AtomicU64,
-    inflight_waits: AtomicU64,
-    simulated: AtomicU64,
-    failed: AtomicU64,
-    loaded_from_disk: AtomicU64,
-    evictions: AtomicU64,
-    compactions: AtomicU64,
-    worker_retries: AtomicU64,
-    sheds: AtomicU64,
-    persist_errors: AtomicU64,
-    quarantined_segments: AtomicU64,
-    torn_lines: AtomicU64,
-    remote_cells: AtomicU64,
-    local_fallbacks: AtomicU64,
+    cells_requested: Counter,
+    cache_hits: Counter,
+    batch_shared: Counter,
+    inflight_waits: Counter,
+    simulated: Counter,
+    failed: Counter,
+    loaded_from_disk: Counter,
+    evictions: Counter,
+    compactions: Counter,
+    worker_retries: Counter,
+    sheds: Counter,
+    persist_errors: Counter,
+    quarantined_segments: Counter,
+    torn_lines: Counter,
+    remote_cells: Counter,
+    local_fallbacks: Counter,
+    /// 1 when the service is in cache-read-only degraded mode.
+    degraded: Gauge,
+    /// Completed cells currently cached in memory (refreshed at scrape).
+    cached_cells: Gauge,
+}
+
+impl Counters {
+    fn new(registry: &Registry) -> Self {
+        Counters {
+            cells_requested: registry.counter(
+                "service_cells_requested_total",
+                "Cells requested across all run calls, duplicates included.",
+            ),
+            cache_hits: registry
+                .counter("service_cache_hits_total", "Cells served from the completed-result cache."),
+            batch_shared: registry.counter(
+                "service_batch_shared_total",
+                "Duplicate cells within one batch, served from the batch's own runs.",
+            ),
+            inflight_waits: registry.counter(
+                "service_inflight_waits_total",
+                "Cells that waited on another request's in-flight simulation.",
+            ),
+            simulated: registry.counter("service_simulated_total", "Cells actually simulated."),
+            failed: registry.counter("service_failed_total", "Cell simulations that returned an error."),
+            loaded_from_disk: registry.counter(
+                "service_loaded_from_disk_total",
+                "Cache entries loaded from disk segments at startup.",
+            ),
+            evictions: registry.counter(
+                "service_evictions_total",
+                "Completed cells evicted from the bounded in-memory cache.",
+            ),
+            compactions: registry.counter("service_compactions_total", "Segment-compaction passes run."),
+            worker_retries: registry.counter(
+                "service_worker_retries_total",
+                "Automatic re-runs of cells whose simulation panicked.",
+            ),
+            sheds: registry.counter("service_sheds_total", "Requests shed by admission control."),
+            persist_errors: registry
+                .counter("service_persist_errors_total", "Failed segment appends and compactions."),
+            quarantined_segments: registry.counter(
+                "service_quarantined_segments_total",
+                "Corrupt segments moved to quarantine during recovery.",
+            ),
+            torn_lines: registry.counter(
+                "service_torn_lines_total",
+                "Torn tail lines skipped during recovery (crash artifacts).",
+            ),
+            remote_cells: registry
+                .counter("remote_cells_total", "Cells completed remotely by fleet workers."),
+            local_fallbacks: registry
+                .counter("service_local_fallbacks_total", "Cells the fleet handed back for local execution."),
+            degraded: registry
+                .gauge("service_degraded", "1 when the service is in cache-read-only degraded mode."),
+            cached_cells: registry
+                .gauge("service_cached_cells", "Completed cells currently cached in memory."),
+        }
+    }
 }
 
 /// A point-in-time snapshot of the service counters.
@@ -252,6 +314,7 @@ pub struct ExperimentService {
     cache: Mutex<CacheState>,
     cv: Condvar,
     store: Option<Mutex<ResultStore>>,
+    registry: Arc<Registry>,
     counters: Counters,
     config: ServiceConfig,
     faults: Option<Arc<FaultPlan>>,
@@ -314,12 +377,15 @@ impl ExperimentService {
         config: ServiceConfig,
         faults: Option<Arc<FaultPlan>>,
     ) -> std::io::Result<Self> {
+        let registry = Arc::new(Registry::new());
+        let counters = Counters::new(&registry);
         let service = ExperimentService {
             executor,
             cache: Mutex::new(CacheState::default()),
             cv: Condvar::new(),
             store: None,
-            counters: Counters::default(),
+            registry,
+            counters,
             config,
             faults: faults.clone(),
             fleet: OnceLock::new(),
@@ -330,8 +396,8 @@ impl ExperimentService {
 
         let mut store = ResultStore::open_faulted(dir, faults)?;
         let recovery = store.recover()?;
-        service.counters.quarantined_segments.store(recovery.quarantined as u64, Ordering::Relaxed);
-        service.counters.torn_lines.store(recovery.torn_lines as u64, Ordering::Relaxed);
+        service.counters.quarantined_segments.store(recovery.quarantined as u64);
+        service.counters.torn_lines.store(recovery.torn_lines as u64);
         let mut loaded = 0u64;
         {
             let mut cache = service.lock_cache();
@@ -349,10 +415,10 @@ impl ExperimentService {
             // recently written cells, evict the oldest.
             if let Some(max) = service.config.max_cached_cells {
                 let evicted = cache.evict_down_to(max);
-                service.counters.evictions.fetch_add(evicted, Ordering::Relaxed);
+                service.counters.evictions.add(evicted);
             }
         }
-        service.counters.loaded_from_disk.store(loaded, Ordering::Relaxed);
+        service.counters.loaded_from_disk.store(loaded);
         Ok(ExperimentService { store: Some(Mutex::new(store)), ..service })
     }
 
@@ -388,7 +454,7 @@ impl ExperimentService {
     /// Records one admission-control shed (called by the daemon so floods
     /// show up in `stats`).
     pub fn note_shed(&self) {
-        self.counters.sheds.fetch_add(1, Ordering::Relaxed);
+        self.counters.sheds.inc();
     }
 
     /// Attaches a fleet coordinator: cell simulations are offered to remote
@@ -396,7 +462,11 @@ impl ExperimentService {
     /// declines (zero workers, remote failure, unclaimed cell). At most one
     /// fleet per service; later calls are ignored.
     pub fn attach_fleet(&self, fleet: Arc<Fleet>) {
-        let _ = self.fleet.set(fleet);
+        if self.fleet.set(fleet).is_ok() {
+            // The coordinator mirrors its lease counters into this service's
+            // registry so the scrape and `stats` read the same atomics.
+            self.fleet.get().expect("just set").bind_metrics(self.registry.clone());
+        }
     }
 
     /// The attached fleet coordinator, if any.
@@ -404,27 +474,49 @@ impl ExperimentService {
         self.fleet.get()
     }
 
+    /// This service's metrics registry (engine metrics live in the process
+    /// [`comet_telemetry::global`] registry, not here).
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// Renders the full Prometheus text exposition for this service: its own
+    /// registry (service + fleet + per-worker families) followed by the
+    /// process-global registry (engine + tracker families — the name
+    /// prefixes are disjoint, so families never collide). Point-in-time
+    /// gauges are refreshed first so a scrape is self-consistent.
+    pub fn render_metrics(&self) -> String {
+        self.counters.degraded.set(if self.is_degraded() { 1.0 } else { 0.0 });
+        self.counters.cached_cells.set(self.cached_cells() as f64);
+        if let Some(fleet) = self.fleet.get() {
+            fleet.sync_metrics();
+        }
+        let mut out = self.registry.render();
+        out.push_str(&comet_telemetry::global().render());
+        out
+    }
+
     /// A snapshot of the service counters (fleet supervision counters
     /// included when a coordinator is attached).
     pub fn stats(&self) -> ServiceStats {
         let fleet = self.fleet.get().map(|fleet| fleet.stats()).unwrap_or_default();
         ServiceStats {
-            cells_requested: self.counters.cells_requested.load(Ordering::Relaxed),
-            cache_hits: self.counters.cache_hits.load(Ordering::Relaxed),
-            batch_shared: self.counters.batch_shared.load(Ordering::Relaxed),
-            inflight_waits: self.counters.inflight_waits.load(Ordering::Relaxed),
-            simulated: self.counters.simulated.load(Ordering::Relaxed),
-            failed: self.counters.failed.load(Ordering::Relaxed),
-            loaded_from_disk: self.counters.loaded_from_disk.load(Ordering::Relaxed),
-            evictions: self.counters.evictions.load(Ordering::Relaxed),
-            compactions: self.counters.compactions.load(Ordering::Relaxed),
-            worker_retries: self.counters.worker_retries.load(Ordering::Relaxed),
-            sheds: self.counters.sheds.load(Ordering::Relaxed),
-            persist_errors: self.counters.persist_errors.load(Ordering::Relaxed),
-            quarantined_segments: self.counters.quarantined_segments.load(Ordering::Relaxed),
-            torn_lines: self.counters.torn_lines.load(Ordering::Relaxed),
-            remote_cells: self.counters.remote_cells.load(Ordering::Relaxed),
-            local_fallbacks: self.counters.local_fallbacks.load(Ordering::Relaxed),
+            cells_requested: self.counters.cells_requested.get(),
+            cache_hits: self.counters.cache_hits.get(),
+            batch_shared: self.counters.batch_shared.get(),
+            inflight_waits: self.counters.inflight_waits.get(),
+            simulated: self.counters.simulated.get(),
+            failed: self.counters.failed.get(),
+            loaded_from_disk: self.counters.loaded_from_disk.get(),
+            evictions: self.counters.evictions.get(),
+            compactions: self.counters.compactions.get(),
+            worker_retries: self.counters.worker_retries.get(),
+            sheds: self.counters.sheds.get(),
+            persist_errors: self.counters.persist_errors.get(),
+            quarantined_segments: self.counters.quarantined_segments.get(),
+            torn_lines: self.counters.torn_lines.get(),
+            remote_cells: self.counters.remote_cells.get(),
+            local_fallbacks: self.counters.local_fallbacks.get(),
             workers_live: fleet.workers_live,
             leases_expired: fleet.leases_expired,
             redeliveries: fleet.redeliveries,
@@ -456,10 +548,11 @@ impl ExperimentService {
     /// a declined cell falls through to the local path below; lease
     /// exhaustion and coordinator drain surface as typed errors.
     fn run_cell_contained(&self, runner: &Runner, cell: &CellSpec) -> Result<RunResult, RunnerError> {
+        let _span = comet_telemetry::span("service.cell");
         if let Some(fleet) = self.fleet.get() {
             match fleet.run_cell(runner, cell) {
                 FleetDisposition::Completed(result) => {
-                    self.counters.remote_cells.fetch_add(1, Ordering::Relaxed);
+                    self.counters.remote_cells.inc();
                     return Ok(*result);
                 }
                 FleetDisposition::Exhausted { redeliveries } => {
@@ -469,7 +562,7 @@ impl ExperimentService {
                     return Err(RunnerError::Draining { label: cell.label() });
                 }
                 FleetDisposition::RunLocal(_) => {
-                    self.counters.local_fallbacks.fetch_add(1, Ordering::Relaxed);
+                    self.counters.local_fallbacks.inc();
                 }
             }
         }
@@ -484,7 +577,7 @@ impl ExperimentService {
             match outcome {
                 Ok(result) => return result,
                 Err(_) if attempt < attempts => {
-                    self.counters.worker_retries.fetch_add(1, Ordering::Relaxed);
+                    self.counters.worker_retries.inc();
                 }
                 Err(_) => {}
             }
@@ -502,7 +595,7 @@ impl ExperimentService {
             cache.insert_ready(key, result.clone());
             if let Some(max) = self.config.max_cached_cells {
                 let evicted = cache.evict_down_to(max);
-                self.counters.evictions.fetch_add(evicted, Ordering::Relaxed);
+                self.counters.evictions.add(evicted);
             }
         }
         self.cv.notify_all();
@@ -525,7 +618,7 @@ impl ExperimentService {
     }
 
     fn note_persist_failure(&self, context: &str, message: &str) {
-        self.counters.persist_errors.fetch_add(1, Ordering::Relaxed);
+        self.counters.persist_errors.inc();
         let consecutive = self.consecutive_persist_failures.fetch_add(1, Ordering::Relaxed) + 1;
         eprintln!("comet-service: warning: could not {context}: {message}");
         if consecutive >= DEGRADE_AFTER_PERSIST_FAILURES && !self.degraded.swap(true, Ordering::Relaxed) {
@@ -561,7 +654,7 @@ impl ExperimentService {
         let outcome = store.lock().unwrap_or_else(PoisonError::into_inner).compact(&live);
         match outcome {
             Ok(CompactionReport { kept, dropped, segments_before, segments_after }) => {
-                self.counters.compactions.fetch_add(1, Ordering::Relaxed);
+                self.counters.compactions.inc();
                 eprintln!(
                     "comet-service: compacted {segments_before} segment(s) down to \
                      {segments_after} ({kept} live cell(s) kept, {dropped} record(s) dropped)"
@@ -625,7 +718,8 @@ impl ExperimentService {
 
 impl CellBackend for ExperimentService {
     fn run_cells(&self, runner: &Runner, cells: &[CellSpec]) -> Result<Vec<RunResult>, RunnerError> {
-        self.counters.cells_requested.fetch_add(cells.len() as u64, Ordering::Relaxed);
+        let _span = comet_telemetry::span("service.batch");
+        self.counters.cells_requested.add(cells.len() as u64);
         let keys: Vec<CellKey> = cells.iter().map(|cell| cell_key(runner, cell)).collect();
         // First batch position of each unique key (for re-running reclaimed
         // foreign cells and for error attribution).
@@ -653,18 +747,18 @@ impl CellBackend for ExperimentService {
             let mut cache = self.lock_cache();
             for (index, &key) in keys.iter().enumerate() {
                 if first_index[&key] != index {
-                    self.counters.batch_shared.fetch_add(1, Ordering::Relaxed);
+                    self.counters.batch_shared.inc();
                     continue;
                 }
                 let tick = cache.tick();
                 match cache.slots.get_mut(&key) {
                     Some(Slot::Ready { result, touched }) => {
-                        self.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
+                        self.counters.cache_hits.inc();
                         *touched = tick;
                         resolved.insert(key, result.clone());
                     }
                     Some(Slot::Running) => {
-                        self.counters.inflight_waits.fetch_add(1, Ordering::Relaxed);
+                        self.counters.inflight_waits.inc();
                         foreign.push(key);
                     }
                     None => {
@@ -687,13 +781,13 @@ impl CellBackend for ExperimentService {
             for (&(key, index), outcome) in owned.iter().zip(outcomes) {
                 match outcome {
                     Ok(result) => {
-                        self.counters.simulated.fetch_add(1, Ordering::Relaxed);
+                        self.counters.simulated.inc();
                         let result = Arc::new(result);
                         self.complete(key, result.clone());
                         resolved.insert(key, result);
                     }
                     Err(error) => {
-                        self.counters.failed.fetch_add(1, Ordering::Relaxed);
+                        self.counters.failed.inc();
                         self.release(key);
                         record_error(&mut first_error, index, error);
                     }
@@ -748,13 +842,13 @@ impl CellBackend for ExperimentService {
                 let index = first_index[&key];
                 match self.run_cell_contained(runner, &cells[index]) {
                     Ok(result) => {
-                        self.counters.simulated.fetch_add(1, Ordering::Relaxed);
+                        self.counters.simulated.inc();
                         let result = Arc::new(result);
                         self.complete(key, result.clone());
                         resolved.insert(key, result);
                     }
                     Err(error) => {
-                        self.counters.failed.fetch_add(1, Ordering::Relaxed);
+                        self.counters.failed.inc();
                         self.release(key);
                         record_error(&mut first_error, index, error);
                     }

@@ -176,6 +176,7 @@ impl ResultStore {
     /// mid-file-corruption distinction). Never fails on segment *content*;
     /// only directory-level I/O errors propagate.
     pub fn recover(&mut self) -> std::io::Result<Recovery> {
+        let _span = comet_telemetry::span("store.recover");
         let mut recovery = Recovery::default();
         for (_, path) in segment_files(&self.dir)? {
             let file = match File::open(&path) {
@@ -346,6 +347,7 @@ pub fn run_result_from_value(value: &Value) -> Option<RunResult> {
         energy_nj: json::as_f64(field("energy_nj")?)?,
         energy_breakdown: Default::default(),
         controller: Default::default(),
+        engine: Default::default(),
         mitigation,
     })
 }

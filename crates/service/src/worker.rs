@@ -35,7 +35,7 @@ use crate::wire;
 use serde::{Serialize, Value};
 use std::io::Write;
 use std::net::TcpStream;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -232,6 +232,12 @@ fn run_session(
     let worker = json::get(&response, "worker").and_then(json::as_u64).ok_or(SessionError::Transient)?;
     report.registrations += 1;
 
+    // The heartbeat piggybacks a compact snapshot of these (relaxed reads of
+    // values the work loop maintains), so the coordinator's scrape can show
+    // per-worker progress without extra round trips.
+    let cells_done = Arc::new(AtomicU64::new(report.completed));
+    let busy = Arc::new(AtomicBool::new(false));
+
     // Heartbeats flow on their own connection so a long-running cell cannot
     // starve them. Failures here just flag the session dead; the work loop
     // notices and reconnects.
@@ -241,6 +247,8 @@ fn run_session(
         let dead = session_dead.clone();
         let faults = config.faults.clone();
         let stop = stop.clone();
+        let cells_done = cells_done.clone();
+        let busy = busy.clone();
         std::thread::spawn(move || {
             let Ok(mut conn) = connect(&addr) else {
                 return;
@@ -250,7 +258,11 @@ fn run_session(
                 let muted = faults.as_ref().is_some_and(|plan| plan.heartbeats_muted());
                 if !muted {
                     id += 1;
-                    let line = format!("{{\"op\":\"heartbeat\",\"id\":{id},\"worker\":{worker}}}");
+                    let line = format!(
+                        "{{\"op\":\"heartbeat\",\"id\":{id},\"worker\":{worker},\"cells\":{},\"busy\":{}}}",
+                        cells_done.load(Ordering::Relaxed),
+                        busy.load(Ordering::Relaxed)
+                    );
                     if conn.write_line(&line).is_err() {
                         dead.store(true, Ordering::Release);
                         return;
@@ -280,13 +292,14 @@ fn run_session(
         })
     };
 
-    let end = work_loop(config, stop, &session_dead, &mut work, worker, report);
+    let end = work_loop(config, stop, &session_dead, &mut work, worker, report, &cells_done, &busy);
     session_dead.store(true, Ordering::Release);
     drop(work);
     heartbeat_thread.join().ok();
     end
 }
 
+#[allow(clippy::too_many_arguments)]
 fn work_loop(
     config: &WorkerConfig,
     stop: &AtomicBool,
@@ -294,6 +307,8 @@ fn work_loop(
     work: &mut LineConn<TcpStream>,
     worker: u64,
     report: &mut WorkerReport,
+    cells_done: &AtomicU64,
+    busy: &AtomicBool,
 ) -> Result<SessionEnd, SessionError> {
     let mut id = 1u64;
     loop {
@@ -327,10 +342,12 @@ fn work_loop(
         let Some(key) = json::get(job, "key").and_then(json::as_str).and_then(CellKey::from_hex) else {
             return Ok(SessionEnd::Reconnect);
         };
+        busy.store(true, Ordering::Relaxed);
         let outcome = match execute_job(config, job) {
             JobOutcome::Died => return Ok(SessionEnd::Died),
             JobOutcome::Ran(outcome) => outcome,
         };
+        busy.store(false, Ordering::Relaxed);
         id += 1;
         let line = match &outcome {
             Ok(projection) => format!(
@@ -370,7 +387,10 @@ fn work_loop(
             continue;
         }
         match &outcome {
-            Ok(_) => report.completed += 1,
+            Ok(_) => {
+                report.completed += 1;
+                cells_done.fetch_add(1, Ordering::Relaxed);
+            }
             Err(_) => report.failed += 1,
         }
     }

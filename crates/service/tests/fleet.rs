@@ -55,7 +55,7 @@ fn with_fleet_daemon(lease: LeaseConfig, body: impl FnOnce(&Daemon, &str)) {
     let addr = listener.local_addr().unwrap().to_string();
     let daemon = &daemon;
     std::thread::scope(|scope| {
-        let serving = scope.spawn(move || daemon.serve_listeners(None, Some(listener)));
+        let serving = scope.spawn(move || daemon.serve_listeners(None, Some(listener), None));
         // A panicking body must still shut the daemon down, or joining the
         // serving thread would hang the whole test binary.
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(daemon, &addr)));

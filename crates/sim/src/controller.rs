@@ -524,6 +524,11 @@ impl MemoryController {
         self.mitigation.name()
     }
 
+    /// The mitigation's cold-path structure gauges (telemetry layer).
+    pub fn mitigation_telemetry(&self) -> Vec<(&'static str, f64)> {
+        self.mitigation.telemetry_gauges()
+    }
+
     /// Ready-set pressure counters accumulated over all demand ticks.
     pub fn scheduler_pressure(&self) -> SchedulerPressure {
         self.pressure

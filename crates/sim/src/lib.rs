@@ -48,13 +48,14 @@ pub mod request;
 pub mod runner;
 pub mod shardpool;
 pub mod system;
+pub mod telemetry;
 
 pub use controller::{ControllerConfig, ControllerStats, MemoryController};
 pub use cpu::{CoreConfig, TraceCore};
 // Part of `CoreConfig`'s public surface (the interleaving scheme field).
 pub use comet_dram::AddressScheme;
 pub use memory::{MemorySink, MemorySystem};
-pub use metrics::{geometric_mean, normalized_distribution, DistributionSummary, RunResult};
+pub use metrics::{geometric_mean, normalized_distribution, DistributionSummary, EngineTelemetry, RunResult};
 pub use registry::{MechanismRegistry, MechanismSpec, RegisteredFactory};
 pub use request::MemRequest;
 pub use runner::{MechanismKind, Runner, RunnerError};

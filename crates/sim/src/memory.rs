@@ -227,6 +227,11 @@ impl MemorySystem {
         self.shards.iter().map(MemoryController::mitigation_stats).collect()
     }
 
+    /// Mechanism structure gauges per channel shard (telemetry layer).
+    pub fn per_channel_mitigation_telemetry(&self) -> Vec<Vec<(&'static str, f64)>> {
+        self.shards.iter().map(MemoryController::mitigation_telemetry).collect()
+    }
+
     /// Ready-set scheduler pressure per channel shard.
     pub fn per_channel_scheduler_pressure(&self) -> Vec<crate::metrics::SchedulerPressure> {
         self.shards.iter().map(MemoryController::scheduler_pressure).collect()

@@ -42,6 +42,40 @@ pub struct RunResult {
     pub controller: ControllerStats,
     /// Mitigation statistics.
     pub mitigation: MitigationStats,
+    /// Engine telemetry for the metrics layer. Skipped by serde: the golden
+    /// checksums pin the serialized result shape, and telemetry is published
+    /// to the process registry, not persisted with results.
+    #[serde(skip)]
+    pub engine: EngineTelemetry,
+}
+
+/// Window-length bucket bounds (DRAM cycles) for the shard-engine histogram;
+/// a trailing `+Inf` bucket is implicit.
+pub const WINDOW_CYCLES_BOUNDS: [f64; 8] = [4.0, 16.0, 64.0, 256.0, 1024.0, 4096.0, 16384.0, 65536.0];
+
+/// Telemetry the engine accumulates outside the serialized result: window
+/// statistics from the sharded loop (plain `u64` tallies, so the hot loop
+/// never touches an atomic) plus end-of-run scheduler and tracker structure
+/// snapshots. Published into the process-global registry by
+/// [`crate::telemetry::publish_run`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EngineTelemetry {
+    /// Core-visible event windows executed (0 for the serial loop).
+    pub windows: u64,
+    /// Sum of window lengths in DRAM cycles.
+    pub window_cycles_sum: u64,
+    /// Longest window in DRAM cycles.
+    pub window_cycles_max: u64,
+    /// Per-bucket window-length counts over [`WINDOW_CYCLES_BOUNDS`] plus
+    /// the trailing `+Inf` bucket (empty when no windowed loop ran).
+    pub window_bucket_counts: Vec<u64>,
+    /// Ready-set scheduler pressure per channel shard at run end.
+    pub scheduler: Vec<SchedulerPressure>,
+    /// Peak bank-lane queue depth per channel shard at run end.
+    pub bank_depth_peak: Vec<u32>,
+    /// Mechanism structure gauges per channel shard at run end
+    /// (`RowHammerMitigation::telemetry_gauges`).
+    pub tracker_gauges: Vec<Vec<(&'static str, f64)>>,
 }
 
 impl RunResult {
@@ -212,6 +246,7 @@ mod tests {
             energy_breakdown: EnergyBreakdown::default(),
             controller: ControllerStats::default(),
             mitigation: MitigationStats::default(),
+            engine: EngineTelemetry::default(),
         }
     }
 

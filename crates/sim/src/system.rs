@@ -3,7 +3,7 @@
 use crate::controller::{ControllerConfig, ControllerStats};
 use crate::cpu::{CoreConfig, TraceCore};
 use crate::memory::MemorySystem;
-use crate::metrics::RunResult;
+use crate::metrics::{EngineTelemetry, RunResult, WINDOW_CYCLES_BOUNDS};
 use crate::shardpool::ShardPool;
 use comet_dram::{ChannelStats, Cycle, DramConfig, EnergyCounters};
 use comet_mitigations::{MitigationFactory, MitigationStats};
@@ -244,6 +244,7 @@ impl System {
     /// Runs the simulation under an explicit [`LoopMode`]. Results are
     /// bit-identical across modes; only wall-clock time differs.
     pub fn run_with_mode(mut self, label: impl Into<String>, mode: LoopMode) -> RunResult {
+        let _span = comet_telemetry::span("sim.run");
         let warmup_end = self.config.warmup_cycles;
         let end = self.config.total_cycles();
         let mut now: Cycle = 0;
@@ -323,7 +324,7 @@ impl System {
             };
         }
 
-        self.assemble(label.into(), &warm)
+        self.assemble(label.into(), &warm, EngineTelemetry::default())
     }
 
     /// Runs the simulation with the channel shards stepped on a pool of
@@ -391,6 +392,14 @@ impl System {
         // this latency — the extra window length over the bare next-event
         // bound on queue-saturated (attack) traffic.
         let read_return = self.config.dram.timing.cl + self.config.dram.timing.burst_cycles;
+
+        // Window-length tallies for the telemetry layer: plain locals (no
+        // atomics, no registry) on the loop path, folded into one histogram
+        // publish at run end.
+        let mut engine = EngineTelemetry {
+            window_bucket_counts: vec![0u64; WINDOW_CYCLES_BOUNDS.len() + 1],
+            ..Default::default()
+        };
 
         while now < end {
             if !warm_taken && now >= warmup_end {
@@ -469,11 +478,21 @@ impl System {
                 }
             }
 
+            let span = until - now;
+            engine.windows += 1;
+            engine.window_cycles_sum += span;
+            engine.window_cycles_max = engine.window_cycles_max.max(span);
+            let bucket = WINDOW_CYCLES_BOUNDS
+                .iter()
+                .position(|&b| span as f64 <= b)
+                .unwrap_or(WINDOW_CYCLES_BOUNDS.len());
+            engine.window_bucket_counts[bucket] += 1;
+
             self.memory.step_until(now, until, &pool);
             now = until;
         }
 
-        self.assemble(label, &warm)
+        self.assemble(label, &warm, engine)
     }
 
     /// Snapshots every statistic for warmup exclusion.
@@ -495,8 +514,9 @@ impl System {
         }
     }
 
-    /// Assembles the measured (post-warmup) result.
-    fn assemble(self, label: String, warm: &WarmSnapshot) -> RunResult {
+    /// Assembles the measured (post-warmup) result and publishes the run's
+    /// telemetry into the process-global metrics registry.
+    fn assemble(self, label: String, warm: &WarmSnapshot, mut engine: EngineTelemetry) -> RunResult {
         let measured_cycles = self.config.total_cycles() - self.config.warmup_cycles;
         let ctrl = self.memory.stats().delta_since(&warm.ctrl);
         let mut energy = self.memory.energy_counters(0).delta_since(&warm.energy);
@@ -519,7 +539,18 @@ impl System {
         let total_ranks = self.config.dram.geometry.ranks_per_channel * self.config.dram.geometry.channels;
         let energy_breakdown = self.config.dram.energy.breakdown(&energy, timing, total_ranks);
 
-        RunResult {
+        // End-of-run structure snapshots for the telemetry layer — all cold
+        // accessors, gathered once here, never on the simulated path.
+        engine.scheduler = self.memory.per_channel_scheduler_pressure();
+        engine.bank_depth_peak = self
+            .memory
+            .per_channel_bank_queue_depths()
+            .iter()
+            .map(|lanes| lanes.iter().map(|l| l.depth_peak).max().unwrap_or(0))
+            .collect();
+        engine.tracker_gauges = self.memory.per_channel_mitigation_telemetry();
+
+        let result = RunResult {
             label,
             mechanism: self.memory.mitigation_name().to_string(),
             cores: self.cores.len(),
@@ -536,7 +567,10 @@ impl System {
             energy_breakdown,
             controller: ctrl,
             mitigation,
-        }
+            engine,
+        };
+        crate::telemetry::publish_run(&result, comet_telemetry::global());
+        result
     }
 }
 

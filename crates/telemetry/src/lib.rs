@@ -1,0 +1,30 @@
+//! Dependency-free observability substrate for the CoMeT workspace.
+//!
+//! Three pieces, all built on `std` only:
+//!
+//! - [`registry`] — a metrics registry of monotonic counters, gauges, and
+//!   fixed-bucket histograms. Labels are resolved once at registration time,
+//!   so the hot path of every handle is a single relaxed atomic operation on
+//!   an `Arc<AtomicU64>`; no string formatting or map lookup ever happens on
+//!   the instrumented path.
+//! - [`render`] — Prometheus text exposition (format 0.0.4) for a registry,
+//!   plus a terminal table renderer used by the `service metrics --watch`
+//!   CLI.
+//! - [`spans`] — lightweight span tracing: scope guards that time a named
+//!   phase into a bounded per-thread ring buffer, drainable as JSON lines.
+//!   When tracing is disabled (the default) entering a span is one relaxed
+//!   atomic load and no clock read.
+//!
+//! Two registries exist by convention: every [`Registry`] is an ordinary
+//! value (the experiment service owns one per instance so tests never share
+//! counters), and [`global()`] returns a process-wide registry used by the
+//! simulation engine and tracker layers, whose metric names are prefixed
+//! `comet_engine_` / `comet_tracker_` so the two render without collisions.
+
+pub mod registry;
+pub mod render;
+pub mod spans;
+
+pub use registry::{global, Counter, Gauge, Histogram, Registry};
+pub use render::tabulate;
+pub use spans::{drain_spans, drain_spans_jsonl, set_spans_enabled, span, spans_enabled, SpanRecord};

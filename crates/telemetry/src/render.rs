@@ -1,0 +1,206 @@
+//! Prometheus text exposition (format 0.0.4) and a terminal table renderer.
+//!
+//! Rendering walks the registry under its lock and reads every atomic with
+//! relaxed ordering — a scrape observes each counter at some instant during
+//! the walk, which is all the exposition format promises. Families render in
+//! name order (the registry keys a `BTreeMap`) and series within a family in
+//! sorted label order, so output is deterministic for a deterministic run.
+
+use crate::registry::{Kind, Registry, SeriesValue};
+use std::sync::atomic::Ordering;
+
+/// Escapes a HELP string: backslashes and newlines.
+fn escape_help(text: &str) -> String {
+    text.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+/// Escapes a label value: backslashes, double quotes, and newlines.
+fn escape_label(text: &str) -> String {
+    text.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
+/// Formats a sample value the way Prometheus expects: integral values
+/// without a fractional part, everything else via Rust's shortest-roundtrip
+/// float formatting.
+fn format_value(value: f64) -> String {
+    if value.is_finite() && value == value.trunc() && value.abs() < 1e15 {
+        format!("{}", value as i64)
+    } else {
+        format!("{value}")
+    }
+}
+
+/// `{a="1",b="2"}` for a sorted label set, with `extra` (the histogram `le`
+/// label) appended last; empty string when there are no labels at all.
+fn label_block(labels: &[(String, String)], extra: Option<(&str, &str)>) -> String {
+    let mut parts: Vec<String> = labels.iter().map(|(k, v)| format!("{k}=\"{}\"", escape_label(v))).collect();
+    if let Some((k, v)) = extra {
+        parts.push(format!("{k}=\"{}\"", escape_label(v)));
+    }
+    if parts.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+/// Renders `registry` as Prometheus text exposition.
+pub fn render(registry: &Registry) -> String {
+    let families = registry.families.lock().unwrap();
+    let mut out = String::new();
+    for (name, family) in families.iter() {
+        if family.series.is_empty() {
+            continue;
+        }
+        out.push_str(&format!("# HELP {name} {}\n", escape_help(&family.help)));
+        out.push_str(&format!("# TYPE {name} {}\n", family.kind.as_str()));
+        let mut series: Vec<_> = family.series.iter().collect();
+        series.sort_by(|a, b| a.labels.cmp(&b.labels));
+        for s in series {
+            match (&family.kind, &s.value) {
+                (Kind::Counter, SeriesValue::Scalar(cell)) => {
+                    let value = cell.load(Ordering::Relaxed);
+                    out.push_str(&format!("{name}{} {value}\n", label_block(&s.labels, None)));
+                }
+                (Kind::Gauge, SeriesValue::Scalar(cell)) => {
+                    let value = f64::from_bits(cell.load(Ordering::Relaxed));
+                    out.push_str(&format!(
+                        "{name}{} {}\n",
+                        label_block(&s.labels, None),
+                        format_value(value)
+                    ));
+                }
+                (Kind::Histogram, SeriesValue::Histogram(core)) => {
+                    let mut cumulative = 0u64;
+                    for (i, bound) in core.bounds.iter().enumerate() {
+                        cumulative += core.buckets[i].load(Ordering::Relaxed);
+                        out.push_str(&format!(
+                            "{name}_bucket{} {cumulative}\n",
+                            label_block(&s.labels, Some(("le", &format_value(*bound))))
+                        ));
+                    }
+                    cumulative += core.buckets[core.bounds.len()].load(Ordering::Relaxed);
+                    out.push_str(&format!(
+                        "{name}_bucket{} {cumulative}\n",
+                        label_block(&s.labels, Some(("le", "+Inf")))
+                    ));
+                    let sum = f64::from_bits(core.sum_bits.load(Ordering::Relaxed));
+                    out.push_str(&format!(
+                        "{name}_sum{} {}\n",
+                        label_block(&s.labels, None),
+                        format_value(sum)
+                    ));
+                    out.push_str(&format!(
+                        "{name}_count{} {}\n",
+                        label_block(&s.labels, None),
+                        core.count.load(Ordering::Relaxed)
+                    ));
+                }
+                _ => unreachable!("kind/value pairing enforced at registration"),
+            }
+        }
+    }
+    out
+}
+
+/// Renders exposition text as an aligned two-column terminal table (series,
+/// value), dropping comment lines. Used by `service metrics --watch`.
+pub fn tabulate(exposition: &str) -> String {
+    let mut rows: Vec<(&str, &str)> = Vec::new();
+    for line in exposition.lines() {
+        let line = line.trim_end();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        // The value is the text after the last space; the series name (with
+        // its label block, which may contain spaces inside quotes) is the rest.
+        if let Some(split) = line.rfind(' ') {
+            rows.push((&line[..split], line[split + 1..].trim()));
+        }
+    }
+    let width = rows.iter().map(|(series, _)| series.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    for (series, value) in rows {
+        out.push_str(&format!("{series:<width$}  {value}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    #[test]
+    fn help_and_label_escaping() {
+        let registry = Registry::new();
+        registry.counter_with("odd_total", "Help with \\ and\nnewline.", &[("path", "a\"b\\c\nd")]).inc();
+        let text = registry.render();
+        assert!(text.contains("# HELP odd_total Help with \\\\ and\\nnewline."));
+        assert!(text.contains("odd_total{path=\"a\\\"b\\\\c\\nd\"} 1"));
+    }
+
+    #[test]
+    fn labels_render_in_sorted_key_order() {
+        let registry = Registry::new();
+        registry.counter_with("t_total", "T.", &[("zeta", "1"), ("alpha", "2")]).inc();
+        let text = registry.render();
+        assert!(text.contains("t_total{alpha=\"2\",zeta=\"1\"} 1"), "got: {text}");
+    }
+
+    #[test]
+    fn families_render_in_name_order_with_help_and_type() {
+        let registry = Registry::new();
+        registry.counter("b_total", "B.").inc();
+        registry.gauge("a_gauge", "A.").set(3.0);
+        let text = registry.render();
+        let a = text.find("# HELP a_gauge A.").expect("a_gauge help");
+        let b = text.find("# HELP b_total B.").expect("b_total help");
+        assert!(a < b);
+        assert!(text.contains("# TYPE a_gauge gauge"));
+        assert!(text.contains("# TYPE b_total counter"));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_monotone_with_inf_sum_count() {
+        let registry = Registry::new();
+        let h = registry.histogram("lat_ms", "Latency.", &[1.0, 5.0, 25.0]);
+        for v in [0.5, 0.7, 3.0, 30.0, 100.0] {
+            h.observe(v);
+        }
+        let text = registry.render();
+        let bucket = |le: &str| -> u64 {
+            let needle = format!("lat_ms_bucket{{le=\"{le}\"}} ");
+            let start = text.find(&needle).unwrap_or_else(|| panic!("missing bucket le={le}"));
+            text[start + needle.len()..].split_whitespace().next().unwrap().parse().unwrap()
+        };
+        let counts = [bucket("1"), bucket("5"), bucket("25"), bucket("+Inf")];
+        assert!(counts.windows(2).all(|w| w[0] <= w[1]), "non-monotone: {counts:?}");
+        assert_eq!(counts[3], 5);
+        assert!(text.contains("lat_ms_sum 134.2"));
+        assert!(text.contains("lat_ms_count 5"));
+    }
+
+    #[test]
+    fn integral_gauges_render_without_fraction() {
+        let registry = Registry::new();
+        registry.gauge("n", "N.").set(7.0);
+        assert!(registry.render().contains("\nn 7\n"));
+    }
+
+    #[test]
+    fn empty_families_are_skipped() {
+        let registry = Registry::new();
+        let g = registry.gauge_with("w", "W.", &[("worker", "x")]);
+        g.set(1.0);
+        registry.remove_series("w", &[("worker", "x")]);
+        assert_eq!(registry.render(), "");
+    }
+
+    #[test]
+    fn tabulate_aligns_and_drops_comments() {
+        let text = "# HELP a A.\n# TYPE a counter\na 1\nlong_name{x=\"1\"} 2\n";
+        let table = tabulate(text);
+        assert_eq!(table, "a                 1\nlong_name{x=\"1\"}  2\n");
+    }
+}

@@ -1,0 +1,222 @@
+//! Lightweight span tracing: scope guards timing named phases into bounded
+//! per-thread ring buffers.
+//!
+//! Tracing is off by default. A disabled [`span`] call is one relaxed atomic
+//! load — no clock read, no allocation, no lock — so instrumentation can stay
+//! in place on hot-adjacent paths permanently. When enabled, the guard reads
+//! a monotonic clock on entry and drop, and pushes one fixed-size record into
+//! the calling thread's ring. Rings are bounded: the oldest record is
+//! overwritten and counted, never blocking the traced thread.
+//!
+//! [`drain_spans`] collects and clears every thread's ring; the bench `perf
+//! --spans OUT.jsonl` flag writes the result as JSON lines.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Per-thread ring capacity, in records.
+const RING_CAPACITY: usize = 4096;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Enables or disables span collection process-wide.
+pub fn set_spans_enabled(enabled: bool) {
+    ENABLED.store(enabled, Ordering::Relaxed);
+}
+
+/// Whether spans are currently being collected.
+#[inline]
+pub fn spans_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// The process epoch all span timestamps are relative to (first use wins).
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// One completed span.
+#[derive(Clone, Debug)]
+pub struct SpanRecord {
+    /// The static name passed to [`span`].
+    pub name: &'static str,
+    /// Small dense id of the recording thread.
+    pub thread: u32,
+    /// Entry time in microseconds since the process epoch.
+    pub start_us: u64,
+    /// Duration in microseconds.
+    pub dur_us: u64,
+}
+
+/// A bounded ring of span records for one thread. Pushes come only from the
+/// owning thread; the mutex exists so a drain from another thread is safe,
+/// and is uncontended on the push path.
+struct Ring {
+    thread: u32,
+    records: Mutex<Vec<SpanRecord>>,
+    /// Next write position once the ring has wrapped.
+    cursor: Mutex<usize>,
+    dropped: AtomicU64,
+}
+
+impl Ring {
+    fn push(&self, record: SpanRecord) {
+        let mut records = self.records.lock().unwrap();
+        if records.len() < RING_CAPACITY {
+            records.push(record);
+        } else {
+            let mut cursor = self.cursor.lock().unwrap();
+            records[*cursor] = record;
+            *cursor = (*cursor + 1) % RING_CAPACITY;
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+fn rings() -> &'static Mutex<Vec<Arc<Ring>>> {
+    static RINGS: OnceLock<Mutex<Vec<Arc<Ring>>>> = OnceLock::new();
+    RINGS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+thread_local! {
+    static THREAD_RING: Arc<Ring> = {
+        let mut all = rings().lock().unwrap();
+        let ring = Arc::new(Ring {
+            thread: all.len() as u32,
+            records: Mutex::new(Vec::new()),
+            cursor: Mutex::new(0),
+            dropped: AtomicU64::new(0),
+        });
+        all.push(ring.clone());
+        ring
+    };
+}
+
+/// Times a scope. Bind the guard (`let _span = span("phase");`) — the span
+/// ends when the guard drops. Returns an inert guard when tracing is off.
+#[inline]
+pub fn span(name: &'static str) -> SpanGuard {
+    if !spans_enabled() {
+        return SpanGuard { name, started: None };
+    }
+    SpanGuard { name, started: Some(Instant::now()) }
+}
+
+/// Live span; records itself on drop. See [`span`].
+pub struct SpanGuard {
+    name: &'static str,
+    started: Option<Instant>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(started) = self.started else { return };
+        let start_us = started.duration_since(epoch()).as_micros() as u64;
+        let dur_us = started.elapsed().as_micros() as u64;
+        THREAD_RING.with(|ring| {
+            ring.push(SpanRecord { name: self.name, thread: ring.thread, start_us, dur_us });
+        });
+    }
+}
+
+/// Collects and clears every thread's ring, sorted by start time. The second
+/// element is the number of records lost to ring overflow since the last
+/// drain.
+pub fn drain_spans() -> (Vec<SpanRecord>, u64) {
+    let all = rings().lock().unwrap();
+    let mut collected = Vec::new();
+    let mut dropped = 0u64;
+    for ring in all.iter() {
+        let mut records = ring.records.lock().unwrap();
+        collected.append(&mut records);
+        *ring.cursor.lock().unwrap() = 0;
+        dropped += ring.dropped.swap(0, Ordering::Relaxed);
+    }
+    collected.sort_by_key(|r| r.start_us);
+    (collected, dropped)
+}
+
+/// Drains all spans as JSON lines — one object per span, in start order.
+pub fn drain_spans_jsonl() -> String {
+    let (records, dropped) = drain_spans();
+    let mut out = String::new();
+    for r in records {
+        out.push_str(&format!(
+            "{{\"name\":\"{}\",\"thread\":{},\"start_us\":{},\"dur_us\":{}}}\n",
+            r.name, r.thread, r.start_us, r.dur_us
+        ));
+    }
+    if dropped > 0 {
+        out.push_str(&format!(
+            "{{\"name\":\"_dropped\",\"thread\":0,\"start_us\":0,\"dur_us\":{dropped}}}\n"
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The enable flag and ring registry are process-global, so these tests
+    // share state with each other; each drains before asserting.
+
+    #[test]
+    fn disabled_spans_record_nothing() {
+        set_spans_enabled(false);
+        drain_spans();
+        {
+            let _s = span("quiet");
+        }
+        let (records, _) = drain_spans();
+        assert!(records.iter().all(|r| r.name != "quiet"));
+    }
+
+    #[test]
+    fn enabled_spans_are_recorded_and_drained_once() {
+        set_spans_enabled(true);
+        drain_spans();
+        {
+            let _s = span("phase_a");
+            let _inner = span("phase_b");
+        }
+        set_spans_enabled(false);
+        let (records, dropped) = drain_spans();
+        assert_eq!(dropped, 0);
+        let names: Vec<&str> = records.iter().map(|r| r.name).collect();
+        assert!(names.contains(&"phase_a"), "got {names:?}");
+        assert!(names.contains(&"phase_b"), "got {names:?}");
+        let (again, _) = drain_spans();
+        assert!(again.is_empty());
+    }
+
+    #[test]
+    fn jsonl_lines_are_parseable_objects() {
+        set_spans_enabled(true);
+        drain_spans();
+        {
+            let _s = span("jsonl_probe");
+        }
+        set_spans_enabled(false);
+        let text = drain_spans_jsonl();
+        let line = text.lines().find(|l| l.contains("jsonl_probe")).expect("probe line");
+        assert!(line.starts_with("{\"name\":\"jsonl_probe\",\"thread\":"));
+        assert!(line.contains("\"start_us\":") && line.ends_with('}'));
+    }
+
+    #[test]
+    fn rings_are_bounded() {
+        set_spans_enabled(true);
+        drain_spans();
+        for _ in 0..(RING_CAPACITY + 10) {
+            let _s = span("flood");
+        }
+        set_spans_enabled(false);
+        let (records, dropped) = drain_spans();
+        let flood = records.iter().filter(|r| r.name == "flood").count();
+        assert!(flood <= RING_CAPACITY);
+        assert!(dropped >= 10);
+    }
+}
