@@ -36,6 +36,18 @@
 //!   by design, only the wall-clock changes. Recording a serial and a
 //!   sharded snapshot on the same machine and comparing them with `--diff`
 //!   is the shard-parallel speedup measurement.
+//! * `--speculate DEPTH` runs the baskets through the optimistic shard
+//!   engine: the windowed loop with speculative windows (each shard
+//!   free-runs `DEPTH` windows past its proven bound, committing at the
+//!   barrier or rolling back and replaying on a cross-shard miss) and
+//!   cross-ACT tracker batching. Combine with `--shard-threads` to pick the
+//!   stepping-thread count (default 4). Checksums stay identical by design;
+//!   the run ends with the speculation commit/rollback counters exactly as
+//!   the `/metrics` scrape of a live service would report them, and the
+//!   totals are embedded in the snapshot. Recording a barrier
+//!   (`--shard-threads` only) and a speculative snapshot on the same machine
+//!   and comparing them with `--diff` is the optimistic-engine speedup
+//!   measurement.
 
 use comet_bench::hotpath::CellResult;
 use comet_bench::hotpath::{
@@ -79,11 +91,19 @@ struct Snapshot {
     speedup_full: Option<f64>,
     speedup_smoke: Option<f64>,
     speedup_suite: Option<f64>,
+    /// Total speculative-region commits across the run (speculative
+    /// executor only), summed over mechanisms from the telemetry registry —
+    /// the same counters a `/metrics` scrape exposes.
+    speculation_commits: Option<u64>,
+    /// Total speculative-region rollbacks across the run (speculative
+    /// executor only).
+    speculation_rollbacks: Option<u64>,
 }
 
 struct Args {
     scopes: Vec<HotpathScope>,
     shard_threads: Option<usize>,
+    speculate: Option<u64>,
     suite: bool,
     tracker: bool,
     out: Option<PathBuf>,
@@ -100,6 +120,7 @@ fn parse_args() -> Args {
     let mut args = Args {
         scopes: vec![HotpathScope::Full],
         shard_threads: None,
+        speculate: None,
         suite: false,
         tracker: false,
         out: None,
@@ -150,6 +171,16 @@ fn parse_args() -> Args {
                     }
                 };
             }
+            "--speculate" => {
+                let value = value_for(&mut it, "--speculate");
+                args.speculate = match value.parse::<u64>() {
+                    Ok(depth) if depth >= 1 => Some(depth),
+                    _ => {
+                        eprintln!("error: invalid --speculate '{value}' (window-bound multiplier >= 1)");
+                        std::process::exit(2);
+                    }
+                };
+            }
             "--max-regress" => {
                 let value = value_for(&mut it, "--max-regress");
                 args.max_regress_pct = value.parse().unwrap_or_else(|_| {
@@ -163,7 +194,7 @@ fn parse_args() -> Args {
             "--spans" => args.spans = Some(PathBuf::from(value_for(&mut it, "--spans"))),
             "help" | "--help" | "-h" => {
                 println!(
-                    "usage: perf [--cells smoke|full|all] [--shard-threads N] [--suite] [--out FILE] [--label TEXT] [--before FILE] [--spans OUT.jsonl]"
+                    "usage: perf [--cells smoke|full|all] [--shard-threads N] [--speculate DEPTH] [--suite] [--out FILE] [--label TEXT] [--before FILE] [--spans OUT.jsonl]"
                 );
                 println!("       perf --tracker [--out FILE] [--label TEXT] [--before FILE]");
                 println!("       perf --check FILE [--max-regress PCT]");
@@ -231,6 +262,8 @@ fn run_check(path: &PathBuf, max_regress_pct: f64, out: Option<&PathBuf>) -> Exi
                     speedup_full: None,
                     speedup_smoke: None,
                     speedup_suite: None,
+                    speculation_commits: None,
+                    speculation_rollbacks: None,
                 };
                 match serde_json::to_string_pretty(&snapshot) {
                     Ok(json) => {
@@ -426,6 +459,17 @@ fn geomean(speedups: &[f64]) -> Option<(f64, usize)> {
     Some((g, positive.len()))
 }
 
+/// Sums the sample values of one counter family across its label sets in a
+/// rendered metrics body (`name{mech="..."} 42` lines).
+fn metric_family_total(body: &str, name: &str) -> u64 {
+    body.lines()
+        .filter(|line| {
+            line.strip_prefix(name).is_some_and(|rest| rest.starts_with('{') || rest.starts_with(' '))
+        })
+        .filter_map(|line| line.rsplit(' ').next()?.parse::<f64>().ok())
+        .sum::<f64>() as u64
+}
+
 /// Compares two snapshots cell by cell and prints a Markdown speedup report
 /// (suitable for a terminal and for a CI job summary alike).
 fn run_diff(old_path: &PathBuf, new_path: &PathBuf) -> ExitCode {
@@ -530,6 +574,19 @@ fn run_diff(old_path: &PathBuf, new_path: &PathBuf) -> ExitCode {
             );
         }
     }
+    // Optimistic-engine snapshots carry their commit/rollback totals (the
+    // `/metrics` counter sums); surface them next to the speedup table.
+    if let (Some(commits), Some(rollbacks)) = (
+        extract_json_number(&new_text, "speculation_commits"),
+        extract_json_number(&new_text, "speculation_rollbacks"),
+    ) {
+        let total = commits + rollbacks;
+        println!();
+        println!(
+            "- speculation (after): **{commits:.0} commits, {rollbacks:.0} rollbacks**{}",
+            if total > 0.0 { format!(" ({:.1}% committed)", 100.0 * commits / total) } else { String::new() }
+        );
+    }
     match (extract_json_number(&old_text, "suite_wall_s"), extract_json_number(&new_text, "suite_wall_s")) {
         (Some(old_wall), Some(new_wall)) if new_wall > 0.0 => {
             println!();
@@ -595,17 +652,23 @@ fn run(args: &Args) -> ExitCode {
         speedup_full: None,
         speedup_smoke: None,
         speedup_suite: None,
+        speculation_commits: None,
+        speculation_rollbacks: None,
     };
-    let exec = match args.shard_threads {
-        Some(threads) => CellExec::Sharded { threads },
-        None => CellExec::Serial,
+    let exec = match (args.shard_threads, args.speculate) {
+        (threads, Some(depth)) => CellExec::Speculative { threads: threads.unwrap_or(4), depth },
+        (Some(threads), None) => CellExec::Sharded { threads },
+        (None, None) => CellExec::Serial,
     };
-    if let Some(threads) = args.shard_threads {
-        let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
-        println!(
-            "shard-parallel windowed engine: {threads} requested stepping thread(s), {} available core(s)",
-            cores
-        );
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    match exec {
+        CellExec::Speculative { threads, depth } => println!(
+            "optimistic shard engine: {threads} stepping thread(s), speculation depth {depth}, {cores} available core(s)"
+        ),
+        CellExec::Sharded { threads } => println!(
+            "shard-parallel windowed engine: {threads} requested stepping thread(s), {cores} available core(s)"
+        ),
+        CellExec::Serial => {}
     }
     for &scope in &args.scopes {
         match run_basket_with(scope, exec) {
@@ -628,6 +691,33 @@ fn run(args: &Args) -> ExitCode {
                 return ExitCode::from(2);
             }
         }
+    }
+
+    if args.speculate.is_some() {
+        // Every completed run folds its speculation tallies into the global
+        // telemetry registry — the body below is exactly what a `/metrics`
+        // scrape of a live service exposes for these families.
+        let body = comet_telemetry::global().render();
+        println!("\n### speculation counters (/metrics)");
+        println!();
+        println!("```");
+        for line in body.lines().filter(|l| l.starts_with("comet_engine_speculation")) {
+            println!("{line}");
+        }
+        println!("```");
+        let commits = metric_family_total(&body, "comet_engine_speculation_commits_total");
+        let rollbacks = metric_family_total(&body, "comet_engine_speculation_rollbacks_total");
+        let total = commits + rollbacks;
+        if total > 0 {
+            println!(
+                "\nspeculation: {commits} commits, {rollbacks} rollbacks ({:.1}% committed)",
+                100.0 * commits as f64 / total as f64
+            );
+        } else {
+            println!("\nspeculation: no regions launched (windows never shorter than the bound x depth)");
+        }
+        snapshot.speculation_commits = Some(commits);
+        snapshot.speculation_rollbacks = Some(rollbacks);
     }
 
     if args.suite {

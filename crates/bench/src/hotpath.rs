@@ -173,6 +173,31 @@ impl HotpathCell {
         )
     }
 
+    /// Runs the cell through the optimistic shard engine: the windowed loop
+    /// with speculative windows (each shard free-runs `depth` windows past
+    /// its proven bound, validated and committed — or rolled back and
+    /// replayed — at the barrier) and cross-ACT tracker batching.
+    /// Bit-identical to [`run`](Self::run) by construction; the bit-exactness
+    /// suite pins it to the same goldens.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RunnerError`] when the workload or mechanism cannot be
+    /// resolved (the fixed basket never triggers this for the built-ins).
+    pub fn run_speculative(
+        &self,
+        scope: HotpathScope,
+        threads: usize,
+        depth: u64,
+    ) -> Result<RunResult, RunnerError> {
+        self.run_on(
+            Runner::with_seed(self.sim_config(scope), HOTPATH_SEED)
+                .with_shard_threads(threads)
+                .with_speculation(depth),
+            scope,
+        )
+    }
+
     /// Runs the cell through the windowed engine with jittered window
     /// splits (the barrier-soundness test hook).
     ///
@@ -357,6 +382,15 @@ pub enum CellExec {
         /// Requested stepping threads, the simulating thread included.
         threads: usize,
     },
+    /// The optimistic shard engine: the windowed loop with speculative
+    /// windows (checkpoint/rollback past the proven bound) and cross-ACT
+    /// tracker batching.
+    Speculative {
+        /// Requested stepping threads, the simulating thread included.
+        threads: usize,
+        /// Window-bound multiplier each speculative region free-runs to.
+        depth: u64,
+    },
 }
 
 /// Runs every cell of the `scope` basket serially (perf numbers must not be
@@ -419,6 +453,7 @@ pub fn run_cells_with(
         let run = match exec {
             CellExec::Serial => cell.run(scope)?,
             CellExec::Sharded { threads } => cell.run_sharded(scope, threads)?,
+            CellExec::Speculative { threads, depth } => cell.run_speculative(scope, threads, depth)?,
         };
         let wall_s = cell_start.elapsed().as_secs_f64();
         let accesses = run.controller.reads_completed + run.controller.writes_completed;

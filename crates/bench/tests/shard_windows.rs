@@ -16,6 +16,15 @@
 //! the committed golden checksums on the perf basket) this is the
 //! randomized-interleaving layer of the shard-parallel proof, mirroring what
 //! `fcfs_interleavings.rs` does for the per-bank scheduler.
+//!
+//! The optimistic engine — speculative windows with checkpoint/rollback plus
+//! cross-ACT tracker batching — extends the same argument: a speculated
+//! region either validates at the barrier (no cross-shard core-visible event
+//! landed inside it) and commits, or the offending shard rolls back to its
+//! checkpoint and replays conservatively. Either way the result must be
+//! bit-identical to the serial loop, so the properties below add randomized
+//! speculation depths to the jittered-window matrix and force the rollback
+//! path deterministically.
 
 use comet_bench::hotpath::stats_checksum;
 use comet_sim::{LoopMode, MechanismKind, RunResult, Runner, SimConfig};
@@ -93,6 +102,100 @@ proptest! {
             mechanism
         );
     }
+}
+
+proptest! {
+    /// The optimistic engine must match the serial loop bit-exactly under
+    /// randomized speculation depths stacked on jittered window splits and
+    /// random thread counts — commit and rollback paths alike.
+    #[test]
+    fn speculative_jittered_runs_match_serial_bit_exactly(
+        jitter_seed in any::<u64>(),
+        depth in 2u64..65,
+        channel_sel in 0u8..2,
+        threads in 1usize..5,
+        mech_sel in 0u8..2,
+    ) {
+        let channels = if channel_sel == 0 { 2 } else { 4 };
+        let (mechanism, nrh) = if mech_sel == 0 {
+            (MechanismKind::Comet, 250)
+        } else {
+            (MechanismKind::Baseline, 250)
+        };
+        let runner = Runner::with_seed(config(channels), SEED)
+            .with_shard_threads(threads)
+            .with_window_jitter(jitter_seed)
+            .with_speculation(depth);
+        let speculative = stats_checksum(&run_cell(&runner, mechanism, nrh));
+        prop_assert_eq!(
+            speculative,
+            reference(channels, mechanism, nrh),
+            "jitter seed {:#x}, depth {}, {} channels, {} threads, {:?} diverged from the serial loop",
+            jitter_seed,
+            depth,
+            channels,
+            threads,
+            mechanism
+        );
+    }
+}
+
+/// The production speculative configuration (no jitter) must match the
+/// serial loop over the whole depth × thread grid — and across the sweep the
+/// rollback path must actually fire, otherwise the grid only ever exercises
+/// the commit path and proves half the engine.
+#[test]
+fn speculative_engine_matches_serial_across_the_grid_and_rolls_back() {
+    let mut regions = 0u64;
+    let mut commits = 0u64;
+    let mut rollbacks = 0u64;
+    for channels in [1usize, 2, 4] {
+        let serial = reference(channels, MechanismKind::Comet, 250);
+        for threads in [1usize, 2, 4] {
+            for depth in [2u64, 8, 64] {
+                let runner = Runner::with_seed(config(channels), SEED)
+                    .with_shard_threads(threads)
+                    .with_speculation(depth);
+                let result = run_cell(&runner, MechanismKind::Comet, 250);
+                assert_eq!(
+                    stats_checksum(&result),
+                    serial,
+                    "{channels} channels, {threads} threads, depth {depth}"
+                );
+                regions += result.engine.speculation_regions;
+                commits += result.engine.speculation_commits;
+                rollbacks += result.engine.speculation_rollbacks;
+            }
+        }
+    }
+    assert!(regions > 0, "the sweep must launch speculative regions");
+    assert!(commits > 0, "the sweep must commit speculations");
+    assert!(rollbacks > 0, "the sweep must force the rollback path");
+}
+
+/// A forced rollback must restore tracker state exactly: after a speculative
+/// run whose rollback counter fired, every named tracker counter must equal
+/// the serial run's bit-for-bit — not just the aggregate checksum.
+#[test]
+fn forced_rollbacks_restore_tracker_named_counts_exactly() {
+    let channels = 2;
+    let serial = {
+        let runner = Runner::with_seed(config(channels), SEED).with_loop_mode(LoopMode::EventDriven);
+        run_cell(&runner, MechanismKind::Comet, 250)
+    };
+    let speculative = {
+        let runner = Runner::with_seed(config(channels), SEED).with_shard_threads(2).with_speculation(64);
+        run_cell(&runner, MechanismKind::Comet, 250)
+    };
+    assert!(
+        speculative.engine.speculation_rollbacks > 0,
+        "depth 64 on the two-channel attack cell must force rollbacks, or this test proves nothing"
+    );
+    assert_eq!(
+        speculative.mitigation.named_counts(),
+        serial.mitigation.named_counts(),
+        "a rolled-back shard must replay to the exact tracker state of the serial loop"
+    );
 }
 
 /// The windowed engine without jitter (the production configuration) must

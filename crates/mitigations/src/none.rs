@@ -21,8 +21,15 @@ impl NoMitigation {
 }
 
 impl RowHammerMitigation for NoMitigation {
+    crate::impl_mitigation_checkpoint!(NoMitigation);
+
     fn name(&self) -> &str {
         "Baseline"
+    }
+
+    fn quiescent_activations(&self) -> u64 {
+        // Never reacts: any number of activations may be deferred and batched.
+        u64::MAX
     }
 
     fn on_activation(&mut self, _addr: &DramAddr, _now: Cycle, weight: u64) -> MitigationResponse {

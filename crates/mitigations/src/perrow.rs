@@ -19,6 +19,10 @@ pub struct PerRowCounters {
     next_reset: Cycle,
     geometry: DramGeometry,
     counters: HashMap<(usize, usize), u64>,
+    /// Upper bound on the largest live counter value (stale-high after a
+    /// trigger zeroes a counter, reset with the window). Only used to answer
+    /// [`RowHammerMitigation::quiescent_activations`]; never affects decisions.
+    max_count: u64,
     stats: MitigationStats,
 }
 
@@ -33,6 +37,7 @@ impl PerRowCounters {
             next_reset: timing.t_refw,
             geometry,
             counters: HashMap::new(),
+            max_count: 0,
             stats: MitigationStats::default(),
         }
     }
@@ -51,6 +56,7 @@ impl PerRowCounters {
     fn maybe_reset(&mut self, now: Cycle) {
         if now >= self.next_reset {
             self.counters.clear();
+            self.max_count = 0;
             self.stats.periodic_resets += 1;
             while self.next_reset <= now {
                 self.next_reset += self.reset_period;
@@ -60,6 +66,8 @@ impl PerRowCounters {
 }
 
 impl RowHammerMitigation for PerRowCounters {
+    crate::impl_mitigation_checkpoint!(PerRowCounters);
+
     fn name(&self) -> &str {
         "PerRow"
     }
@@ -77,8 +85,16 @@ impl RowHammerMitigation for PerRowCounters {
             self.stats.preventive_refreshes += victims.len() as u64;
             MitigationResponse::refresh(victims)
         } else {
+            self.max_count = self.max_count.max(*counter);
             MitigationResponse::none()
         }
+    }
+
+    fn quiescent_activations(&self) -> u64 {
+        // Even if every deferred activation lands on the hottest row, its
+        // counter stays below the prevention threshold as long as the batch
+        // weight fits in the remaining headroom.
+        self.prevention_threshold.saturating_sub(1).saturating_sub(self.max_count)
     }
 
     fn on_tick(&mut self, now: Cycle) {

@@ -63,8 +63,16 @@ impl Rega {
 }
 
 impl RowHammerMitigation for Rega {
+    crate::impl_mitigation_checkpoint!(Rega);
+
     fn name(&self) -> &str {
         "REGA"
+    }
+
+    fn quiescent_activations(&self) -> u64 {
+        // The per-ACT latency penalty is reported through `act_latency_penalty`,
+        // not the response, so every response is a nop regardless of state.
+        u64::MAX
     }
 
     fn on_activation(&mut self, _addr: &DramAddr, _now: Cycle, weight: u64) -> MitigationResponse {

@@ -148,6 +148,78 @@ pub trait RowHammerMitigation: Send {
     fn telemetry_gauges(&self) -> Vec<(&'static str, f64)> {
         Vec::new()
     }
+
+    /// An activation *weight budget* the mechanism guarantees to absorb
+    /// without any observable reaction, given its current state.
+    ///
+    /// If the next activations notified to the mechanism carry a total weight
+    /// of at most this value, then — barring an intervening periodic boundary
+    /// ([`next_tick_deadline`](Self::next_tick_deadline)), rank refresh, or
+    /// periodic refresh, all of which invalidate the promise — every one of
+    /// those [`on_activation`](Self::on_activation) calls would return a
+    /// [nop](MitigationResponse::is_nop) response. The memory controller uses
+    /// this *quiescent credit* to defer activation notifications and deliver
+    /// them later as one [`on_activations`](Self::on_activations) batch: the
+    /// deferred calls replay with their original cycles, so mechanism state
+    /// and statistics come out bit-identical, only the call arity changes.
+    ///
+    /// The default of `0` opts out (every activation is delivered
+    /// immediately), which is always sound. Overriding mechanisms must be
+    /// conservative: the credit is a *proof*, and an overrun — a deferred
+    /// activation whose replayed response is not a nop — is a simulator bug
+    /// (the controller `debug_assert`s it). The method may scan internal
+    /// tables; it is called once per batch refill, not per activation.
+    fn quiescent_activations(&self) -> u64 {
+        0
+    }
+
+    /// Clones the mechanism into a boxed trait object — the snapshot half of
+    /// the speculative engine's checkpoint/restore seam (and what lets a
+    /// controller shard be checkpointed wholesale). Implemented for every
+    /// mechanism by [`impl_mitigation_checkpoint!`](crate::impl_mitigation_checkpoint).
+    fn checkpoint(&self) -> Box<dyn RowHammerMitigation>;
+
+    /// Restores the mechanism to a state previously captured by
+    /// [`checkpoint`](Self::checkpoint). Panics if `checkpoint` holds a
+    /// different concrete mechanism type: checkpoints never travel between
+    /// mechanisms, so a mismatch is a simulator bug, not a recoverable error.
+    fn restore(&mut self, checkpoint: &dyn RowHammerMitigation);
+
+    /// The mechanism as [`Any`](std::any::Any), so
+    /// [`restore`](Self::restore) can downcast a checkpoint back to the
+    /// concrete type.
+    fn as_any(&self) -> &dyn std::any::Any;
+}
+
+/// Implements the [`RowHammerMitigation`] checkpoint/restore seam
+/// (`checkpoint` / `restore` / `as_any`) for a `Clone + 'static` mechanism.
+/// Invoke *inside* the mechanism's `impl RowHammerMitigation for …` block:
+///
+/// ```rust,ignore
+/// impl RowHammerMitigation for PerRowCounters {
+///     comet_mitigations::impl_mitigation_checkpoint!(PerRowCounters);
+///     // … the mechanism-specific methods …
+/// }
+/// ```
+#[macro_export]
+macro_rules! impl_mitigation_checkpoint {
+    ($mechanism:ty) => {
+        fn checkpoint(&self) -> ::std::boxed::Box<dyn $crate::RowHammerMitigation> {
+            ::std::boxed::Box::new(::std::clone::Clone::clone(self))
+        }
+
+        fn restore(&mut self, checkpoint: &dyn $crate::RowHammerMitigation) {
+            let snapshot = checkpoint
+                .as_any()
+                .downcast_ref::<$mechanism>()
+                .expect(concat!("checkpoint is not a ", stringify!($mechanism)));
+            ::std::clone::Clone::clone_from(self, snapshot);
+        }
+
+        fn as_any(&self) -> &dyn ::std::any::Any {
+            self
+        }
+    };
 }
 
 /// Builds one independent mitigation instance per memory-channel shard.

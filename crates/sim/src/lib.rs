@@ -47,6 +47,7 @@ pub mod registry;
 pub mod request;
 pub mod runner;
 pub mod shardpool;
+pub(crate) mod speculate;
 pub mod system;
 pub mod telemetry;
 

@@ -14,7 +14,8 @@
 
 use crate::controller::{ControllerConfig, ControllerStats, MemoryController};
 use crate::request::{CompletedRead, MemRequest};
-use crate::shardpool::ShardPool;
+use crate::shardpool::{free_run_shard, ShardPool};
+use crate::speculate::ShardSpeculation;
 use comet_dram::{ChannelStats, Cycle, DramAddr, DramConfig, EnergyCounters};
 use comet_mitigations::{MitigationFactory, MitigationStats};
 
@@ -170,6 +171,87 @@ impl MemorySystem {
     /// shard's progress.
     pub fn shard_next_event(&self, channel: usize) -> Cycle {
         self.next_event[channel]
+    }
+
+    /// Enables or disables cross-ACT batching on every shard. Execution
+    /// policy only — results stay bit-exact either way.
+    pub fn set_act_batching(&mut self, enabled: bool) {
+        for shard in &mut self.shards {
+            shard.set_act_batching(enabled);
+        }
+    }
+
+    /// Delivers every shard's deferred activation batch. Must run before any
+    /// statistics snapshot (warmup boundary, run end) so deferred
+    /// notifications are reflected in the mechanism's counters.
+    pub fn flush_act_batches(&mut self) {
+        for shard in &mut self.shards {
+            shard.flush_act_batch();
+        }
+    }
+
+    /// Launches a speculative region: checkpoints every shard, enables
+    /// timeline recording, and free-runs them all to the speculated horizon
+    /// `spec` in one pool fan-out. Returns the per-channel speculation
+    /// records; the shards themselves are left holding the speculated state
+    /// with cached next-event times `>= spec` (so `step_until` windows
+    /// inside the region never re-step them).
+    pub(crate) fn speculate(
+        &mut self,
+        start: Cycle,
+        spec: Cycle,
+        pool: &ShardPool,
+    ) -> Vec<Option<ShardSpeculation>> {
+        debug_assert!(spec > start, "speculated horizon must extend past the barrier");
+        let mut checkpoints = Vec::with_capacity(self.shards.len());
+        for shard in &mut self.shards {
+            checkpoints.push(shard.checkpoint());
+            shard.start_recording();
+        }
+        let base_cached = self.next_event.clone();
+        self.due_scratch.clear();
+        for (index, &next) in self.next_event.iter().enumerate() {
+            if next < spec {
+                self.due_scratch.push(index as u16);
+            }
+        }
+        pool.step(&mut self.shards, &mut self.next_event, &self.due_scratch, start, spec);
+        self.shards
+            .iter_mut()
+            .zip(checkpoints)
+            .zip(&base_cached)
+            .zip(&self.next_event)
+            .map(|(((shard, checkpoint), &cached), &final_due)| {
+                Some(ShardSpeculation::harvest(shard, checkpoint, cached, final_due))
+            })
+            .collect()
+    }
+
+    /// Rolls one speculated shard back to its checkpoint and replays it
+    /// conservatively through `[start, now)` — the exact tick chain the
+    /// speculation executed, since no enqueue reached the shard in that
+    /// span. The replay regenerates the completions already delivered to
+    /// the cores from the speculation's buffer; they are discarded here
+    /// (debug builds assert they match the delivered prefix bit-for-bit).
+    pub(crate) fn rollback_shard(
+        &mut self,
+        channel: usize,
+        speculation: ShardSpeculation,
+        start: Cycle,
+        now: Cycle,
+    ) {
+        let (checkpoint, base_cached, completions, delivered) = speculation.into_rollback_parts();
+        let shard = &mut self.shards[channel];
+        shard.restore(checkpoint);
+        self.next_event[channel] = free_run_shard(shard, base_cached, start, now);
+        let mut replayed = Vec::new();
+        shard.drain_completions_into(&mut replayed);
+        debug_assert_eq!(
+            replayed.as_slice(),
+            &completions[..delivered],
+            "conservative replay diverged from the speculated timeline"
+        );
+        let _ = (replayed, completions, delivered);
     }
 
     /// Drains the reads completed since the last call, in channel order.

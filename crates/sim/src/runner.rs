@@ -165,6 +165,11 @@ pub struct Runner {
     /// Window-jitter seed for the barrier-soundness tests (`None` in normal
     /// operation). Also pure execution policy.
     window_jitter: Option<u64>,
+    /// Speculation depth multiplier for the optimistic shard engine
+    /// (`None` keeps the conservative barrier loop). Pure execution policy:
+    /// speculative runs are bit-identical to serial ones, so this too stays
+    /// out of the experiment service's cache key.
+    speculation: Option<u64>,
 }
 
 impl Runner {
@@ -189,6 +194,7 @@ impl Runner {
             loop_mode: LoopMode::default(),
             shard_threads: None,
             window_jitter: None,
+            speculation: None,
         }
     }
 
@@ -219,6 +225,17 @@ impl Runner {
     /// test hook. Implies the windowed loop even at one thread.
     pub fn with_window_jitter(mut self, seed: u64) -> Self {
         self.window_jitter = Some(seed);
+        self
+    }
+
+    /// Lets the windowed engine speculate `depth` proven windows ahead with
+    /// per-shard checkpoint/rollback, and batches provably-independent
+    /// activation notifications across the speculated span (builder style).
+    /// Implies the windowed loop even at one thread. Results are
+    /// bit-identical to the serial loop for every depth — execution policy,
+    /// never cell identity. Ignored under [`LoopMode::DenseReference`].
+    pub fn with_speculation(mut self, depth: u64) -> Self {
+        self.speculation = Some(depth.max(1));
         self
     }
 
@@ -276,15 +293,21 @@ impl Runner {
         let config = self.validated_config()?.clone();
         let factory = self.registry.factory(kind, nrh, &config.dram, self.seed)?;
         let system = System::new(config, traces, &factory);
-        Ok(match (self.loop_mode, self.window_jitter, self.shard_threads) {
+        Ok(match (self.loop_mode, self.window_jitter, self.shard_threads, self.speculation) {
             // The dense reference loop is the serial oracle; it never runs
-            // windowed or sharded.
-            (LoopMode::DenseReference, _, _) => system.run_with_mode(label, self.loop_mode),
-            (LoopMode::EventDriven, Some(seed), threads) => {
+            // windowed, sharded, or speculative.
+            (LoopMode::DenseReference, _, _, _) => system.run_with_mode(label, self.loop_mode),
+            (LoopMode::EventDriven, Some(seed), threads, Some(depth)) => {
+                system.run_sharded_jittered_speculative(label, threads.unwrap_or(1), seed, depth)
+            }
+            (LoopMode::EventDriven, Some(seed), threads, None) => {
                 system.run_sharded_jittered(label, threads.unwrap_or(1), seed)
             }
-            (LoopMode::EventDriven, None, Some(threads)) => system.run_sharded(label, threads),
-            (LoopMode::EventDriven, None, None) => system.run_with_mode(label, self.loop_mode),
+            (LoopMode::EventDriven, None, threads, Some(depth)) => {
+                system.run_sharded_speculative(label, threads.unwrap_or(1), depth)
+            }
+            (LoopMode::EventDriven, None, Some(threads), None) => system.run_sharded(label, threads),
+            (LoopMode::EventDriven, None, None, None) => system.run_with_mode(label, self.loop_mode),
         })
     }
 

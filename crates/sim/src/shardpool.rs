@@ -31,7 +31,6 @@ use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
 
 /// Free-runs one shard through all of its own events inside `[start, until)`.
 ///
@@ -261,10 +260,13 @@ fn worker_loop(shared: &PoolShared) {
     let mut seen = 0u64;
     loop {
         // Wait for a new job generation: spin briefly (windows arrive every
-        // few microseconds in a busy simulation), then park. The
-        // coordinator's unconditional unpark after each generation bump
-        // makes the park race-free (a pre-park unpark leaves the token set,
-        // so the park returns immediately); the timeout is pure insurance.
+        // few microseconds in a busy simulation), then park on the thread's
+        // token. The handshake is race-free without any timeout: the
+        // coordinator always re-checks-and-unparks *after* the generation
+        // bump, so either this thread observes the new generation before
+        // parking, or the unpark happened first and left the token set —
+        // in which case `park` returns immediately. A timed park here would
+        // paper over (and hide) any wakeup hole as a periodic stall.
         let mut spins = 0u32;
         loop {
             let generation = shared.generation.load(Ordering::Acquire);
@@ -280,7 +282,7 @@ fn worker_loop(shared: &PoolShared) {
                 // the coordinator instead of spinning out its quantum.
                 std::thread::yield_now();
             } else {
-                std::thread::park_timeout(Duration::from_millis(1));
+                std::thread::park();
             }
         }
         if shared.shutdown.load(Ordering::Relaxed) {
@@ -358,6 +360,32 @@ mod tests {
         pool.step(&mut shards, &mut next, &[0], 0, 10_000);
         assert!(next[0] >= 10_000);
         assert!(shards[0].stats().reads_completed > 0);
+    }
+
+    /// Forces every job to find the workers parked: the coordinator sleeps
+    /// far past the spin/yield budget between jobs, so each single-cycle
+    /// window must wake the workers through the park/unpark handshake. A
+    /// lost wakeup hangs this test (`park()` has no timeout to paper over
+    /// the hole), which is exactly the regression it pins.
+    #[test]
+    fn parked_workers_wake_for_every_job() {
+        let pool = ShardPool::new_unclamped(3);
+        let mut shards: Vec<MemoryController> = (0..3).map(|_| controller()).collect();
+        for shard in &mut shards {
+            load(shard, 2);
+        }
+        let mut next = vec![0u64; 3];
+        let due: Vec<u16> = (0..3u16).collect();
+        let mut now = 0u64;
+        for _ in 0..20 {
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            pool.step(&mut shards, &mut next, &due, now, now + 1);
+            now += 1;
+        }
+        pool.step(&mut shards, &mut next, &due, now, now + 1_000_000);
+        for shard in &mut shards {
+            assert_eq!(shard.stats().reads_completed, 2);
+        }
     }
 
     #[test]

@@ -1,0 +1,271 @@
+//! Optimistic shard execution: speculative regions with checkpoint/rollback.
+//!
+//! The shard-parallel loop in [`crate::system`] free-runs the channel shards
+//! only up to the *proven* window bound — the earliest cycle at which any
+//! core could next observe or influence the memory system. Those windows are
+//! often tiny (a blocked core's wake hint), so barrier overhead dominates.
+//! The optimistic engine speculates past the bound: at a barrier it
+//! checkpoints every shard (cheap controller + mitigation state through the
+//! [`checkpoint`](crate::controller::MemoryController::checkpoint) seam),
+//! enables timeline recording, and free-runs all shards a configured
+//! multiplier beyond the proven window in **one** pool fan-out.
+//!
+//! While the region is live, the coordinator still walks core time
+//! barrier-by-barrier, but answers every core-visible question from the
+//! recorded timelines instead of stepping shards:
+//!
+//! * *Completions* are delivered once their column command's recorded issue
+//!   cycle lies before the barrier — exactly when the conservative loop's
+//!   barrier drain would have surfaced them.
+//! * *Blocked-core hints* (`shard_next_event`) are answered by binary search
+//!   over the recorded tick chain, which — absent enqueues — is precisely
+//!   the chain the conservative loop would have cached.
+//! * *Queue admission* (`can_accept`) is answered from the checkpoint
+//!   occupancy minus the recorded dequeues before the barrier.
+//!
+//! The **only** way a core can invalidate a speculated shard is to enqueue a
+//! request into it: the shard's free-run assumed no mid-region arrivals. On
+//! that event the engine rolls the one offending shard back to its
+//! checkpoint, replays it conservatively up to the barrier (bit-exact: the
+//! tick chain is a pure function of shard state between enqueues), discards
+//! the replayed duplicate completions, and lets the enqueue proceed against
+//! live state. All other shards keep their speculation. When the barrier
+//! clock reaches the speculated horizon with a shard's speculation intact,
+//! that speculation *commits* — its free-run state simply becomes the live
+//! state, having skipped every intermediate barrier.
+//!
+//! Bit-exactness is non-negotiable and pinned by the golden checksums in
+//! `crates/bench/tests/bitexact_hotpath.rs` plus the speculation proptests
+//! in `crates/bench/tests/shard_windows.rs`.
+
+use crate::controller::{ControllerTrace, MemoryController};
+use crate::memory::{MemorySink, MemorySystem};
+use crate::metrics::{EngineTelemetry, SPEC_DEPTH_BOUNDS};
+use crate::request::{CompletedRead, MemRequest};
+use comet_dram::{Cycle, DramAddr};
+
+/// One shard's speculative execution state: the pre-region checkpoint, the
+/// recorded timeline of the free-run, and the completions it produced.
+pub(crate) struct ShardSpeculation {
+    /// Full controller snapshot at region start (restored on rollback).
+    checkpoint: Box<MemoryController>,
+    /// The shard's cached next-event time at region start (replay resumes
+    /// the tick chain from here).
+    base_cached: Cycle,
+    /// Recorded tick and dequeue cycles of the free-run.
+    trace: ControllerTrace,
+    /// Reads completed during the free-run, in issue order. Entry `i`'s
+    /// column command issued at `trace.read_dequeues[i]`.
+    completions: Vec<CompletedRead>,
+    /// Prefix of `completions` already delivered to the cores.
+    delivered: usize,
+    /// Demand reads queued at region start.
+    base_reads: usize,
+    /// Demand writes queued at region start.
+    base_writes: usize,
+    /// Read-queue capacity.
+    read_cap: usize,
+    /// Write-queue capacity.
+    write_cap: usize,
+    /// The shard's due cycle after the free-run (`>=` the region horizon).
+    final_due: Cycle,
+}
+
+impl ShardSpeculation {
+    /// Builds the speculation record for one shard after its free-run.
+    /// `checkpoint` carries the region-start state, the shard itself holds
+    /// the speculated (post-free-run) state.
+    pub(crate) fn harvest(
+        shard: &mut MemoryController,
+        checkpoint: Box<MemoryController>,
+        base_cached: Cycle,
+        final_due: Cycle,
+    ) -> Self {
+        let trace = shard.take_recording();
+        let completions = shard.take_completions();
+        debug_assert_eq!(
+            completions.len(),
+            trace.read_dequeues.len(),
+            "every recorded read dequeue must have produced exactly one completion"
+        );
+        ShardSpeculation {
+            base_reads: checkpoint.queued_reads(),
+            base_writes: checkpoint.queued_writes(),
+            read_cap: checkpoint.read_queue_capacity(),
+            write_cap: checkpoint.write_queue_capacity(),
+            checkpoint,
+            base_cached,
+            trace,
+            completions,
+            delivered: 0,
+            final_due,
+        }
+    }
+
+    /// Queue occupancy the conservative loop would observe at barrier `t`:
+    /// the region-start occupancy minus the dequeues recorded strictly
+    /// before `t` (the barrier's core advances run before any shard tick at
+    /// `t`). No enqueue can have landed mid-region — that is the rollback
+    /// trigger — so dequeues are the only delta.
+    fn occupancy(&self, is_write: bool, t: Cycle) -> usize {
+        let (base, dequeues) = if is_write {
+            (self.base_writes, &self.trace.write_dequeues)
+        } else {
+            (self.base_reads, &self.trace.read_dequeues)
+        };
+        base - dequeues.partition_point(|&c| c < t)
+    }
+
+    /// Whether the queue for `is_write` requests has room at barrier `t`.
+    fn can_accept(&self, is_write: bool, t: Cycle) -> bool {
+        let cap = if is_write { self.write_cap } else { self.read_cap };
+        self.occupancy(is_write, t) < cap
+    }
+
+    /// The cached next-event time the conservative loop would hold at
+    /// barrier `t`: the first recorded tick cycle `>= t`, or the post-region
+    /// due cycle once the chain is exhausted.
+    fn next_event_at(&self, t: Cycle) -> Cycle {
+        let index = self.trace.ticks.partition_point(|&c| c < t);
+        self.trace.ticks.get(index).copied().unwrap_or(self.final_due)
+    }
+
+    /// Decomposes the speculation for a rollback: the checkpoint to restore,
+    /// the cached next-event time to replay from, and the completion buffer
+    /// with its delivered-prefix length (for the replay-equality check).
+    pub(crate) fn into_rollback_parts(self) -> (Box<MemoryController>, Cycle, Vec<CompletedRead>, usize) {
+        (self.checkpoint, self.base_cached, self.completions, self.delivered)
+    }
+
+    /// Appends the completions whose column command issued strictly before
+    /// barrier `t` — the ones the conservative barrier drain would surface.
+    fn drain_into(&mut self, t: Cycle, out: &mut Vec<CompletedRead>) {
+        while self.delivered < self.completions.len() && self.trace.read_dequeues[self.delivered] < t {
+            out.push(self.completions[self.delivered]);
+            self.delivered += 1;
+        }
+    }
+}
+
+/// One live speculative region `[start, spec)` covering every channel shard.
+pub(crate) struct SpecRegion {
+    /// Barrier cycle the region launched at.
+    pub(crate) start: Cycle,
+    /// Speculated horizon (exclusive): the region commits when the barrier
+    /// clock reaches it.
+    pub(crate) spec: Cycle,
+    /// Per-channel speculation state; `None` once a shard rolled back.
+    shards: Vec<Option<ShardSpeculation>>,
+    /// Barrier windows covered while the region was live (depth histogram).
+    pub(crate) windows: u64,
+    /// Shards rolled back inside this region.
+    rollbacks: u64,
+}
+
+impl SpecRegion {
+    pub(crate) fn new(start: Cycle, spec: Cycle, shards: Vec<Option<ShardSpeculation>>) -> Self {
+        SpecRegion { start, spec, shards, windows: 0, rollbacks: 0 }
+    }
+
+    /// Whether `channel`'s shard is still running on speculated state.
+    fn is_speculated(&self, channel: usize) -> bool {
+        self.shards[channel].is_some()
+    }
+
+    /// Appends every speculated shard's due completions at barrier `t`.
+    pub(crate) fn drain_completions_into(&mut self, t: Cycle, out: &mut Vec<CompletedRead>) {
+        for shard in self.shards.iter_mut().flatten() {
+            shard.drain_into(t, out);
+        }
+    }
+
+    /// Rolls `channel` back to its checkpoint and replays it conservatively
+    /// up to barrier `now`. The replayed tick chain is identical to the
+    /// speculated prefix (no enqueue reached the shard in `[start, now)`),
+    /// so the duplicate completions it regenerates — exactly the prefix
+    /// already delivered to the cores — are discarded.
+    fn rollback(&mut self, memory: &mut MemorySystem, channel: usize, now: Cycle) {
+        let _span = comet_telemetry::span("sim.window.rollback");
+        let speculation = self.shards[channel].take().expect("rollback of a live shard");
+        memory.rollback_shard(channel, speculation, self.start, now);
+        self.rollbacks += 1;
+    }
+
+    /// Whether any shard of this region rolled back — the launch-gate signal
+    /// for the windowed loop's adaptive holdoff.
+    pub(crate) fn rolled_back(&self) -> bool {
+        self.rollbacks > 0
+    }
+
+    /// Folds the region's outcome into the run telemetry when it ends —
+    /// commit at the horizon or loop exit. Shards still holding their
+    /// speculation count as commits.
+    pub(crate) fn finish(self, engine: &mut EngineTelemetry) {
+        let committed = self.shards.iter().filter(|s| s.is_some()).count() as u64;
+        engine.speculation_commits += committed;
+        engine.speculation_rollbacks += self.rollbacks;
+        engine.speculation_depth_sum += self.windows;
+        let bucket = SPEC_DEPTH_BOUNDS
+            .iter()
+            .position(|&b| self.windows as f64 <= b)
+            .unwrap_or(SPEC_DEPTH_BOUNDS.len());
+        engine.speculation_depth_bucket_counts[bucket] += 1;
+    }
+
+    /// Asserts every buffered completion was delivered (commit invariant:
+    /// the committing barrier's drain at `t >= spec` covers all of them).
+    pub(crate) fn debug_assert_fully_delivered(&self) {
+        debug_assert!(
+            self.shards.iter().flatten().all(|s| s.delivered == s.completions.len()),
+            "committing a region with undelivered speculated completions"
+        );
+    }
+}
+
+/// The memory sink the cores see while the windowed loop runs. With no live
+/// region it is a transparent pass-through to the [`MemorySystem`]; with one,
+/// speculated shards answer admission from their recorded timelines and an
+/// enqueue into a speculated shard triggers that shard's rollback.
+pub(crate) struct SpecSink<'a> {
+    pub(crate) memory: &'a mut MemorySystem,
+    pub(crate) region: Option<&'a mut SpecRegion>,
+    /// The current barrier cycle.
+    pub(crate) now: Cycle,
+}
+
+impl SpecSink<'_> {
+    /// The cached next-event bound for `channel` — recorded-chain answer for
+    /// speculated shards, live cache otherwise. Used for blocked-core hints.
+    pub(crate) fn shard_next_event(&self, channel: usize) -> Cycle {
+        if let Some(region) = &self.region {
+            if let Some(speculation) = &region.shards[channel] {
+                return speculation.next_event_at(self.now);
+            }
+        }
+        self.memory.shard_next_event(channel)
+    }
+}
+
+impl MemorySink for SpecSink<'_> {
+    fn can_accept(&self, addr: &DramAddr, is_write: bool) -> bool {
+        if let Some(region) = &self.region {
+            if let Some(speculation) = &region.shards[addr.channel] {
+                return speculation.can_accept(is_write, self.now);
+            }
+        }
+        self.memory.can_accept(addr, is_write)
+    }
+
+    fn enqueue(&mut self, request: MemRequest) -> bool {
+        let channel = request.addr.channel;
+        if let Some(region) = self.region.as_deref_mut() {
+            if region.is_speculated(channel) {
+                // A core-visible event landed inside the speculated window:
+                // the speculation miss. Replay this shard conservatively,
+                // then deliver the enqueue against live state.
+                region.rollback(self.memory, channel, self.now);
+            }
+        }
+        self.memory.enqueue(request)
+    }
+}

@@ -3,8 +3,9 @@
 use crate::controller::{ControllerConfig, ControllerStats};
 use crate::cpu::{CoreConfig, TraceCore};
 use crate::memory::MemorySystem;
-use crate::metrics::{EngineTelemetry, RunResult, WINDOW_CYCLES_BOUNDS};
+use crate::metrics::{EngineTelemetry, RunResult, SPEC_DEPTH_BOUNDS, WINDOW_CYCLES_BOUNDS};
 use crate::shardpool::ShardPool;
+use crate::speculate::{SpecRegion, SpecSink};
 use comet_dram::{ChannelStats, Cycle, DramConfig, EnergyCounters};
 use comet_mitigations::{MitigationFactory, MitigationStats};
 use comet_trace::TraceSource;
@@ -336,7 +337,30 @@ impl System {
     /// serial loop would have performed. `threads == 1` runs the same
     /// windowed loop without worker threads.
     pub fn run_sharded(self, label: impl Into<String>, threads: usize) -> RunResult {
-        self.run_windowed(label.into(), threads, None)
+        self.run_windowed(label.into(), threads, None, None)
+    }
+
+    /// [`run_sharded`](Self::run_sharded) with the optimistic engine on:
+    /// each barrier may launch a speculative region extending `depth` times
+    /// the proven window, validated (and committed or rolled back per shard)
+    /// as the barrier clock catches up. Results are bit-identical to
+    /// [`run`](Self::run) for every `depth` and thread count; see
+    /// [`crate::speculate`] for the argument.
+    pub fn run_sharded_speculative(self, label: impl Into<String>, threads: usize, depth: u64) -> RunResult {
+        self.run_windowed(label.into(), threads, None, Some(depth.max(1)))
+    }
+
+    /// [`run_sharded_speculative`](Self::run_sharded_speculative) with
+    /// jittered window splits — the combined test hook: randomized barrier
+    /// placement *and* speculative regions must still be bit-exact.
+    pub fn run_sharded_jittered_speculative(
+        self,
+        label: impl Into<String>,
+        threads: usize,
+        seed: u64,
+        depth: u64,
+    ) -> RunResult {
+        self.run_windowed(label.into(), threads, Some(seed), Some(depth.max(1)))
     }
 
     /// [`run_sharded`](Self::run_sharded) with every free-running window
@@ -346,7 +370,7 @@ impl System {
     /// bit-identical for every seed; the proptests in
     /// `crates/bench/tests/shard_windows.rs` assert exactly that.
     pub fn run_sharded_jittered(self, label: impl Into<String>, threads: usize, seed: u64) -> RunResult {
-        self.run_windowed(label.into(), threads, Some(seed))
+        self.run_windowed(label.into(), threads, Some(seed), None)
     }
 
     /// The shard-parallel (windowed) simulation loop.
@@ -375,7 +399,19 @@ impl System {
     ///   exactly the cycles the serial loop would have ticked it at, and
     ///   shards share no state, so stepping them on worker threads cannot
     ///   reorder anything observable.
-    fn run_windowed(mut self, label: String, threads: usize, jitter: Option<u64>) -> RunResult {
+    ///
+    /// With `speculate = Some(depth)` the optimistic engine is on: a barrier
+    /// may launch a speculative region free-running every shard `depth`
+    /// times the proven window ahead (see [`crate::speculate`] for why the
+    /// recorded-timeline replay keeps this bit-exact), and cross-ACT
+    /// batching is enabled on every controller shard.
+    fn run_windowed(
+        mut self,
+        label: String,
+        threads: usize,
+        jitter: Option<u64>,
+        speculate: Option<u64>,
+    ) -> RunResult {
         let warmup_end = self.config.warmup_cycles;
         let end = self.config.total_cycles();
         let mut now: Cycle = 0;
@@ -385,6 +421,21 @@ impl System {
         let mut completions = Vec::new();
         let mut core_state: Vec<CoreLoopState> = vec![CoreLoopState::Sleeping(0); self.cores.len()];
         let mut jitter_state = jitter;
+        let mut region: Option<SpecRegion> = None;
+        // Adaptive launch gate. A region launch checkpoints every shard — a
+        // full controller clone per channel — so speculation only pays where
+        // regions commit. Traffic that enqueues into a shard every window
+        // (a core hammering one channel) would roll back at every barrier
+        // and pay the clone for nothing; after a rolled-back region the gate
+        // holds launches off for an exponentially growing number of
+        // barriers, and a clean commit re-arms it at full cadence. Pure
+        // execution policy: launching or not never changes simulated state
+        // (the bit-exactness suites run both paths), only wall-clock.
+        let mut spec_holdoff: u64 = 0;
+        let mut spec_penalty: u64 = 1;
+        if speculate.is_some() {
+            self.memory.set_act_batching(true);
+        }
         // A read's data returns CL + burst cycles after its column command
         // issues (`DramChannel::read_data_available_at`); a core stalled on
         // an instruction window full behind an *unissued* read therefore
@@ -398,19 +449,49 @@ impl System {
         // publish at run end.
         let mut engine = EngineTelemetry {
             window_bucket_counts: vec![0u64; WINDOW_CYCLES_BOUNDS.len() + 1],
+            speculation_depth_bucket_counts: vec![0u64; SPEC_DEPTH_BOUNDS.len() + 1],
             ..Default::default()
         };
 
         while now < end {
-            if !warm_taken && now >= warmup_end {
-                warm = self.warm_snapshot();
-                warm_taken = true;
-            }
-
+            // Barrier drain: live shard buffers plus, inside a region, the
+            // speculated timelines' completions that have become visible
+            // (issue cycle before the barrier). Delivered before the commit
+            // check so a committing region is fully drained.
             completions.clear();
             self.memory.drain_completions_into(&mut completions);
+            if let Some(r) = region.as_mut() {
+                r.drain_completions_into(now, &mut completions);
+            }
             for completion in &completions {
                 self.cores[completion.core].note_completion(completion.id, completion.completion);
+            }
+
+            // Commit: the barrier clock caught up with the speculated
+            // horizon and no core-visible event invalidated the surviving
+            // shards — their free-run state simply *is* the live state.
+            if region.as_ref().is_some_and(|r| now >= r.spec) {
+                let r = region.take().expect("region presence checked");
+                r.debug_assert_fully_delivered();
+                if r.rolled_back() {
+                    spec_holdoff = spec_penalty;
+                    spec_penalty = (spec_penalty * 4).min(4096);
+                } else {
+                    // Decay rather than reset: one lucky commit inside a
+                    // rollback-heavy phase must not re-open the floodgates.
+                    spec_penalty = (spec_penalty / 2).max(1);
+                }
+                r.finish(&mut engine);
+            }
+
+            if !warm_taken && now >= warmup_end {
+                // Deferred cross-ACT batches must reach the mechanism's
+                // counters before the snapshot (their delivery changes no
+                // decision — the quiescent credit proved every response a
+                // nop — but the observation tallies move).
+                self.memory.flush_act_batches();
+                warm = self.warm_snapshot();
+                warm_taken = true;
             }
 
             // Advance the cores, deriving the window end: the earliest cycle
@@ -425,56 +506,89 @@ impl System {
             // the core blocks, not recomputed later: once the window has
             // stepped the blocking shard, its cached bound has moved past
             // the very event the core is waiting to observe.
+            // Cores talk to the memory system through the speculation-aware
+            // sink: a transparent pass-through while no region is live, the
+            // recorded-timeline oracle (and rollback trigger) inside one.
             let mut until = end;
-            for (core, state) in self.cores.iter_mut().zip(&mut core_state) {
-                let bound = match *state {
-                    CoreLoopState::Sleeping(w) if now < w => w,
-                    CoreLoopState::Blocked(h) if now < h => h,
-                    _ => match core.advance(now, &mut self.memory) {
-                        Some(w) => {
-                            *state = CoreLoopState::Sleeping(w);
-                            w
-                        }
-                        None => {
-                            let hint = core
-                                .blocked_wake()
-                                .or_else(|| {
-                                    core.blocking_channel().map(|channel| {
-                                        let bound = self.memory.shard_next_event(channel);
-                                        // Window full behind a read whose
-                                        // completion is unknown — i.e. whose
-                                        // column command has not issued (an
-                                        // issued one's completion is drained
-                                        // at the barrier before this advance)
-                                        // — cannot retire before the shard's
-                                        // next issue opportunity plus the
-                                        // data-return latency. A queue-full
-                                        // stall only needs the shard's next
-                                        // command (+1 for visibility).
-                                        let delay = if core.window_blocked() { read_return } else { 1 };
-                                        bound.saturating_add(delay)
+            {
+                let mut sink = SpecSink { memory: &mut self.memory, region: region.as_mut(), now };
+                for (core, state) in self.cores.iter_mut().zip(&mut core_state) {
+                    let bound = match *state {
+                        CoreLoopState::Sleeping(w) if now < w => w,
+                        CoreLoopState::Blocked(h) if now < h => h,
+                        _ => match core.advance(now, &mut sink) {
+                            Some(w) => {
+                                *state = CoreLoopState::Sleeping(w);
+                                w
+                            }
+                            None => {
+                                let hint = core
+                                    .blocked_wake()
+                                    .or_else(|| {
+                                        core.blocking_channel().map(|channel| {
+                                            let bound = sink.shard_next_event(channel);
+                                            // Window full behind a read whose
+                                            // completion is unknown — i.e. whose
+                                            // column command has not issued (an
+                                            // issued one's completion is drained
+                                            // at the barrier before this advance)
+                                            // — cannot retire before the shard's
+                                            // next issue opportunity plus the
+                                            // data-return latency. A queue-full
+                                            // stall only needs the shard's next
+                                            // command (+1 for visibility).
+                                            let delay = if core.window_blocked() { read_return } else { 1 };
+                                            bound.saturating_add(delay)
+                                        })
                                     })
-                                })
-                                // Unreachable today (blocked cores always
-                                // report a wake or a blocking channel);
-                                // degrade to the serial per-event cadence.
-                                .unwrap_or(now + 1)
-                                .max(now + 1);
-                            *state = CoreLoopState::Blocked(hint);
-                            hint
-                        }
-                    },
-                };
-                until = until.min(bound.max(now + 1));
+                                    // Unreachable today (blocked cores always
+                                    // report a wake or a blocking channel);
+                                    // degrade to the serial per-event cadence.
+                                    .unwrap_or(now + 1)
+                                    .max(now + 1);
+                                *state = CoreLoopState::Blocked(hint);
+                                hint
+                            }
+                        },
+                    };
+                    until = until.min(bound.max(now + 1));
+                }
             }
             if !warm_taken {
                 until = until.min(warmup_end);
+            }
+            if let Some(r) = &region {
+                // Never step past the horizon: the commit fires exactly when
+                // the barrier clock reaches it.
+                until = until.min(r.spec);
             }
             until = until.clamp(now + 1, end);
             if let Some(state) = jitter_state.as_mut() {
                 let span = until - now;
                 if span > 1 {
                     until = now + 1 + splitmix64(state) % span;
+                }
+            }
+
+            // Launch a speculative region when the horizon actually extends
+            // past the proven window (never across the warmup boundary —
+            // the snapshot there must read settled state).
+            if let Some(depth) = speculate {
+                if region.is_none() {
+                    if spec_holdoff > 0 {
+                        spec_holdoff -= 1;
+                    } else {
+                        let mut spec = now.saturating_add((until - now).saturating_mul(depth)).min(end);
+                        if !warm_taken {
+                            spec = spec.min(warmup_end);
+                        }
+                        if spec > until {
+                            let _span = comet_telemetry::span("sim.window.speculate");
+                            let shards = self.memory.speculate(now, spec, &pool);
+                            region = Some(SpecRegion::new(now, spec, shards));
+                            engine.speculation_regions += 1;
+                        }
+                    }
                 }
             }
 
@@ -487,11 +601,24 @@ impl System {
                 .position(|&b| span as f64 <= b)
                 .unwrap_or(WINDOW_CYCLES_BOUNDS.len());
             engine.window_bucket_counts[bucket] += 1;
+            if let Some(r) = region.as_mut() {
+                r.windows += 1;
+            }
 
+            // Inside a region this is a no-op fan-out: every speculated
+            // shard's cached next-event time sits at or past the horizon,
+            // so only rolled-back (live-again) shards can be due.
             self.memory.step_until(now, until, &pool);
             now = until;
         }
 
+        // A region still live at the end of the run (horizon == end)
+        // commits implicitly; completions whose issue lies inside the final
+        // window stay undelivered exactly like live shard buffers do.
+        if let Some(r) = region.take() {
+            r.finish(&mut engine);
+        }
+        self.memory.flush_act_batches();
         self.assemble(label, &warm, engine)
     }
 
@@ -629,6 +756,60 @@ mod tests {
         assert!(result.ipc > 0.0);
         // Shared-channel contention keeps the sum well under 8× the single-core IPC.
         assert!(result.ipc < 16.0);
+    }
+
+    /// The optimistic engine is pure execution policy: for every speculation
+    /// depth and channel count, a speculative run must reproduce the serial
+    /// loop's results bit-for-bit — including the mitigation's decisions.
+    #[test]
+    fn speculative_run_is_bit_exact_with_serial() {
+        use comet_mitigations::PerRowCounters;
+        for channels in [1usize, 2] {
+            let mut config = SimConfig::quick_test().with_channels(channels);
+            config.sim_cycles = 150_000;
+            let timing = config.dram.timing.clone();
+            let geometry = config.dram.geometry.clone();
+            let factory = FnFactory::new("PerRow", move |_channel| {
+                Box::new(PerRowCounters::new(64, &timing, geometry.clone()))
+            });
+            let traces = |config: &SimConfig| -> Vec<Box<dyn TraceSource>> {
+                vec![trace("bfs_ny", 1, &config.dram), trace("429.mcf", 2, &config.dram)]
+            };
+            let serial = System::new(config.clone(), traces(&config), &factory).run("serial");
+            let mut rollbacks_seen = 0u64;
+            for depth in [1u64, 2, 7, 64] {
+                let spec = System::new(config.clone(), traces(&config), &factory)
+                    .run_sharded_speculative("spec", 1, depth);
+                assert_eq!(serial.instructions, spec.instructions, "depth {depth}, {channels}ch");
+                assert_eq!(serial.reads, spec.reads, "depth {depth}, {channels}ch");
+                assert_eq!(serial.writes, spec.writes, "depth {depth}, {channels}ch");
+                assert_eq!(serial.activations, spec.activations, "depth {depth}, {channels}ch");
+                assert_eq!(serial.controller, spec.controller, "depth {depth}, {channels}ch");
+                assert_eq!(serial.mitigation, spec.mitigation, "depth {depth}, {channels}ch");
+                // Depth 1 speculates exactly the proven window — a no-op by
+                // construction, so no region ever launches.
+                if depth > 1 {
+                    assert!(
+                        spec.engine.speculation_regions > 0,
+                        "depth {depth}, {channels}ch: the optimistic engine never launched a region"
+                    );
+                } else {
+                    assert_eq!(spec.engine.speculation_regions, 0, "depth 1 must be a no-op");
+                }
+                // Every speculated shard of every region either committed
+                // or rolled back — none may vanish unaccounted.
+                assert_eq!(
+                    spec.engine.speculation_commits + spec.engine.speculation_rollbacks,
+                    spec.engine.speculation_regions * channels as u64,
+                    "depth {depth}, {channels}ch"
+                );
+                rollbacks_seen += spec.engine.speculation_rollbacks;
+            }
+            // A memory-hungry mix keeps enqueueing mid-region: the rollback
+            // path must actually run here, or this test proves nothing
+            // about replay fidelity.
+            assert!(rollbacks_seen > 0, "{channels}ch: no speculation was ever rolled back");
+        }
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! keeps in its own registry, so rendering both into one scrape body can
 //! never collide.
 
-use crate::metrics::{RunResult, WINDOW_CYCLES_BOUNDS};
+use crate::metrics::{RunResult, SPEC_DEPTH_BOUNDS, WINDOW_CYCLES_BOUNDS};
 use comet_telemetry::Registry;
 
 /// Publishes `result`'s telemetry into `registry`. Tracker counters are
@@ -51,6 +51,36 @@ pub fn publish_run(result: &RunResult, registry: &Registry) {
                 &by_mech,
             )
             .set(engine.window_cycles_max as f64);
+    }
+
+    // Optimistic-engine tallies — folded from plain locals at run end, like
+    // the window histogram; absent entirely unless speculation ran.
+    if engine.speculation_regions > 0 {
+        registry
+            .counter_with(
+                "comet_engine_speculation_commits_total",
+                "Shard speculations committed (validated at the region barrier).",
+                &by_mech,
+            )
+            .add(engine.speculation_commits);
+        registry
+            .counter_with(
+                "comet_engine_speculation_rollbacks_total",
+                "Shard speculations rolled back and replayed conservatively.",
+                &by_mech,
+            )
+            .add(engine.speculation_rollbacks);
+        registry
+            .histogram(
+                "comet_engine_speculation_depth",
+                "Barrier windows covered by each speculative region.",
+                &SPEC_DEPTH_BOUNDS,
+            )
+            .add_counts(
+                &engine.speculation_depth_bucket_counts,
+                engine.speculation_depth_sum as f64,
+                engine.speculation_regions,
+            );
     }
 
     for (channel, pressure) in engine.scheduler.iter().enumerate() {
